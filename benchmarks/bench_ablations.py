@@ -1,0 +1,195 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation, but each isolates one design decision:
+
+- **approximation ladder**: accuracy *and* cost of aggressive / elastic-k /
+  exact on one correlated workload (the trade-off behind Section 4.3);
+- **smoothing**: Laplace smoothing of joint estimates on sparse BOOK-like
+  data;
+- **decision prior**: the Section 5 protocol (alpha = 0.5 in the posterior)
+  versus the calibrated prior;
+- **training fraction**: how much labelled data PrecRecCorr needs;
+- **EM extension**: unsupervised EM versus the supervised PrecRec bound;
+- **copy detection**: AccuCopy with and without its dependence test.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _helpers import emit
+from repro.baselines import AccuCopyFuser
+from repro.core import (
+    AggressiveFuser,
+    ElasticFuser,
+    ExactCorrelationFuser,
+    ExpectationMaximizationFuser,
+    PrecRecFuser,
+    fit_model,
+    fuse,
+)
+from repro.data import CorrelationGroup, SyntheticConfig, generate, uniform_sources
+from repro.eval import binary_metrics, format_table
+
+
+def _correlated_workload(seed=3, n_sources=8):
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision=0.65, recall=0.45),
+        n_triples=1500,
+        true_fraction=0.5,
+        groups=(
+            CorrelationGroup(members=(0, 1, 2, 3), mode="overlap_false", strength=0.9),
+            CorrelationGroup(members=(4, 5), mode="overlap_true", strength=0.9),
+        ),
+    )
+    return generate(config, seed=seed)
+
+
+def bench_approximation_ladder(benchmark):
+    dataset = _correlated_workload()
+    model = fit_model(dataset.observations, dataset.labels)
+
+    def run():
+        rows = []
+        fusers = [("aggressive", AggressiveFuser(model))]
+        fusers += [
+            (f"elastic-{k}", ElasticFuser(model, level=k)) for k in range(0, 5)
+        ]
+        fusers.append(("exact", ExactCorrelationFuser(model)))
+        for label, fuser in fusers:
+            start = time.perf_counter()
+            scores = fuser.score(dataset.observations)
+            elapsed = time.perf_counter() - start
+            f1 = binary_metrics(scores >= model.prior - 1e-9, dataset.labels).f1
+            rows.append([label, f1, elapsed])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_approximation_ladder",
+        format_table(["approximation", "F-measure", "time(s)"], rows),
+    )
+
+
+def bench_smoothing(benchmark, small_book):
+    def run():
+        rows = []
+        for smoothing in (0.0, 0.25, 0.5, 1.0, 2.0):
+            result = fuse(
+                small_book.observations, small_book.labels,
+                method="precreccorr", smoothing=smoothing,
+                decision_prior=0.5, elastic_level=1, exact_cluster_limit=8,
+            )
+            m = binary_metrics(result.accepted, small_book.labels)
+            rows.append([smoothing, m.precision, m.recall, m.f1])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_smoothing",
+        format_table(["laplace smoothing", "precision", "recall", "F1"], rows),
+    )
+
+
+def bench_decision_prior(benchmark, reverb):
+    def run():
+        rows = []
+        for decision_prior in (None, 0.3, 0.5, 0.7):
+            result = fuse(
+                reverb.observations, reverb.labels,
+                method="precreccorr", decision_prior=decision_prior,
+            )
+            m = binary_metrics(result.accepted, reverb.labels)
+            label = "calibrated" if decision_prior is None else str(decision_prior)
+            rows.append([label, m.precision, m.recall, m.f1])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_decision_prior",
+        format_table(["posterior alpha", "precision", "recall", "F1"], rows)
+        + "\n(the paper's Section 5 protocol corresponds to alpha = 0.5)",
+    )
+
+
+def bench_training_fraction(benchmark, reverb):
+    def run():
+        rows = []
+        for fraction in (0.1, 0.25, 0.5, 0.75):
+            train, test = reverb.train_test_split(fraction, seed=5)
+            result = fuse(
+                reverb.observations, reverb.labels,
+                method="precreccorr", train_mask=train, decision_prior=0.5,
+            )
+            m = binary_metrics(result.accepted[test], reverb.labels[test])
+            rows.append([fraction, m.precision, m.recall, m.f1])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_training_fraction",
+        format_table(
+            ["train fraction", "holdout precision", "holdout recall", "holdout F1"],
+            rows,
+        ),
+    )
+
+
+def bench_em_vs_supervised(benchmark):
+    config = SyntheticConfig(
+        sources=uniform_sources(8, precision=0.8, recall=0.5),
+        n_triples=1200,
+        true_fraction=0.5,
+    )
+    dataset = generate(config, seed=17)
+
+    def run():
+        rows = []
+        em = ExpectationMaximizationFuser()
+        scores = em.score(dataset.observations)
+        m = binary_metrics(scores >= 0.5, dataset.labels)
+        rows.append(["EM (unsupervised)", m.precision, m.recall, m.f1])
+
+        seed_labels = np.full(dataset.n_triples, np.nan)
+        rng = np.random.default_rng(1)
+        known = rng.choice(dataset.n_triples, dataset.n_triples // 10, replace=False)
+        seed_labels[known] = dataset.labels[known].astype(float)
+        seeded = ExpectationMaximizationFuser(seed_labels=seed_labels)
+        scores = seeded.score(dataset.observations)
+        m = binary_metrics(scores >= 0.5, dataset.labels)
+        rows.append(["EM (10% labels)", m.precision, m.recall, m.f1])
+
+        model = fit_model(dataset.observations, dataset.labels)
+        scores = PrecRecFuser(model).score(dataset.observations)
+        m = binary_metrics(scores >= 0.5 - 1e-9, dataset.labels)
+        rows.append(["PrecRec (supervised)", m.precision, m.recall, m.f1])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_em_vs_supervised",
+        format_table(["method", "precision", "recall", "F1"], rows),
+    )
+
+
+def bench_copy_detection(benchmark, small_book):
+    def run():
+        rows = []
+        for detect in (True, False):
+            fuser = AccuCopyFuser(iterations=3, detect_copying=detect)
+            scores = fuser.score(small_book.observations)
+            m = binary_metrics(scores >= 0.5, small_book.labels)
+            rows.append(
+                ["AccuCopy" if detect else "Accu (no copy detection)",
+                 m.precision, m.recall, m.f1]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_copy_detection",
+        format_table(["variant", "precision", "recall", "F1"], rows),
+    )

@@ -1,0 +1,44 @@
+"""The Section 5 dataset profile: per-source precision/recall scatter.
+
+The paper's inline figure shows that RESTAURANT sources are all
+high-precision (mostly high recall), REVERB sources have fairly low
+precision and recall, and BOOK sources vary widely in precision with mostly
+low recall.  This benchmark regenerates that scatter as per-dataset tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import emit
+from repro.core import estimate_source_quality
+from repro.eval import format_table, quality_scatter
+
+
+@pytest.mark.parametrize("name", ["reverb", "restaurant", "book"])
+def bench_profile(benchmark, name, request):
+    dataset = request.getfixturevalue(name)
+
+    qualities = benchmark.pedantic(
+        lambda: estimate_source_quality(dataset.observations, dataset.labels),
+        rounds=1,
+        iterations=1,
+    )
+    precisions = [q.precision for q in qualities]
+    recalls = [q.recall for q in qualities]
+    summary = format_table(
+        ["statistic", "precision", "recall"],
+        [
+            ["min", float(np.min(precisions)), float(np.min(recalls))],
+            ["mean", float(np.mean(precisions)), float(np.mean(recalls))],
+            ["max", float(np.max(precisions)), float(np.max(recalls))],
+        ],
+    )
+    scatter = quality_scatter(
+        [q.name for q in qualities], precisions, recalls, max_rows=12
+    )
+    emit(
+        f"dataset_profile_{name}",
+        f"{dataset.summary()}\n\n{summary}\n\n{scatter}",
+    )

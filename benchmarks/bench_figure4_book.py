@@ -1,0 +1,58 @@
+"""Figure 4c: fusion results, PR-curve and ROC-curve on BOOK.
+
+PrecRecCorr runs through the clustered fuser (the paper's treatment of this
+wide dataset).  The AccuCopy row reproduces the Section 5.1 copy-detection
+comparison: high precision from discounting copied votes, recall losses
+from discounting true votes too.
+
+Expected shape (paper): PrecRecCorr and PrecRec both strong with
+PrecRecCorr's precision ahead; LTM close behind; Union-25 decent;
+3-Estimates very low recall; AccuCopy high precision / reduced recall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit
+from repro.baselines import AccuCopyFuser
+from repro.eval import comparison_table, curve_points, paper_method_specs
+from repro.eval.harness import Comparison, MethodSpec, run_method
+
+SPECS = {spec.name: spec for spec in paper_method_specs(
+    ltm_iterations=30, ltm_burn_in=5,
+    corr_options={"elastic_level": 1, "exact_cluster_limit": 8},
+)}
+SPECS["AccuCopy"] = MethodSpec(
+    "AccuCopy", lambda ds: AccuCopyFuser(iterations=3, detect_copying=True)
+)
+
+_comparison = None
+
+
+def _get_comparison(dataset):
+    global _comparison
+    if _comparison is None:
+        _comparison = Comparison(dataset=dataset)
+    return _comparison
+
+
+@pytest.mark.parametrize("method", list(SPECS))
+def bench_method(benchmark, book, method):
+    evaluation = benchmark.pedantic(
+        lambda: run_method(book, SPECS[method]), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"f1": evaluation.f1, "auc_pr": evaluation.auc_pr,
+         "auc_roc": evaluation.auc_roc}
+    )
+    comparison = _get_comparison(book)
+    comparison.evaluations.append(evaluation)
+    if len(comparison.evaluations) == len(SPECS):
+        emit("figure4c_book", comparison_table(comparison))
+        curves = []
+        for e in comparison.evaluations:
+            if e.method in ("PrecRec", "PrecRecCorr", "Union-25", "AccuCopy"):
+                curves.append(f"PR  {e.method:12s} {curve_points(e.pr)}")
+                curves.append(f"ROC {e.method:12s} {curve_points(e.roc)}")
+        emit("figure4c_book_curves", "\n".join(curves))

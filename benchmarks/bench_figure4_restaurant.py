@@ -1,0 +1,46 @@
+"""Figure 4b: fusion results, PR-curve and ROC-curve on RESTAURANT.
+
+Expected shape (paper): every method does well on this friendly dataset;
+LTM and Union-25 comparable to PrecRec on F1, but PrecRecCorr clearly ahead
+on the curves (AUC-PR / AUC-ROC).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit
+from repro.eval import comparison_table, curve_points, paper_method_specs
+from repro.eval.harness import Comparison, run_method
+
+SPECS = {spec.name: spec for spec in paper_method_specs()}
+
+_comparison = None
+
+
+def _get_comparison(dataset):
+    global _comparison
+    if _comparison is None:
+        _comparison = Comparison(dataset=dataset)
+    return _comparison
+
+
+@pytest.mark.parametrize("method", list(SPECS))
+def bench_method(benchmark, restaurant, method):
+    evaluation = benchmark.pedantic(
+        lambda: run_method(restaurant, SPECS[method]), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"f1": evaluation.f1, "auc_pr": evaluation.auc_pr,
+         "auc_roc": evaluation.auc_roc}
+    )
+    comparison = _get_comparison(restaurant)
+    comparison.evaluations.append(evaluation)
+    if len(comparison.evaluations) == len(SPECS):
+        emit("figure4b_restaurant", comparison_table(comparison))
+        curves = []
+        for e in comparison.evaluations:
+            if e.method in ("PrecRec", "PrecRecCorr", "Union-25", "LTM"):
+                curves.append(f"PR  {e.method:12s} {curve_points(e.pr)}")
+                curves.append(f"ROC {e.method:12s} {curve_points(e.roc)}")
+        emit("figure4b_restaurant_curves", "\n".join(curves))

@@ -1,0 +1,55 @@
+"""Figure 4a: fusion results, PR-curve and ROC-curve on REVERB.
+
+One benchmark per method (the pytest-benchmark table doubles as the REVERB
+column of Figure 5b); the metric table plus downsampled curves land in
+``benchmarks/results/figure4a_*.txt``.
+
+Expected shape (paper): PrecRecCorr best on F1 and clearly best on
+AUC-PR/AUC-ROC; PrecRec comparable to Union-25; LTM hurt by low precision;
+3-Estimates lowest with very low recall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit
+from repro.eval import (
+    comparison_table,
+    curve_points,
+    evaluate_result,
+    paper_method_specs,
+)
+from repro.eval.harness import Comparison, run_method
+
+SPECS = {spec.name: spec for spec in paper_method_specs()}
+
+_comparison = None
+
+
+def _get_comparison(dataset):
+    global _comparison
+    if _comparison is None:
+        _comparison = Comparison(dataset=dataset)
+    return _comparison
+
+
+@pytest.mark.parametrize("method", list(SPECS))
+def bench_method(benchmark, reverb, method):
+    evaluation = benchmark.pedantic(
+        lambda: run_method(reverb, SPECS[method]), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"f1": evaluation.f1, "auc_pr": evaluation.auc_pr,
+         "auc_roc": evaluation.auc_roc}
+    )
+    comparison = _get_comparison(reverb)
+    comparison.evaluations.append(evaluation)
+    if len(comparison.evaluations) == len(SPECS):
+        emit("figure4a_reverb", comparison_table(comparison))
+        curves = []
+        for e in comparison.evaluations:
+            if e.method in ("PrecRec", "PrecRecCorr", "Union-25", "LTM"):
+                curves.append(f"PR  {e.method:12s} {curve_points(e.pr)}")
+                curves.append(f"ROC {e.method:12s} {curve_points(e.roc)}")
+        emit("figure4a_reverb_curves", "\n".join(curves))

@@ -1,0 +1,85 @@
+"""Figure 6: synthetic sweeps with independent sources.
+
+Three panels, each 5 sources x 1000 triples, averaged over repetitions
+(paper: 10; default here 3, see REPRO_BENCH_REPS):
+
+- 6a: low-precision sources (p=0.1), recall 0.025..0.225, 25% true triples;
+- 6b: high-precision sources (p=0.75), recall 0.075..0.675, 50% true;
+- 6c: low-recall sources (r=0.25), precision 0.1..0.9, 25% true.
+
+Expected shape (paper): PrecRec and PrecRecCorr track each other (no
+correlations to exploit) and dominate once source quality is not hopeless;
+Union-K is very sensitive to source quality; LTM is robust at the low end
+but benefits little from quality increases; 3-Estimates trails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit, sweep_repetitions
+from repro.baselines import (
+    LatentTruthModel,
+    MajorityVoteFuser,
+    ThreeEstimatesFuser,
+    UnionKFuser,
+)
+from repro.data import SyntheticConfig, generate, uniform_sources
+from repro.eval import sweep_table
+from repro.eval.harness import MethodSpec, run_sweep, supervised_spec
+
+METHODS = [
+    MethodSpec("Majority", lambda ds: MajorityVoteFuser()),
+    MethodSpec("Union-25", lambda ds: UnionKFuser(25)),
+    MethodSpec("Union-75", lambda ds: UnionKFuser(75)),
+    MethodSpec("3-Estimates", lambda ds: ThreeEstimatesFuser()),
+    MethodSpec("LTM", lambda ds: LatentTruthModel(iterations=40, burn_in=10, seed=7)),
+    supervised_spec("PrecRec", "precrec"),
+    supervised_spec("PrecRecCorr", "precreccorr"),
+]
+METHOD_NAMES = [m.name for m in METHODS]
+
+PANELS = {
+    "figure6a": {
+        "true_fraction": 0.25,
+        "points": [(0.1, r) for r in (0.025, 0.075, 0.125, 0.175, 0.225)],
+    },
+    "figure6b": {
+        "true_fraction": 0.5,
+        "points": [(0.75, r) for r in (0.075, 0.225, 0.375, 0.525, 0.675)],
+    },
+    "figure6c": {
+        "true_fraction": 0.25,
+        "points": [(p, 0.25) for p in (0.1, 0.3, 0.5, 0.7, 0.9)],
+    },
+}
+
+
+def _factory(precision, recall, true_fraction):
+    def make(seed):
+        config = SyntheticConfig(
+            sources=uniform_sources(5, precision, recall),
+            n_triples=1000,
+            true_fraction=true_fraction,
+        )
+        return generate(config, seed=seed)
+
+    return make
+
+
+@pytest.mark.parametrize("panel", list(PANELS))
+def bench_panel(benchmark, panel):
+    spec = PANELS[panel]
+    labelled_points = [
+        (f"p={p:g} r={r:g}", _factory(p, r, spec["true_fraction"]))
+        for p, r in spec["points"]
+    ]
+
+    points = benchmark.pedantic(
+        lambda: run_sweep(
+            labelled_points, METHODS, repetitions=sweep_repetitions()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(panel, sweep_table(points, METHOD_NAMES))

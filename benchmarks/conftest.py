@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figure series as
+text: the rendered output is printed (visible with ``pytest -s``) and also
+written under ``benchmarks/results/`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves an inspectable artifact per
+experiment.  The pytest-benchmark timing table itself reproduces the
+runtime comparison of Figure 5b.
+
+Environment knobs:
+
+- ``REPRO_BENCH_REPS`` -- repetitions for the synthetic sweeps (paper: 10;
+  default here: 3 to keep the default run short).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import BOOK_SEED, RESTAURANT_SEED, REVERB_SEED
+from repro.data import book_dataset, restaurant_dataset, reverb_dataset
+
+
+@pytest.fixture(scope="session")
+def reverb():
+    return reverb_dataset(seed=REVERB_SEED)
+
+
+@pytest.fixture(scope="session")
+def restaurant():
+    return restaurant_dataset(seed=RESTAURANT_SEED)
+
+
+@pytest.fixture(scope="session")
+def book():
+    return book_dataset(seed=BOOK_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_book():
+    """A reduced BOOK variant for sweeps where the full one is too slow."""
+    return book_dataset(
+        seed=BOOK_SEED, n_sources=60, n_books=60, gold_true=120, gold_false=260
+    )

@@ -1,0 +1,90 @@
+"""Bookseller catalogues: correlation clusters and copy detection at scale.
+
+Models the paper's BOOK scenario: hundreds of seller sources list
+book-author triples; cliques of sellers share upstream feeds (the paper
+finds clusters of sizes {22, 3, 2} on true triples and {22, 3, 2, 2} on
+false triples); books have *multiple* true authors, which is why the
+open-world multi-truth semantics matters.
+
+The script:
+
+1. generates the BOOK-scale dataset (333 sellers, the published gold
+   composition of 482 true / 935 false author triples);
+2. discovers the correlation clusters and compares them with the planted
+   cliques;
+3. fuses with the clustered PrecRecCorr (the paper's treatment for wide
+   source sets) against PrecRec and the single-truth AccuCopy comparator.
+
+Run:  python examples/bookseller_copying.py       (about a minute)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import fit_model
+from repro.baselines import AccuCopyFuser
+from repro.core import ClusteredCorrelationFuser, PrecRecFuser
+from repro.core.clustering import discovered_correlation_groups
+from repro.data import book_dataset
+from repro.eval import binary_metrics, format_table
+
+
+def main() -> None:
+    dataset = book_dataset(seed=42)
+    print(dataset.summary())
+    planted_true = dataset.metadata["true_clusters"]
+    planted_false = dataset.metadata["false_clusters"]
+    print(
+        f"planted cliques: true sizes {[len(c) for c in planted_true]}, "
+        f"false sizes {[len(c) for c in planted_false]}"
+    )
+    print()
+
+    model = fit_model(dataset.observations, dataset.labels)
+    groups = discovered_correlation_groups(model)
+    print(
+        f"discovered     : true sizes {[len(g) for g in groups['true']]}, "
+        f"false sizes {[len(g) for g in groups['false']]}"
+    )
+    shared = set(map(frozenset, groups["true"])) & set(
+        map(frozenset, groups["false"])
+    )
+    print(f"clusters shared between sides: {sorted(map(sorted, shared))}")
+    print("(the paper finds exactly one two-seller copying pair on both sides)")
+    print()
+
+    rows = []
+    fusers = [
+        ("PrecRec", PrecRecFuser(model, decision_prior=0.5)),
+        (
+            "PrecRecCorr (clustered)",
+            ClusteredCorrelationFuser(
+                model, decision_prior=0.5, elastic_level=1, exact_cluster_limit=8
+            ),
+        ),
+        ("AccuCopy (single truth)", AccuCopyFuser(iterations=3)),
+    ]
+    for name, fuser in fusers:
+        start = time.perf_counter()
+        scores = fuser.score(dataset.observations)
+        elapsed = time.perf_counter() - start
+        threshold = model.prior if name != "AccuCopy (single truth)" else 0.5
+        metrics = binary_metrics(scores >= threshold - 1e-9, dataset.labels)
+        rows.append([name, metrics.precision, metrics.recall, metrics.f1, elapsed])
+    print(
+        format_table(
+            ["method", "precision", "recall", "F1", "time(s)"], rows, float_digits=3
+        )
+    )
+    print()
+    print(
+        "AccuCopy reproduces the paper's Section 5.1 contrast: copy detection\n"
+        "buys high precision, but single-truth semantics and vote discounting\n"
+        "cost recall on multi-author books -- the case the correlation model\n"
+        "handles natively."
+    )
+
+
+if __name__ == "__main__":
+    main()

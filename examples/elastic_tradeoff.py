@@ -1,0 +1,62 @@
+"""The elastic dial: trading accuracy for computation (Section 4.3).
+
+Exact correlation-aware fusion enumerates every subset of a triple's
+non-providers -- exponential in the source count.  The elastic approximation
+repairs the linear-time aggressive estimate level by level; this script
+measures both sides of the dial on one correlated workload:
+
+- F-measure per approximation level (the paper's Figure 5a series);
+- wall-clock cost per level (the paper's Proposition 4.11: O(n^lambda)).
+
+Run:  python examples/elastic_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import fit_model
+from repro.core import AggressiveFuser, ElasticFuser, ExactCorrelationFuser
+from repro.data import CorrelationGroup, SyntheticConfig, generate, uniform_sources
+from repro.eval import binary_metrics, format_table
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        sources=uniform_sources(10, precision=0.65, recall=0.45),
+        n_triples=1500,
+        true_fraction=0.5,
+        groups=(
+            CorrelationGroup(members=(0, 1, 2, 3), mode="overlap_false", strength=0.9),
+            CorrelationGroup(members=(4, 5, 6), mode="overlap_true", strength=0.9),
+        ),
+    )
+    dataset = generate(config, seed=55)
+    print(dataset.summary())
+    print()
+
+    model = fit_model(dataset.observations, dataset.labels)
+    ladder = [("aggressive (linear)", AggressiveFuser(model))]
+    ladder += [
+        (f"elastic level {k}", ElasticFuser(model, level=k)) for k in range(6)
+    ]
+    ladder.append(("exact (exponential)", ExactCorrelationFuser(model)))
+
+    rows = []
+    for name, fuser in ladder:
+        start = time.perf_counter()
+        scores = fuser.score(dataset.observations)
+        elapsed = time.perf_counter() - start
+        metrics = binary_metrics(scores >= model.prior - 1e-9, dataset.labels)
+        rows.append([name, metrics.f1, elapsed])
+    print(format_table(["approximation", "F-measure", "time(s)"], rows))
+    print()
+    print(
+        "A few levels recover most of the exact solution's quality at a\n"
+        "fraction of its cost -- the trade-off the paper tunes in Figure 5,\n"
+        "where level 3 halves the runtime of the exact computation."
+    )
+
+
+if __name__ == "__main__":
+    main()

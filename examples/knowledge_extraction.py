@@ -1,0 +1,105 @@
+"""Knowledge extraction: fusing the output of correlated extractors.
+
+The paper's motivating domain (Section 1): several extraction systems
+process the same Web corpus; systems sharing extraction *patterns* make the
+same decisions on the sentences those patterns match -- positive correlation
+without copying -- and systems focusing on different sentence shapes are
+complementary -- negative correlation.
+
+This script builds that pipeline end-to-end with the extraction simulator:
+
+1. simulate a 3000-sentence corpus and six extractors with overlapping
+   pattern sets;
+2. discover the pattern-sharing structure from the data alone (no knowledge
+   of the extractors' internals, exactly the paper's setting);
+3. show that correlation-aware fusion beats independence-based fusion and
+   voting on the extracted triples.
+
+Run:  python examples/knowledge_extraction.py
+"""
+
+from __future__ import annotations
+
+from repro import fit_model, fuse, pairwise_correlations
+from repro.baselines import UnionKFuser
+from repro.data import ExtractorSpec, Pattern, build_corpus, run_extractors
+from repro.eval import auc_pr, binary_metrics, format_table
+
+# Eight extraction patterns over six sentence shapes.  Patterns 0-2 are the
+# "easy" shapes every vendor implements; the rest are speciality patterns.
+# Susceptibility controls how often a pattern falls for misleading sentences
+# (and hence each extractor's precision).
+PATTERNS = [
+    Pattern(shape=0, hit_rate=0.85, susceptibility=0.45),
+    Pattern(shape=1, hit_rate=0.80, susceptibility=0.35),
+    Pattern(shape=2, hit_rate=0.75, susceptibility=0.55),
+    Pattern(shape=3, hit_rate=0.70, susceptibility=0.30),
+    Pattern(shape=4, hit_rate=0.65, susceptibility=0.50),
+    Pattern(shape=5, hit_rate=0.60, susceptibility=0.25),
+    Pattern(shape=0, hit_rate=0.55, susceptibility=0.80),  # a sloppy rule
+    Pattern(shape=3, hit_rate=0.50, susceptibility=0.70),
+]
+
+# Six extractors: A, B, C share the core patterns (correlated); D focuses on
+# shapes 3-4; E on shapes 4-5 (D and E partially complementary to A-C);
+# F implements its own niche rules only.
+EXTRACTORS = [
+    ExtractorSpec("ExtractorA", patterns=(0, 1, 2)),
+    ExtractorSpec("ExtractorB", patterns=(0, 1, 3)),
+    ExtractorSpec("ExtractorC", patterns=(0, 2, 7)),
+    ExtractorSpec("ExtractorD", patterns=(3, 4)),
+    ExtractorSpec("ExtractorE", patterns=(4, 5)),
+    ExtractorSpec("ExtractorF", patterns=(6, 7)),
+]
+
+
+def main() -> None:
+    corpus = build_corpus(n_sentences=3000, n_shapes=6, fact_rate=0.6, seed=101)
+    dataset = run_extractors(corpus, PATTERNS, EXTRACTORS, seed=202)
+    print(dataset.description)
+    print(dataset.summary())
+    print()
+
+    # --- discover the correlation structure from outputs alone ---------
+    model = fit_model(dataset.observations, dataset.labels)
+    print("Discovered pairwise correlations (true-triple side):")
+    rows = []
+    for edge in pairwise_correlations(model, "true", min_phi=0.2):
+        names = dataset.observations.source_names
+        rows.append(
+            [
+                names[edge.source_i],
+                names[edge.source_j],
+                "positive" if edge.positive else "negative",
+                edge.phi,
+            ]
+        )
+    print(format_table(["extractor", "extractor", "direction", "phi"], rows))
+    print(
+        "\n(A, B, C share pattern 0 and pairwise speciality patterns; the\n"
+        "detector finds them without ever seeing the pattern tables.)\n"
+    )
+
+    # --- fuse three ways ------------------------------------------------
+    rows = []
+    union = UnionKFuser(25).fuse(dataset.observations)
+    m = binary_metrics(union.accepted, dataset.labels)
+    rows.append(["Union-25", m.precision, m.recall, m.f1,
+                 auc_pr(union.scores, dataset.labels)])
+    for method in ("precrec", "precreccorr"):
+        result = fuse(
+            dataset.observations, dataset.labels, method=method, decision_prior=0.5
+        )
+        m = binary_metrics(result.accepted, dataset.labels)
+        rows.append([result.method, m.precision, m.recall, m.f1,
+                     auc_pr(result.scores, dataset.labels)])
+    print("Fusion quality on the extracted triples:")
+    print(
+        format_table(
+            ["method", "precision", "recall", "F1", "AUC-PR"], rows, float_digits=3
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

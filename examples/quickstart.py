@@ -1,0 +1,87 @@
+"""Quickstart: fuse the paper's motivating example (Figure 1).
+
+Five extraction systems processed the Wikipedia page for Barack Obama and
+produced ten knowledge triples, six of which are correct.  This script walks
+the library's main entry points:
+
+1. load the observation matrix and gold standard;
+2. inspect source quality (precision / recall / derived false-positive rate);
+3. fuse with majority voting, PrecRec (independence), and PrecRecCorr
+   (correlation-aware) and compare their decisions.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import estimate_source_quality, figure1_dataset, fuse
+from repro.baselines import UnionKFuser
+from repro.eval import binary_metrics, format_table
+
+
+def main() -> None:
+    dataset = figure1_dataset()
+    print(dataset.summary())
+    print()
+
+    # --- 1. Source quality (Figure 1b) --------------------------------
+    qualities = estimate_source_quality(
+        dataset.observations, dataset.labels, prior=0.5
+    )
+    print("Source quality (measured on the gold standard):")
+    print(
+        format_table(
+            ["source", "precision", "recall", "derived q", "good?"],
+            [
+                [q.name, q.precision, q.recall, q.false_positive_rate, q.is_good]
+                for q in qualities
+            ],
+            float_digits=2,
+        )
+    )
+    print()
+
+    # --- 2. Fuse three ways -------------------------------------------
+    voting = UnionKFuser(50).fuse(dataset.observations)
+    precrec = fuse(dataset.observations, dataset.labels, method="precrec", prior=0.5)
+    correlated = fuse(
+        dataset.observations, dataset.labels, method="precreccorr", prior=0.5
+    )
+
+    rows = []
+    for result in (voting, precrec, correlated):
+        metrics = binary_metrics(result.accepted, dataset.labels)
+        rows.append([result.method, metrics.precision, metrics.recall, metrics.f1])
+    print("Fusion results on the motivating example:")
+    print(format_table(["method", "precision", "recall", "F1"], rows, float_digits=2))
+    print()
+
+    # --- 3. Per-triple posteriors --------------------------------------
+    index = dataset.observations.triple_index
+    print("Per-triple decisions (PrecRec vs PrecRecCorr):")
+    rows = []
+    for j in range(dataset.n_triples):
+        rows.append(
+            [
+                f"t{j + 1}",
+                str(index[j]),
+                "true" if dataset.labels[j] else "false",
+                precrec.scores[j],
+                correlated.scores[j],
+            ]
+        )
+    print(
+        format_table(
+            ["id", "triple", "gold", "Pr indep", "Pr corr"], rows, float_digits=2
+        )
+    )
+    print()
+    print(
+        "Note how t8/t9 (common mistakes of the correlated extractors S1, S4, "
+        "S5)\ndrop below 0.5 once correlations are modelled, matching the "
+        "paper's Example 4.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Restaurant listings: fusing location data from aggregator sites.
+
+Models the paper's RESTAURANT scenario end to end, including how the gold
+standard itself is produced: listing sites share upstream feeds (positive
+correlation on both truths and stale errors), the training labels come from
+a simulated Mechanical Turk majority vote (as in [17]), and fusion has to
+hold up under that label noise.
+
+Run:  python examples/restaurant_listings.py
+"""
+
+from __future__ import annotations
+
+from repro import fuse
+from repro.core import estimate_source_quality
+from repro.data import crowd_labels, restaurant_dataset
+from repro.eval import binary_metrics, format_table
+
+
+def main() -> None:
+    dataset = restaurant_dataset(seed=23)
+    print(dataset.summary())
+    print()
+
+    print("Listing-site quality (vs the true gold standard):")
+    qualities = estimate_source_quality(dataset.observations, dataset.labels)
+    print(
+        format_table(
+            ["site", "precision", "recall"],
+            [[q.name, q.precision, q.recall] for q in qualities],
+            float_digits=2,
+        )
+    )
+    print()
+
+    # --- crowdsourced training labels ----------------------------------
+    # 10 workers at 90% accuracy, majority vote -- the paper's gold-standard
+    # construction for this dataset.
+    crowd = crowd_labels(dataset.labels, n_workers=10, worker_accuracy=0.9, seed=7)
+    print(
+        f"Crowd labelling: {crowd.n_workers} workers at "
+        f"{crowd.worker_accuracy:.0%} accuracy; "
+        f"majority label error rate {crowd.error_rate(dataset.labels):.1%}"
+    )
+    print()
+
+    # --- fuse, calibrated on gold vs on crowd labels --------------------
+    rows = []
+    for label_name, labels in (("gold", dataset.labels), ("crowd", crowd.labels)):
+        for method in ("precrec", "precreccorr"):
+            result = fuse(
+                dataset.observations, labels, method=method, decision_prior=0.5
+            )
+            metrics = binary_metrics(result.accepted, dataset.labels)
+            rows.append(
+                [f"{result.method} ({label_name}-calibrated)",
+                 metrics.precision, metrics.recall, metrics.f1]
+            )
+    print("Fusion quality (always judged against the true gold standard):")
+    print(format_table(["method", "precision", "recall", "F1"], rows, float_digits=3))
+    print()
+    print(
+        "PrecRecCorr discounts the six sites' shared stale addresses and\n"
+        "credits the two complementary niche sites, and the advantage\n"
+        "survives crowd-label noise in the calibration data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""AccuCopy: accuracy-weighted voting with copy detection (Dong et al. 2009).
+
+The paper contrasts its correlation model with the copy-detection line of
+work [5, 6] and reports that on the BOOK dataset that approach "achieves
+high precision of 0.97 as it successfully detects copying and reduces the
+vote counts of false values.  However, it has a low recall of 0.82, since it
+also discounts vote counts on true values and ignores other types of
+correlations."  This module reimplements that comparator so the BOOK
+benchmark can reproduce the contrast.
+
+Unlike everything else in this repository, AccuCopy uses *conflicting-triple,
+closed-world* semantics: triples are grouped into data items (one per
+``(subject, predicate)``) and the candidate values of an item compete -- at
+most one wins.  The model iterates:
+
+1. **Copy detection** -- for every source pair, a Bayesian test on the items
+   where both provide values.  Sharing a *false* value is far stronger
+   evidence of copying than sharing a true value (a la Dong et al.), because
+   independent sources rarely make the same mistake among many possible
+   wrong values.
+2. **Discounted voting** -- a source's vote for a value is weighted by
+   ``ln(n * A_s / (1 - A_s))`` (its accuracy score) times an independence
+   factor ``prod (1 - c * Pr(copier))`` over already-counted providers of
+   the same value, so copiers add little beyond the original.
+3. **Accuracy update** -- ``A_s`` becomes the mean probability of the values
+   the source provides.
+
+Scores returned are per-triple value probabilities, comparable with the
+open-world fusers' outputs (an "unknown value" alternative with unit weight
+keeps single-candidate items from trivially scoring 1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.fusion import TruthFuser
+from repro.core.observations import ObservationMatrix
+from repro.util.validation import check_fraction, check_positive_int
+
+
+class AccuCopyFuser(TruthFuser):
+    """Accuracy + copy-detection fuser (single-truth, closed-world).
+
+    Parameters
+    ----------
+    iterations:
+        Outer rounds of (copy detection, voting, accuracy update).
+    copy_rate:
+        ``c``, the probability a copier copies a particular item.
+    dependence_prior:
+        Prior probability that an (ordered) source pair is dependent.
+    n_false_values:
+        Assumed size of the pool of plausible wrong values per item; drives
+        how surprising a shared false value is under independence.
+    min_shared_items:
+        Pairs sharing fewer items than this are assumed independent (saves
+        quadratic work on large, sparse datasets).
+    detect_copying:
+        Disable to obtain the plain ACCU model (used by the ablation bench).
+    """
+
+    name = "AccuCopy"
+
+    def __init__(
+        self,
+        iterations: int = 5,
+        copy_rate: float = 0.8,
+        dependence_prior: float = 0.2,
+        n_false_values: int = 10,
+        min_shared_items: int = 3,
+        detect_copying: bool = True,
+    ) -> None:
+        check_positive_int(iterations, "iterations")
+        check_fraction(copy_rate, "copy_rate")
+        check_fraction(dependence_prior, "dependence_prior")
+        check_positive_int(n_false_values, "n_false_values")
+        self.iterations = iterations
+        self.copy_rate = copy_rate
+        self.dependence_prior = dependence_prior
+        self.n_false_values = n_false_values
+        self.min_shared_items = max(1, int(min_shared_items))
+        self.detect_copying = detect_copying
+        self.name = "AccuCopy" if detect_copying else "Accu"
+        #: Pairwise copy probabilities from the last run (diagnostics).
+        self.copy_probability: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        items = self._group_items(observations)
+        n_sources = observations.n_sources
+        provides = observations.provides
+
+        # value_of[s, k] = triple column source s provides for item k, or -1.
+        n_items = len(items)
+        value_of = np.full((n_sources, n_items), -1, dtype=np.int64)
+        for k, columns in enumerate(items):
+            for col in columns:
+                for s in np.flatnonzero(provides[:, col]):
+                    value_of[s, k] = col  # a source provides one value/item
+
+        accuracy = np.full(n_sources, 0.8)
+        probabilities = np.full(observations.n_triples, 0.5)
+        dependence = np.zeros((n_sources, n_sources))
+        for _ in range(self.iterations):
+            if self.detect_copying:
+                dependence = self._detect_copying(value_of, probabilities, accuracy)
+            probabilities = self._vote(items, provides, accuracy, dependence)
+            accuracy = self._update_accuracy(provides, probabilities, accuracy)
+        self.copy_probability = dependence
+        return probabilities
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _group_items(observations: ObservationMatrix) -> list[list[int]]:
+        """Columns grouped by data item (``(subject, predicate)``)."""
+        index = observations.triple_index
+        if index is None:
+            # No semantics available: each triple is its own single-value item.
+            return [[j] for j in range(observations.n_triples)]
+        groups: dict[tuple[str, str], list[int]] = defaultdict(list)
+        for j, triple in enumerate(index):
+            groups[triple.data_item].append(j)
+        return list(groups.values())
+
+    def _detect_copying(
+        self,
+        value_of: np.ndarray,
+        probabilities: np.ndarray,
+        accuracy: np.ndarray,
+    ) -> np.ndarray:
+        """Pairwise Bayesian dependence posterior (symmetric)."""
+        n_sources = value_of.shape[0]
+        dependence = np.zeros((n_sources, n_sources))
+        voted = value_of >= 0
+        safe_values = np.where(voted, value_of, 0)
+        value_true = probabilities[safe_values] >= 0.5  # per (source, item)
+        c = self.copy_rate
+        prior = self.dependence_prior
+        log_prior_odds = math.log(prior) - math.log1p(-prior)
+        for s1 in range(n_sources):
+            both = voted[s1] & voted
+            both[s1] = False
+            shared_counts = both.sum(axis=1)
+            for s2 in range(s1 + 1, n_sources):
+                shared = int(shared_counts[s2])
+                if shared < self.min_shared_items:
+                    continue
+                mask = both[s2]
+                same = mask & (value_of[s1] == value_of[s2])
+                kt = int((same & value_true[s1]).sum())
+                kf = int((same & ~value_true[s1]).sum())
+                kd = shared - kt - kf
+                a1, a2 = accuracy[s1], accuracy[s2]
+                p_true_ind = max(a1 * a2, 1e-9)
+                p_false_ind = max((1 - a1) * (1 - a2) / self.n_false_values, 1e-9)
+                p_diff_ind = max(1.0 - p_true_ind - p_false_ind, 1e-9)
+                a_mean = (a1 + a2) / 2.0
+                p_true_dep = c * a_mean + (1 - c) * p_true_ind
+                p_false_dep = c * (1 - a_mean) + (1 - c) * p_false_ind
+                p_diff_dep = max((1 - c) * p_diff_ind, 1e-12)
+                log_odds = log_prior_odds + (
+                    kt * (math.log(p_true_dep) - math.log(p_true_ind))
+                    + kf * (math.log(p_false_dep) - math.log(p_false_ind))
+                    + kd * (math.log(p_diff_dep) - math.log(p_diff_ind))
+                )
+                posterior = 1.0 / (1.0 + math.exp(-min(max(log_odds, -500), 500)))
+                dependence[s1, s2] = dependence[s2, s1] = posterior
+        return dependence
+
+    def _vote(
+        self,
+        items: list[list[int]],
+        provides: np.ndarray,
+        accuracy: np.ndarray,
+        dependence: np.ndarray,
+    ) -> np.ndarray:
+        """Discounted accuracy-weighted voting per item, softmax per item."""
+        n = self.n_false_values
+        vote_weight = np.log(
+            np.clip(n * accuracy / np.clip(1.0 - accuracy, 1e-6, None), 1e-6, None)
+        )
+        probabilities = np.zeros(provides.shape[1])
+        c = self.copy_rate
+        for columns in items:
+            confidences = []
+            for col in columns:
+                providers = np.flatnonzero(provides[:, col])
+                # Count the most accurate provider first; later (likely
+                # copying) providers are discounted by their dependence on
+                # already-counted ones.
+                providers = providers[np.argsort(-accuracy[providers])]
+                counted: list[int] = []
+                confidence = 0.0
+                for s in providers:
+                    independence = 1.0
+                    for s_prev in counted:
+                        independence *= 1.0 - c * dependence[s, s_prev]
+                    confidence += vote_weight[s] * independence
+                    counted.append(s)
+                confidences.append(confidence)
+            # Softmax across candidate values plus an "unknown value"
+            # alternative of confidence 0 (weight 1).
+            weights = np.exp(np.clip(np.asarray(confidences), -500, 500))
+            total = weights.sum() + 1.0
+            for col, w in zip(columns, weights):
+                probabilities[col] = w / total
+        return probabilities
+
+    @staticmethod
+    def _update_accuracy(
+        provides: np.ndarray, probabilities: np.ndarray, accuracy: np.ndarray
+    ) -> np.ndarray:
+        provided_counts = provides.sum(axis=1)
+        sums = provides @ probabilities
+        updated = np.divide(
+            sums,
+            provided_counts,
+            out=accuracy.copy(),
+            where=provided_counts > 0,
+        )
+        return np.clip(updated, 0.01, 0.99)

@@ -1,0 +1,167 @@
+"""LTM: the Latent Truth Model of Zhao et al. (PVLDB 2012), via collapsed Gibbs.
+
+The paper's closest competitor (compared in Sections 3 and 5).  LTM is a
+generative graphical model under the same independent-triple, open-world
+semantics:
+
+- each fact ``f`` has a latent truth ``t_f ~ Bernoulli(beta)``;
+- each source ``s`` has a *false positive rate* ``phi0_s ~ Beta(a0)`` and a
+  *sensitivity* (recall) ``phi1_s ~ Beta(a1)``;
+- source ``s`` asserts fact ``f`` with probability ``phi1_s`` when ``t_f = 1``
+  and ``phi0_s`` when ``t_f = 0`` (silence is the complementary event, only
+  meaningful where the source covers the fact's domain).
+
+Inference integrates the ``phi`` parameters out analytically (Beta-Bernoulli
+conjugacy) and Gibbs-samples the truth bits: for each fact, the conditional
+odds of ``t_f = 1`` multiply, over covering sources, the posterior-predictive
+probability of the observed assert/silence under each truth value, using
+counts over all *other* facts.  The truth score is the average of the
+sampled bits after burn-in.
+
+Hyperparameter defaults follow the LTM paper's guidance: a weak symmetric
+prior on sensitivity (sources may recall much or little) and a prior that
+false positive rates are low (most of what a source says is not fabricated),
+with a uniform truth prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fusion import TruthFuser
+from repro.core.observations import ObservationMatrix
+from repro.util.rng import RngLike, ensure_rng
+from repro.util.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class LTMPriors:
+    """Beta hyperparameters of the Latent Truth Model.
+
+    ``sensitivity = (a1_assert, a1_silent)`` is the prior on ``phi1_s``
+    (recall); ``false_positive = (a0_assert, a0_silent)`` the prior on
+    ``phi0_s``.  The defaults encode E[recall] = 0.5 (weak) and
+    E[fpr] = 0.1 (sources rarely fabricate).
+    """
+
+    sensitivity: tuple[float, float] = (50.0, 50.0)
+    false_positive: tuple[float, float] = (10.0, 90.0)
+    truth: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("sensitivity", "false_positive"):
+            pair = getattr(self, name)
+            if len(pair) != 2 or min(pair) <= 0:
+                raise ValueError(f"{name} prior must be two positive numbers")
+        check_fraction(self.truth, "truth")
+
+
+class LatentTruthModel(TruthFuser):
+    """Collapsed Gibbs sampler for LTM.
+
+    Parameters
+    ----------
+    iterations:
+        Total Gibbs sweeps over all facts.
+    burn_in:
+        Sweeps discarded before averaging truth samples.
+    priors:
+        Beta hyperparameters (see :class:`LTMPriors`).
+    seed:
+        Seed or generator for reproducible chains.
+    """
+
+    name = "LTM"
+
+    def __init__(
+        self,
+        iterations: int = 100,
+        burn_in: int = 20,
+        priors: LTMPriors | None = None,
+        seed: RngLike = 7,
+    ) -> None:
+        check_positive_int(iterations, "iterations")
+        if not 0 <= burn_in < iterations:
+            raise ValueError(
+                f"burn_in must be in [0, iterations), got {burn_in} of {iterations}"
+            )
+        self.iterations = iterations
+        self.burn_in = burn_in
+        self.priors = priors or LTMPriors()
+        self._seed = seed
+        #: Posterior-mean source quality from the last run (diagnostics).
+        self.posterior_sensitivity: np.ndarray | None = None
+        self.posterior_fpr: np.ndarray | None = None
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        rng = ensure_rng(self._seed)
+        provides = observations.provides
+        coverage = observations.coverage
+        n_sources, n_facts = provides.shape
+        a1_yes, a1_no = self.priors.sensitivity
+        a0_yes, a0_no = self.priors.false_positive
+        log_prior_odds = np.log(self.priors.truth) - np.log1p(-self.priors.truth)
+
+        # Initialise truth bits from majority vote among covering sources.
+        electorate = np.maximum(coverage.sum(axis=0), 1)
+        truth = provides.sum(axis=0) >= 0.5 * electorate
+
+        # Per-source sufficient statistics over facts currently labelled
+        # true/false: how many the source covers, and how many it asserts.
+        pc = provides & coverage  # defensive; provides implies coverage
+        cover_true = (coverage[:, truth]).sum(axis=1).astype(float)
+        assert_true = (pc[:, truth]).sum(axis=1).astype(float)
+        cover_all = coverage.sum(axis=1).astype(float)
+        assert_all = pc.sum(axis=1).astype(float)
+        cover_false = cover_all - cover_true
+        assert_false = assert_all - assert_true
+
+        samples = np.zeros(n_facts, dtype=float)
+        n_samples = 0
+        order = np.arange(n_facts)
+        for sweep in range(self.iterations):
+            rng.shuffle(order)
+            for f in order:
+                cov = coverage[:, f]
+                obs = provides[cov, f]
+                # Remove fact f's contribution from the stats.
+                if truth[f]:
+                    cover_true[cov] -= 1.0
+                    assert_true[cov] -= obs
+                else:
+                    cover_false[cov] -= 1.0
+                    assert_false[cov] -= obs
+                # Posterior-predictive log odds of the observed row.
+                ct, at = cover_true[cov], assert_true[cov]
+                cf, af = cover_false[cov], assert_false[cov]
+                p_assert_true = (at + a1_yes) / (ct + a1_yes + a1_no)
+                p_assert_false = (af + a0_yes) / (cf + a0_yes + a0_no)
+                log_odds = log_prior_odds + float(
+                    np.sum(
+                        np.where(
+                            obs,
+                            np.log(p_assert_true) - np.log(p_assert_false),
+                            np.log1p(-p_assert_true) - np.log1p(-p_assert_false),
+                        )
+                    )
+                )
+                p_true = 1.0 / (1.0 + np.exp(-np.clip(log_odds, -500, 500)))
+                truth[f] = rng.random() < p_true
+                # Restore stats under the (possibly new) assignment.
+                if truth[f]:
+                    cover_true[cov] += 1.0
+                    assert_true[cov] += obs
+                else:
+                    cover_false[cov] += 1.0
+                    assert_false[cov] += obs
+            if sweep >= self.burn_in:
+                samples += truth
+                n_samples += 1
+
+        self.posterior_sensitivity = (assert_true + a1_yes) / (
+            cover_true + a1_yes + a1_no
+        )
+        self.posterior_fpr = (assert_false + a0_yes) / (cover_false + a0_yes + a0_no)
+        return samples / max(n_samples, 1)

@@ -1,0 +1,53 @@
+"""Voting baselines: UNION-K and majority vote (paper Section 5).
+
+UNION-K "considers a triple to be true if at least K% of the sources provide
+it"; UNION-50 is majority voting.  The truthfulness *score* used for the
+PR/ROC curves is the provider fraction, as the paper ranks triples "in
+decreasing order of the number of providers".
+
+With partial coverage the electorate for a triple is the set of sources
+covering its domain, so a triple outside most sources' scope is not punished
+for their silence -- the same scope rule the probabilistic fusers follow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fusion import FusionResult, TruthFuser
+from repro.core.observations import ObservationMatrix
+
+
+class UnionKFuser(TruthFuser):
+    """Accept triples provided by at least ``k_percent`` % of the sources.
+
+    Scores are provider fractions in ``[0, 1]``; the acceptance threshold is
+    ``k_percent / 100`` (inclusive, so "at least K%" holds exactly: with 5
+    sources, UNION-25 needs 2 providers and UNION-75 needs 4, matching
+    Figure 1c).
+    """
+
+    def __init__(self, k_percent: float) -> None:
+        if not 0.0 < k_percent <= 100.0:
+            raise ValueError(f"k_percent must be in (0, 100], got {k_percent}")
+        self.k_percent = float(k_percent)
+        self.name = f"Union-{k_percent:g}"
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        votes = observations.provides.sum(axis=0).astype(float)
+        electorate = observations.coverage.sum(axis=0).astype(float)
+        return votes / np.maximum(electorate, 1.0)
+
+    def fuse(self, observations: ObservationMatrix, threshold: float | None = None) -> FusionResult:
+        """Score and threshold at ``k_percent / 100`` (callers may override)."""
+        if threshold is None:
+            threshold = self.k_percent / 100.0
+        return super().fuse(observations, threshold=threshold)
+
+
+class MajorityVoteFuser(UnionKFuser):
+    """Majority voting -- the paper's UNION-50."""
+
+    def __init__(self) -> None:
+        super().__init__(50.0)
+        self.name = "Majority"

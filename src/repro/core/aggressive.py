@@ -1,0 +1,82 @@
+"""The aggressive approximation of PrecRecCorr (Section 4.2, Definition 4.5).
+
+Under partial-independence assumptions (Eq. 18-19) the exponential
+inclusion-exclusion sum collapses back into a per-source product: each
+recall ``r_i`` is replaced by ``C+_i r_i`` and each false-positive rate
+``q_i`` by ``C-_i q_i``, where
+
+    C+_i = r_{1..n} / (r_i * r_{S minus i})     (Eq. 14)
+    C-_i = q_{1..n} / (q_i * q_{S minus i})     (Eq. 15)
+
+so the whole computation is linear in the number of sources and needs only
+``2n + 1`` correlation parameters.
+
+The price (Proposition 4.8): with extreme correlation the approximation
+degrades -- replicas of one source yield the uninformative prior ``alpha``
+for every triple, and pairwise-complementary sources can make a factor
+``C+_i r_i`` exceed 1, turning a silent-source term ``(1 - C+_i r_i)``
+negative and the "probability" invalid.  ``mu`` is reported raw so callers
+(and the test for Proposition 4.8) can observe the failure; the posterior
+transform maps non-positive ``mu`` to ~0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.fusion import ModelBasedFuser
+from repro.core.joint import JointQualityModel
+
+
+class AggressiveFuser(ModelBasedFuser):
+    """The paper's linear-time aggressive approximation (Definition 4.5).
+
+    Parameters
+    ----------
+    model:
+        Joint quality model; only ``r_i``, ``q_i`` and the two aggressive
+        factor vectors are consulted.
+    universe:
+        Source ids over which the factors ``C+_i, C-_i`` are defined;
+        defaults to all of the model's sources.  The clustered fuser passes
+        each cluster here so factors are relative to the cluster.
+    """
+
+    name = "PrecRecCorr-Aggressive"
+
+    def __init__(
+        self,
+        model: JointQualityModel,
+        universe: Optional[Sequence[int]] = None,
+        decision_prior: Optional[float] = None,
+    ) -> None:
+        super().__init__(model, decision_prior=decision_prior)
+        ids = list(range(model.n_sources)) if universe is None else list(universe)
+        c_plus, c_minus = model.aggressive_factors(ids)
+        # Effective per-source rates, indexed by absolute source id.
+        self._eff_recall: dict[int, float] = {}
+        self._eff_fpr: dict[int, float] = {}
+        for k, i in enumerate(ids):
+            self._eff_recall[i] = float(c_plus[k]) * model.recall(i)
+            self._eff_fpr[i] = float(c_minus[k]) * model.fpr(i)
+
+    def effective_rates(self, source_id: int) -> tuple[float, float]:
+        """``(C+_i r_i, C-_i q_i)`` for one source -- exposed for inspection.
+
+        Values above 1 signal the anti-correlation degeneracy of
+        Proposition 4.8.
+        """
+        return self._eff_recall[source_id], self._eff_fpr[source_id]
+
+    def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
+        numerator = 1.0
+        denominator = 1.0
+        for i in providers:
+            numerator *= self._eff_recall[i]
+            denominator *= self._eff_fpr[i]
+        for i in silent:
+            numerator *= 1.0 - self._eff_recall[i]
+            denominator *= 1.0 - self._eff_fpr[i]
+        if denominator == 0.0:
+            return float("inf") if numerator > 0 else 0.0
+        return numerator / denominator

@@ -1,0 +1,156 @@
+"""High-level convenience API: fit a quality model and fuse in one call.
+
+Typical use::
+
+    from repro import fuse
+
+    result = fuse(observations, labels, method="precreccorr")
+    accepted = result.accepted
+
+The labels play the role of the paper's training set (Section 3.2): they
+calibrate source quality and correlations; scoring is then applied to every
+triple in the matrix.  Pass ``train_mask`` to calibrate on a subset only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.aggressive import AggressiveFuser
+from repro.core.clustering import ClusteredCorrelationFuser
+from repro.core.elastic import ElasticFuser
+from repro.core.em import ExpectationMaximizationFuser
+from repro.core.exact import ExactCorrelationFuser
+from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
+from repro.core.joint import EmpiricalJointModel, JointQualityModel
+from repro.core.observations import ObservationMatrix
+from repro.core.precrec import PrecRecFuser
+from repro.core.quality import estimate_prior
+
+#: Canonical method names accepted by :func:`fuse`.
+METHOD_NAMES = (
+    "precrec",
+    "precreccorr",
+    "aggressive",
+    "elastic",
+    "clustered",
+    "em",
+)
+
+#: Above this many sources the exact method is infeasible and
+#: ``method="precreccorr"`` silently switches to the clustered fuser, which
+#: is how the paper itself handles the BOOK dataset.
+EXACT_SOURCE_LIMIT = 16
+
+
+def fit_model(
+    observations: ObservationMatrix,
+    labels: np.ndarray,
+    prior: Optional[float] = None,
+    smoothing: float = 0.0,
+    train_mask: Optional[np.ndarray] = None,
+) -> EmpiricalJointModel:
+    """Fit an :class:`EmpiricalJointModel` from labelled observations.
+
+    Parameters
+    ----------
+    observations, labels:
+        The data and its gold truth (one boolean per triple).
+    prior:
+        ``alpha``; estimated from the labels when omitted.
+    smoothing:
+        Laplace pseudo-count for all quality ratios.
+    train_mask:
+        Optional boolean mask restricting which triples calibrate the model
+        (a train/test split); ``None`` uses everything, as the paper's
+        evaluation does.
+    """
+    labels = np.asarray(labels, dtype=bool)
+    if train_mask is not None:
+        train_mask = np.asarray(train_mask, dtype=bool)
+        observations = observations.restricted_to_triples(train_mask)
+        labels = labels[train_mask]
+    if prior is None:
+        prior = estimate_prior(labels)
+    return EmpiricalJointModel(observations, labels, prior=prior, smoothing=smoothing)
+
+
+def make_fuser(
+    method: str,
+    model: Optional[JointQualityModel] = None,
+    **options,
+) -> TruthFuser:
+    """Instantiate a fuser by canonical name.
+
+    ``model`` is required for every method except ``"em"``.  ``options`` are
+    forwarded to the fuser constructor (e.g. ``level=2`` for elastic,
+    ``deviation=0.5`` for clustered).
+    """
+    key = method.lower().replace("-", "").replace("_", "")
+    if key == "em":
+        return ExpectationMaximizationFuser(**options)
+    if model is None:
+        raise ValueError(f"method {method!r} requires a fitted quality model")
+    if key == "precrec":
+        return PrecRecFuser(model, **options)
+    if key == "precreccorr":
+        if model.n_sources > EXACT_SOURCE_LIMIT:
+            return ClusteredCorrelationFuser(model, **options)
+        # Options that only parameterise the clustered fallback are tuning
+        # hints, not requirements -- drop them when the exact solver runs.
+        clustered_only = {
+            "true_partition", "false_partition", "min_phi", "min_expected",
+            "significance", "exact_cluster_limit", "elastic_level",
+        }
+        exact_options = {
+            k: v for k, v in options.items() if k not in clustered_only
+        }
+        return ExactCorrelationFuser(model, **exact_options)
+    if key == "exact":
+        return ExactCorrelationFuser(model, **options)
+    if key == "aggressive":
+        return AggressiveFuser(model, **options)
+    if key == "elastic":
+        return ElasticFuser(model, **options)
+    if key == "clustered":
+        return ClusteredCorrelationFuser(model, **options)
+    raise ValueError(
+        f"unknown fusion method {method!r}; expected one of {METHOD_NAMES}"
+    )
+
+
+def fuse(
+    observations: ObservationMatrix,
+    labels: np.ndarray,
+    method: str = "precreccorr",
+    prior: Optional[float] = None,
+    smoothing: float = 0.0,
+    train_mask: Optional[np.ndarray] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    **options,
+) -> FusionResult:
+    """Calibrate on ``labels`` and score every triple with ``method``.
+
+    This is the one-call entry point mirroring the paper's experimental
+    protocol: quality and correlation parameters are measured on the
+    training labels, then every triple receives a posterior truthfulness.
+
+    ``prior`` calibrates the quality model (estimated from the labels when
+    omitted); pass ``decision_prior=...`` among ``options`` to override the
+    ``alpha`` of the posterior formula only (the paper's Section 5 protocol
+    uses ``decision_prior=0.5``).
+    """
+    if method.lower() == "em":
+        fuser: TruthFuser = make_fuser("em", **options)
+    else:
+        model = fit_model(
+            observations,
+            labels,
+            prior=prior,
+            smoothing=smoothing,
+            train_mask=train_mask,
+        )
+        fuser = make_fuser(method, model, **options)
+    return fuser.fuse(observations, threshold=threshold)

@@ -1,0 +1,158 @@
+"""Confidence-scored source outputs (Section 2.1).
+
+The paper's data model is deterministic -- a source either outputs a triple
+or it does not -- but notes that "in practice, a source S_i may provide a
+confidence score associated with each triple t; we can consider that S_i
+outputs t if the assigned confidence score exceeds a certain threshold."
+This module implements that bridge:
+
+- :func:`matrix_from_confidences` turns per-source ``(triple, confidence)``
+  collections into an :class:`ObservationMatrix` at a given threshold
+  (global or per-source);
+- :func:`confidence_threshold_sweep` measures fusion quality across
+  thresholds, the knob a practitioner actually tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.core.triples import Triple, TripleIndex
+from repro.util.validation import check_probability
+
+ScoredTriples = Iterable[Tuple[Triple, float]]
+ThresholdSpec = Union[float, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class ConfidenceBundle:
+    """Per-source confidence-scored outputs, validated and indexed."""
+
+    source_names: tuple[str, ...]
+    index: TripleIndex
+    #: confidence[i, j] -- source i's score for triple j; NaN = not output.
+    confidence: np.ndarray
+
+    @classmethod
+    def from_outputs(
+        cls, outputs: Mapping[str, ScoredTriples]
+    ) -> "ConfidenceBundle":
+        """Collect scored outputs; duplicate triples keep the max score."""
+        index = TripleIndex()
+        staged: dict[str, list[tuple[Triple, float]]] = {}
+        for name, scored in outputs.items():
+            rows = []
+            for triple, confidence in scored:
+                check_probability(confidence, f"confidence of {triple}")
+                index.add(triple)
+                rows.append((triple, float(confidence)))
+            staged[name] = rows
+        names = tuple(staged.keys())
+        matrix = np.full((len(names), len(index)), np.nan)
+        for i, name in enumerate(names):
+            for triple, confidence in staged[name]:
+                j = index.id_of(triple)
+                current = matrix[i, j]
+                if np.isnan(current) or confidence > current:
+                    matrix[i, j] = confidence
+        return cls(source_names=names, index=index, confidence=matrix)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_names)
+
+    @property
+    def n_triples(self) -> int:
+        return len(self.index)
+
+    def thresholds_vector(self, threshold: ThresholdSpec) -> np.ndarray:
+        """Per-source thresholds from a scalar or a name-keyed mapping."""
+        if isinstance(threshold, Mapping):
+            missing = set(self.source_names) - set(threshold)
+            if missing:
+                raise ValueError(f"no threshold given for sources {sorted(missing)}")
+            values = [float(threshold[name]) for name in self.source_names]
+        else:
+            values = [float(threshold)] * self.n_sources
+        for value in values:
+            check_probability(value, "threshold")
+        return np.asarray(values)
+
+
+def matrix_from_confidences(
+    bundle_or_outputs: Union[ConfidenceBundle, Mapping[str, ScoredTriples]],
+    threshold: ThresholdSpec = 0.5,
+) -> ObservationMatrix:
+    """Determinise scored outputs: ``S_i |= t`` iff score >= threshold.
+
+    Triples whose score falls below every source's threshold drop out of
+    the matrix entirely (nobody provides them).
+    """
+    bundle = (
+        bundle_or_outputs
+        if isinstance(bundle_or_outputs, ConfidenceBundle)
+        else ConfidenceBundle.from_outputs(bundle_or_outputs)
+    )
+    thresholds = bundle.thresholds_vector(threshold)
+    with np.errstate(invalid="ignore"):
+        provides = bundle.confidence >= thresholds[:, None]
+    keep = provides.any(axis=0)
+    index = TripleIndex(
+        bundle.index[int(j)] for j in np.flatnonzero(keep)
+    )
+    return ObservationMatrix(
+        provides[:, keep], bundle.source_names, triple_index=index
+    )
+
+
+def confidence_threshold_sweep(
+    bundle: ConfidenceBundle,
+    truth: Mapping[tuple[str, str, str], bool],
+    thresholds: Sequence[float],
+    method: str = "precrec",
+    decision_prior: Optional[float] = 0.5,
+    **options,
+) -> list[dict]:
+    """Fusion quality per determinisation threshold.
+
+    ``truth`` maps triple keys to gold labels; triples missing from it are
+    skipped in the evaluation (but still fused).  Returns one record per
+    threshold with the kept-triple count and precision/recall/F1.
+    """
+    from repro.core.api import fuse
+    from repro.eval.metrics import binary_metrics
+
+    records = []
+    for threshold in thresholds:
+        matrix = matrix_from_confidences(bundle, threshold)
+        if matrix.n_triples == 0:
+            records.append(
+                {"threshold": threshold, "n_triples": 0,
+                 "precision": 0.0, "recall": 0.0, "f1": 0.0}
+            )
+            continue
+        labels = np.array(
+            [truth.get(t.key, False) for t in matrix.triple_index], dtype=bool
+        )
+        known = np.array(
+            [t.key in truth for t in matrix.triple_index], dtype=bool
+        )
+        result = fuse(
+            matrix, labels, method=method, decision_prior=decision_prior,
+            **options,
+        )
+        metrics = binary_metrics(result.accepted[known], labels[known])
+        records.append(
+            {
+                "threshold": threshold,
+                "n_triples": matrix.n_triples,
+                "precision": metrics.precision,
+                "recall": metrics.recall,
+                "f1": metrics.f1,
+            }
+        )
+    return records

@@ -1,0 +1,170 @@
+"""Semi-supervised EM fusion (extension to Section 3.2).
+
+The paper derives source quality from a fully-labelled training set.  When
+labels are scarce, the same machinery supports an expectation-maximisation
+loop, which the paper's related work (LTM, 3-Estimates) does implicitly:
+
+- **E-step**: score every triple with PrecRec under the current quality
+  estimates (Theorem 3.1), yielding a soft truth probability per triple.
+- **M-step**: re-estimate every source's precision and recall against the
+  soft labels (fractional counts), derive ``q_i`` by Theorem 3.5, and
+  optionally update the prior ``alpha`` to the mean truth probability.
+
+A handful of known labels can be pinned (`seed`) and act as the supervision
+anchor; with no seed the loop is fully unsupervised and is initialised from
+vote fractions.  This fuser is an *extension* -- it is not part of the
+paper's evaluation, but it makes the library usable when no gold standard
+exists, and the ablation benchmark compares it against the supervised
+PrecRec upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fusion import TruthFuser
+from repro.core.observations import ObservationMatrix
+from repro.util.probability import clamp_probability
+from repro.util.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class EMDiagnostics:
+    """Convergence record of one EM run."""
+
+    iterations: int
+    converged: bool
+    final_change: float
+    final_prior: float
+
+
+class ExpectationMaximizationFuser(TruthFuser):
+    """Unsupervised / semi-supervised PrecRec via EM.
+
+    Parameters
+    ----------
+    prior:
+        Initial ``alpha``.
+    update_prior:
+        When true the prior is re-estimated each iteration as the mean soft
+        truth probability.
+    max_iterations, tolerance:
+        Stopping rule: stop when the max absolute probability change falls
+        below ``tolerance`` or after ``max_iterations``.
+    smoothing:
+        Pseudo-count applied to the fractional precision/recall ratios; keeps
+        early iterations (when soft labels are near-uniform) stable.
+    seed_labels:
+        Optional float array of shape ``(n_triples,)`` with values in
+        ``[0, 1]`` and ``nan`` for unlabelled triples.  Labelled entries are
+        clamped to their given value every iteration.
+    """
+
+    name = "PrecRec-EM"
+
+    def __init__(
+        self,
+        prior: float = 0.5,
+        update_prior: bool = True,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        smoothing: float = 0.5,
+        seed_labels: Optional[np.ndarray] = None,
+    ) -> None:
+        check_fraction(prior, "prior")
+        check_positive_int(max_iterations, "max_iterations")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        self._prior = prior
+        self._update_prior = update_prior
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+        self._smoothing = smoothing
+        self._seed = None if seed_labels is None else np.asarray(seed_labels, float)
+        self.diagnostics: Optional[EMDiagnostics] = None
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        provides = observations.provides.astype(float)
+        coverage = observations.coverage.astype(float)
+        silent = coverage * (1.0 - provides)
+        n_triples = observations.n_triples
+
+        seed_mask = None
+        seed_values = None
+        if self._seed is not None:
+            if self._seed.shape != (n_triples,):
+                raise ValueError(
+                    f"seed_labels shape {self._seed.shape} != ({n_triples},)"
+                )
+            seed_mask = ~np.isnan(self._seed)
+            seed_values = np.clip(self._seed[seed_mask], 0.0, 1.0)
+
+        # Initialise with vote fractions among covering sources.
+        covering = np.maximum(coverage.sum(axis=0), 1.0)
+        probabilities = provides.sum(axis=0) / covering
+        probabilities = np.clip(probabilities, 0.05, 0.95)
+        if seed_mask is not None:
+            probabilities[seed_mask] = seed_values
+
+        prior = self._prior
+        change = np.inf
+        iteration = 0
+        for iteration in range(1, self._max_iterations + 1):
+            recall, fpr = self._m_step(provides, coverage, probabilities, prior)
+            updated = self._e_step(provides, silent, recall, fpr, prior)
+            if seed_mask is not None:
+                updated[seed_mask] = seed_values
+            change = float(np.max(np.abs(updated - probabilities)))
+            probabilities = updated
+            if self._update_prior:
+                prior = clamp_probability(float(probabilities.mean()), floor=1e-3)
+            if change < self._tolerance:
+                break
+        self.diagnostics = EMDiagnostics(
+            iterations=iteration,
+            converged=change < self._tolerance,
+            final_change=change,
+            final_prior=prior,
+        )
+        return probabilities
+
+    def _m_step(
+        self,
+        provides: np.ndarray,
+        coverage: np.ndarray,
+        probabilities: np.ndarray,
+        prior: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fractional-count quality estimates from soft labels."""
+        s = self._smoothing
+        provided_true = provides @ probabilities
+        provided = provides.sum(axis=1)
+        in_scope_true = coverage @ probabilities
+        precision = (provided_true + s) / (provided + 2.0 * s)
+        recall = (provided_true + s) / (in_scope_true + 2.0 * s)
+        precision = np.clip(precision, 1e-6, 1.0 - 1e-6)
+        recall = np.clip(recall, 1e-6, 1.0 - 1e-6)
+        # Theorem 3.5, vectorised, clipped to a valid rate.
+        fpr = prior / (1.0 - prior) * (1.0 - precision) / precision * recall
+        fpr = np.clip(fpr, 1e-9, 1.0 - 1e-6)
+        return recall, fpr
+
+    def _e_step(
+        self,
+        provides: np.ndarray,
+        silent: np.ndarray,
+        recall: np.ndarray,
+        fpr: np.ndarray,
+        prior: float,
+    ) -> np.ndarray:
+        """Vectorised Theorem 3.1 in log space."""
+        log_provide = np.log(recall) - np.log(fpr)
+        log_silent = np.log1p(-recall) - np.log1p(-fpr)
+        log_mu = log_provide @ provides + log_silent @ silent
+        z = np.log(prior) - np.log1p(-prior) + log_mu
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))

@@ -1,0 +1,206 @@
+"""Unified fusion interface, result objects, and the method registry.
+
+Every algorithm in this repository -- the paper's PrecRec family and every
+baseline -- implements :class:`TruthFuser`: given an observation matrix it
+assigns each triple a truthfulness score in ``[0, 1]`` (for probabilistic
+methods, the posterior ``Pr(t | Ot)``), and triples scoring above a threshold
+(0.5 unless stated otherwise) are accepted as true.
+
+Model-based fusers (PrecRec, exact/aggressive/elastic PrecRecCorr) share the
+pattern-memoisation machinery in :class:`ModelBasedFuser`: two triples with
+the same provider set and the same silent-covering set necessarily get the
+same probability, so each distinct observation pattern is computed once.
+
+A note on priors: the quality model's ``prior`` calibrates the derived
+false-positive rates (Theorem 3.5), while the *decision prior* enters the
+posterior formula ``Pr(t|Ot) = 1/(1 + (1-a)/a * 1/mu)``.  They coincide by
+default; the paper's Section 5 protocol fixes the posterior's ``alpha`` at
+0.5 while measuring quality on the gold standard, which corresponds to
+passing ``decision_prior=0.5``.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.joint import JointQualityModel
+from repro.core.observations import ObservationMatrix
+from repro.util.probability import probability_from_mu
+
+#: Decision threshold used throughout the paper: accept when Pr(t | Ot) > 0.5.
+DEFAULT_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Outcome of running a fuser over an observation matrix.
+
+    Attributes
+    ----------
+    method:
+        Human-readable method name (e.g. ``"PrecRecCorr"``).
+    scores:
+        Truthfulness score per triple, shape ``(n_triples,)``.
+    threshold:
+        Acceptance threshold applied to ``scores``.
+    elapsed_seconds:
+        Wall-clock scoring time.
+    """
+
+    method: str
+    scores: np.ndarray
+    threshold: float = DEFAULT_THRESHOLD
+    elapsed_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=float)
+        if scores.ndim != 1:
+            raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+        object.__setattr__(self, "scores", scores)
+
+    @property
+    def accepted(self) -> np.ndarray:
+        """Boolean mask of triples accepted as true.
+
+        The comparison is inclusive with a tiny float tolerance: a triple
+        whose posterior lands exactly on the threshold (e.g. ``mu = 1`` with
+        ``alpha = 0.5``) is accepted, matching the paper's decisions on the
+        motivating example (PrecRec accepts t3, whose probability is
+        exactly 0.5).
+        """
+        return self.scores >= self.threshold - 1e-9
+
+    @property
+    def n_accepted(self) -> int:
+        return int(self.accepted.sum())
+
+    def with_threshold(self, threshold: float) -> "FusionResult":
+        """The same result re-thresholded (scores are unchanged)."""
+        return FusionResult(
+            method=self.method,
+            scores=self.scores,
+            threshold=threshold,
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+
+class TruthFuser(ABC):
+    """Base interface: score triples by truthfulness."""
+
+    #: Subclasses set a default display name; instances may override.
+    name: str = "fuser"
+
+    @abstractmethod
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        """Return one truthfulness score per triple, in column order."""
+
+    def fuse(
+        self,
+        observations: ObservationMatrix,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> FusionResult:
+        """Score ``observations`` and package a timed :class:`FusionResult`."""
+        start = time.perf_counter()
+        scores = self.score(observations)
+        elapsed = time.perf_counter() - start
+        return FusionResult(
+            method=self.name,
+            scores=np.asarray(scores, dtype=float),
+            threshold=threshold,
+            elapsed_seconds=elapsed,
+        )
+
+
+PatternKey = tuple[frozenset[int], frozenset[int]]
+
+
+class ModelBasedFuser(TruthFuser):
+    """Shared machinery for fusers driven by a :class:`JointQualityModel`.
+
+    Subclasses implement :meth:`pattern_mu`, the likelihood ratio
+    ``mu = Pr(Ot | t) / Pr(Ot | not t)`` for one observation pattern; this
+    class handles scope masking, per-pattern memoisation, and the posterior
+    transform ``Pr(t | Ot) = 1 / (1 + (1 - a)/a * 1/mu)``.
+    """
+
+    def __init__(
+        self, model: JointQualityModel, decision_prior: Optional[float] = None
+    ) -> None:
+        if decision_prior is not None and not 0.0 < decision_prior < 1.0:
+            raise ValueError(
+                f"decision_prior must be in (0, 1), got {decision_prior}"
+            )
+        self._model = model
+        self._decision_prior = decision_prior
+        self._mu_cache: dict[PatternKey, float] = {}
+
+    @property
+    def model(self) -> JointQualityModel:
+        return self._model
+
+    @property
+    def prior(self) -> float:
+        """The ``alpha`` used in the posterior (decision) formula."""
+        if self._decision_prior is not None:
+            return self._decision_prior
+        return self._model.prior
+
+    @abstractmethod
+    def pattern_mu(
+        self, providers: frozenset[int], silent: frozenset[int]
+    ) -> float:
+        """Likelihood ratio for the pattern "``providers`` assert the triple,
+        ``silent`` cover its domain but stay quiet".
+
+        May be non-positive for degenerate inputs (Proposition 4.8); the
+        posterior transform maps those to a probability of ~0.
+        """
+
+    def pattern_probability(
+        self, providers: frozenset[int], silent: frozenset[int]
+    ) -> float:
+        """Memoised posterior for one observation pattern."""
+        key = (providers, silent)
+        mu = self._mu_cache.get(key)
+        if mu is None:
+            mu = self.pattern_mu(providers, silent)
+            self._mu_cache[key] = mu
+        return probability_from_mu(mu, self.prior)
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        if observations.n_sources != self._model.n_sources:
+            raise ValueError(
+                f"observation matrix has {observations.n_sources} sources but "
+                f"the quality model covers {self._model.n_sources}"
+            )
+        scores = np.empty(observations.n_triples, dtype=float)
+        for j in range(observations.n_triples):
+            providers = frozenset(int(i) for i in observations.providers_of(j))
+            silent = frozenset(
+                int(i) for i in observations.silent_covering_sources(j)
+            )
+            scores[j] = self.pattern_probability(providers, silent)
+        return scores
+
+
+class FunctionFuser(TruthFuser):
+    """Adapter turning a plain scoring function into a :class:`TruthFuser`.
+
+    Handy for ad-hoc baselines in notebooks and tests.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[ObservationMatrix], np.ndarray],
+        name: str = "custom",
+    ) -> None:
+        self._fn = fn
+        self.name = name
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        return np.asarray(self._fn(observations), dtype=float)

@@ -1,0 +1,388 @@
+"""Joint source quality and correlation factors (Sections 2.2 and 4.2).
+
+Correlation between sources is captured non-parametrically by the *joint*
+precision and recall of source subsets:
+
+    p_{S*} = Pr(t | S* |= t)        joint precision     (Eq. 3)
+    r_{S*} = Pr(S* |= t | t)        joint recall        (Eq. 4)
+
+with the joint false-positive rate ``q_{S*}`` derived from ``p_{S*}`` and
+``r_{S*}`` by the same Theorem 3.5 formula used for single sources.  From
+these the paper defines correlation factors
+
+    C_{S*}  = r_{S*} / prod_i r_i   (Eq. 16; >1 positive, <1 negative)
+    C!_{S*} = q_{S*} / prod_i q_i   (Eq. 17)
+
+and the per-source *aggressive* factors over a universe ``S``
+
+    C+_i = r_S / (r_i * r_{S \\ i})  (Eq. 14)
+    C-_i = q_S / (q_i * q_{S \\ i})  (Eq. 15)
+
+This module provides two implementations behind one interface:
+
+- :class:`EmpiricalJointModel` measures every joint parameter from labelled
+  training data (with optional Laplace smoothing), memoising by subset;
+- :class:`ExplicitJointModel` serves parameters supplied directly (used by
+  the paper's worked examples and by tests), falling back to independence
+  products for unspecified subsets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.core.quality import (
+    SourceQuality,
+    derive_false_positive_rate,
+    estimate_source_quality,
+)
+from repro.util.probability import safe_divide
+from repro.util.validation import check_fraction
+
+SubsetKey = frozenset[int]
+
+
+def _as_key(source_ids: Iterable[int]) -> SubsetKey:
+    return frozenset(int(i) for i in source_ids)
+
+
+class JointQualityModel(ABC):
+    """Interface every fuser consumes: joint r / q for arbitrary subsets."""
+
+    def __init__(self, source_names: Sequence[str], prior: float) -> None:
+        check_fraction(prior, "prior")
+        self._source_names = tuple(source_names)
+        self._prior = prior
+
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        return self._source_names
+
+    @property
+    def n_sources(self) -> int:
+        return len(self._source_names)
+
+    @property
+    def prior(self) -> float:
+        """The a-priori truth probability ``alpha``."""
+        return self._prior
+
+    # -- primitive parameters -----------------------------------------
+
+    @abstractmethod
+    def joint_recall(self, source_ids: Iterable[int]) -> float:
+        """``r_{S*}``; the empty subset has recall 1 by convention."""
+
+    @abstractmethod
+    def joint_fpr(self, source_ids: Iterable[int]) -> float:
+        """``q_{S*}``; the empty subset has false-positive rate 1."""
+
+    @abstractmethod
+    def source_quality(self, source_id: int) -> SourceQuality:
+        """Singleton quality (p_i, r_i, q_i) for one source."""
+
+    def evidence_counts(self) -> Optional[tuple[int, int]]:
+        """``(n_true, n_false)`` training counts, or ``None`` if parameter-only.
+
+        Clustering uses the counts to ignore pairwise correlation estimates
+        whose expected co-support is too small to be trustworthy.
+        """
+        return None
+
+    def joint_coverage_counts(
+        self, source_ids: Iterable[int]
+    ) -> Optional[tuple[int, int]]:
+        """``(n_true, n_false)`` triples covered by *every* source in the set.
+
+        Under full coverage this equals :meth:`evidence_counts`; empirical
+        models with scopes restrict to the joint coverage, which is the
+        sample size behind the corresponding joint recall / fpr estimates.
+        """
+        return self.evidence_counts()
+
+    # -- derived quantities (shared by both implementations) ----------
+
+    def recall(self, source_id: int) -> float:
+        return self.source_quality(source_id).recall
+
+    def fpr(self, source_id: int) -> float:
+        return self.source_quality(source_id).false_positive_rate
+
+    def correlation_true(self, source_ids: Iterable[int]) -> float:
+        """``C_{S*} = r_{S*} / prod r_i`` (Eq. 16); 1 when undefined."""
+        ids = list(source_ids)
+        independent = float(np.prod([self.recall(i) for i in ids])) if ids else 1.0
+        return safe_divide(self.joint_recall(ids), independent, default=1.0)
+
+    def correlation_false(self, source_ids: Iterable[int]) -> float:
+        """``C!_{S*} = q_{S*} / prod q_i`` (Eq. 17); 1 when undefined."""
+        ids = list(source_ids)
+        independent = float(np.prod([self.fpr(i) for i in ids])) if ids else 1.0
+        return safe_divide(self.joint_fpr(ids), independent, default=1.0)
+
+    def aggressive_factors(
+        self, universe: Optional[Sequence[int]] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-source factors ``(C+_i, C-_i)`` over ``universe`` (Eq. 14-15).
+
+        ``universe`` defaults to all sources.  The returned arrays are
+        indexed positionally: entry ``k`` belongs to ``universe[k]``.  When a
+        factor's denominator vanishes (the relevant subsets never co-occur in
+        training data) the factor falls back to 1, i.e. independence.
+        """
+        ids = list(range(self.n_sources)) if universe is None else list(universe)
+        r_all = self.joint_recall(ids)
+        q_all = self.joint_fpr(ids)
+        c_plus = np.ones(len(ids))
+        c_minus = np.ones(len(ids))
+        for k, i in enumerate(ids):
+            rest = [j for j in ids if j != i]
+            c_plus[k] = safe_divide(
+                r_all, self.recall(i) * self.joint_recall(rest), default=1.0
+            )
+            c_minus[k] = safe_divide(
+                q_all, self.fpr(i) * self.joint_fpr(rest), default=1.0
+            )
+        return c_plus, c_minus
+
+    def pairwise_correlations(self) -> tuple[np.ndarray, np.ndarray]:
+        """Matrices ``(C_true, C_false)`` of pairwise correlation factors.
+
+        Entry ``[i, j]`` is ``C_{ij}`` (resp. ``C!_{ij}``); the diagonal is
+        left at 1.  Used for correlation-based source clustering (Section 5).
+        """
+        n = self.n_sources
+        c_true = np.ones((n, n))
+        c_false = np.ones((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                c_true[i, j] = c_true[j, i] = self.correlation_true([i, j])
+                c_false[i, j] = c_false[j, i] = self.correlation_false([i, j])
+        return c_true, c_false
+
+
+class EmpiricalJointModel(JointQualityModel):
+    """Joint parameters measured from labelled training data.
+
+    Parameters
+    ----------
+    observations:
+        Training observation matrix.
+    labels:
+        Gold truth per triple (boolean, one per matrix column).
+    prior:
+        ``alpha``.  Pass :func:`repro.core.quality.estimate_prior` output to
+        use the labelled truth fraction.
+    smoothing:
+        Laplace pseudo-count applied to all joint precision/recall ratios;
+        ``0`` reproduces the paper's example tables exactly.
+    max_cache_entries:
+        Memoisation cap per parameter family.  Wide datasets (BOOK-scale)
+        touch millions of distinct subsets during inclusion-exclusion;
+        beyond the cap values are recomputed instead of stored, bounding
+        memory at a small constant factor of the cap.
+    """
+
+    def __init__(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        prior: float = 0.5,
+        smoothing: float = 0.0,
+        max_cache_entries: int = 200_000,
+    ) -> None:
+        super().__init__(observations.source_names, prior)
+        labels = np.asarray(labels, dtype=bool)
+        if labels.shape != (observations.n_triples,):
+            raise ValueError(
+                f"labels shape {labels.shape} != ({observations.n_triples},)"
+            )
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        if max_cache_entries < 0:
+            raise ValueError(
+                f"max_cache_entries must be non-negative, got {max_cache_entries}"
+            )
+        self._observations = observations
+        self._labels = labels
+        self._smoothing = float(smoothing)
+        self._max_cache = int(max_cache_entries)
+        self._n_true = int(labels.sum())
+        self._singletons = estimate_source_quality(
+            observations, labels, prior=prior, smoothing=smoothing
+        )
+        self._partial_coverage = observations.has_partial_coverage
+        self._recall_cache: dict[SubsetKey, float] = {}
+        self._fpr_cache: dict[SubsetKey, float] = {}
+        self._precision_cache: dict[SubsetKey, float] = {}
+        self._coverage_cache: dict[SubsetKey, tuple[int, int]] = {}
+
+    # -- estimation ----------------------------------------------------
+    #
+    # All joint parameters are *scope-aware*: they are estimated over the
+    # subset's joint coverage, i.e. the triples every member could have
+    # provided.  Under full coverage this reduces to the plain global
+    # fractions the paper's examples use; with partial coverage it keeps the
+    # joint estimates consistent with the (already scope-aware) singleton
+    # quality, without which every pair of narrow-scope sources would look
+    # spuriously anti-correlated.
+
+    def joint_precision(self, source_ids: Iterable[int]) -> float:
+        """``p_{S*}``: labelled-true fraction of the subset's intersection."""
+        key = _as_key(source_ids)
+        if not key:
+            return 1.0
+        cached = self._precision_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = self._observations.subset_intersection(sorted(key))
+        provided = int(mask.sum())
+        provided_true = int((mask & self._labels).sum())
+        value = self._ratio(provided_true, provided)
+        self._store(self._precision_cache, key, value)
+        return value
+
+    def joint_recall(self, source_ids: Iterable[int]) -> float:
+        key = _as_key(source_ids)
+        if not key:
+            return 1.0
+        cached = self._recall_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = self._observations.subset_intersection(sorted(key))
+        provided_true = int((mask & self._labels).sum())
+        covered_true, _ = self.joint_coverage_counts(key)
+        value = self._ratio(provided_true, covered_true)
+        self._store(self._recall_cache, key, value)
+        return value
+
+    def joint_fpr(self, source_ids: Iterable[int]) -> float:
+        """``q_{S*}`` derived from joint precision/recall (Theorem 3.5).
+
+        When the subset's intersection is entirely false (joint precision 0,
+        where the derivation degenerates) we fall back to the direct count
+        of jointly-provided false triples -- the only estimate available,
+        and exactly the signal that matters for sources correlated on
+        mistakes (Scenario 3 of Example 4.1).
+        """
+        key = _as_key(source_ids)
+        if not key:
+            return 1.0
+        cached = self._fpr_cache.get(key)
+        if cached is not None:
+            return cached
+        precision = self.joint_precision(key)
+        if precision > 0.0:
+            value = derive_false_positive_rate(
+                precision, self.joint_recall(key), self.prior, clip=True
+            )
+        else:
+            mask = self._observations.subset_intersection(sorted(key))
+            provided_false = int((mask & ~self._labels).sum())
+            _, covered_false = self.joint_coverage_counts(key)
+            value = self._ratio(provided_false, covered_false)
+        self._store(self._fpr_cache, key, value)
+        return value
+
+    def joint_coverage_counts(self, source_ids: Iterable[int]) -> tuple[int, int]:
+        """``(covered_true, covered_false)`` for the subset's joint scope."""
+        key = _as_key(source_ids)
+        if not self._partial_coverage or not key:
+            return self.evidence_counts()
+        cached = self._coverage_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = self._observations.subset_coverage(sorted(key))
+        value = (
+            int((mask & self._labels).sum()),
+            int((mask & ~self._labels).sum()),
+        )
+        if len(self._coverage_cache) < self._max_cache:
+            self._coverage_cache[key] = value
+        return value
+
+    def source_quality(self, source_id: int) -> SourceQuality:
+        return self._singletons[int(source_id)]
+
+    def source_qualities(self) -> list[SourceQuality]:
+        """All singleton qualities in row order."""
+        return list(self._singletons)
+
+    def evidence_counts(self) -> tuple[int, int]:
+        n_false = int((~self._labels).sum())
+        return self._n_true, n_false
+
+    def _ratio(self, numerator: int, denominator: int) -> float:
+        s = self._smoothing
+        if denominator + 2.0 * s == 0.0:
+            return 0.0
+        return (numerator + s) / (denominator + 2.0 * s)
+
+    def _store(self, cache: dict[SubsetKey, float], key: SubsetKey, value: float) -> None:
+        if len(cache) < self._max_cache:
+            cache[key] = value
+
+
+class ExplicitJointModel(JointQualityModel):
+    """Joint parameters supplied directly by the caller.
+
+    Unspecified subsets default to independence products of the singleton
+    parameters, so a partially-specified model degrades gracefully.  This is
+    the vehicle for the paper's worked examples, where joint recalls such as
+    ``r_1245 = 0.22`` are given rather than measured.
+    """
+
+    def __init__(
+        self,
+        qualities: Sequence[SourceQuality],
+        prior: float = 0.5,
+        joint_recalls: Optional[Mapping[frozenset[int], float]] = None,
+        joint_fprs: Optional[Mapping[frozenset[int], float]] = None,
+    ) -> None:
+        super().__init__([q.name for q in qualities], prior)
+        self._qualities = list(qualities)
+        self._recalls = {_as_key(k): float(v) for k, v in (joint_recalls or {}).items()}
+        self._fprs = {_as_key(k): float(v) for k, v in (joint_fprs or {}).items()}
+        for key in list(self._recalls) + list(self._fprs):
+            for i in key:
+                if not 0 <= i < self.n_sources:
+                    raise ValueError(f"joint parameter names unknown source id {i}")
+
+    def joint_recall(self, source_ids: Iterable[int]) -> float:
+        key = _as_key(source_ids)
+        if not key:
+            return 1.0
+        if key in self._recalls:
+            return self._recalls[key]
+        if len(key) == 1:
+            return self._qualities[next(iter(key))].recall
+        return float(np.prod([self.joint_recall([i]) for i in key]))
+
+    def joint_fpr(self, source_ids: Iterable[int]) -> float:
+        key = _as_key(source_ids)
+        if not key:
+            return 1.0
+        if key in self._fprs:
+            return self._fprs[key]
+        if len(key) == 1:
+            return self._qualities[next(iter(key))].false_positive_rate
+        return float(np.prod([self.joint_fpr([i]) for i in key]))
+
+    def source_quality(self, source_id: int) -> SourceQuality:
+        return self._qualities[int(source_id)]
+
+
+class IndependentJointModel(ExplicitJointModel):
+    """A joint model that *assumes* independence everywhere.
+
+    Feeding this into the exact correlation fuser must reproduce the
+    independent PrecRec result (Corollary 4.3); the equivalence is asserted
+    in the test suite.
+    """
+
+    def __init__(self, qualities: Sequence[SourceQuality], prior: float = 0.5) -> None:
+        super().__init__(qualities, prior=prior, joint_recalls=None, joint_fprs=None)

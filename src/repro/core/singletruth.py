@@ -1,0 +1,86 @@
+"""Closed-world, single-truth post-processing (Section 7 future work).
+
+The paper's semantics deliberately allow multiple truths per data item (a
+person has several professions).  For attributes where "this assumption may
+not always apply (e.g., a person only has a single birth date)", this module
+adapts any open-world fuser's scores to single-truth semantics: within each
+data item -- the ``(subject, predicate)`` group -- at most one candidate
+value may be accepted, and the others are suppressed below the decision
+threshold.
+
+This is a *decision-level* adaptation (the paper leaves full model changes
+to future work): probabilities are computed open-world, the exclusivity
+constraint is enforced afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
+from repro.core.observations import ObservationMatrix
+
+
+def single_truth_scores(
+    scores: np.ndarray,
+    observations: ObservationMatrix,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> np.ndarray:
+    """Suppress all but each data item's best-scoring candidate.
+
+    Within every ``(subject, predicate)`` group, only the maximum-score
+    triple keeps its score; the rest are clamped strictly below
+    ``threshold``, so thresholding the returned vector accepts at most one
+    value per item.  Ties keep the first (lowest column id) candidate.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape != (observations.n_triples,):
+        raise ValueError(
+            f"scores shape {scores.shape} != ({observations.n_triples},)"
+        )
+    index = observations.triple_index
+    if index is None:
+        return scores.copy()  # no item structure: nothing to enforce
+    groups: dict[tuple[str, str], list[int]] = defaultdict(list)
+    for j, triple in enumerate(index):
+        groups[triple.data_item].append(j)
+    adjusted = scores.copy()
+    ceiling = threshold - 1e-6
+    for columns in groups.values():
+        if len(columns) < 2:
+            continue
+        winner = columns[int(np.argmax(scores[columns]))]
+        for j in columns:
+            if j != winner:
+                adjusted[j] = min(adjusted[j], ceiling)
+    return adjusted
+
+
+class SingleTruthAdapter(TruthFuser):
+    """Wrap any fuser with the single-truth exclusivity constraint.
+
+    >>> adapter = SingleTruthAdapter(PrecRecFuser(model))
+    >>> result = adapter.fuse(observations)   # <= 1 accepted value per item
+    """
+
+    def __init__(self, base: TruthFuser, threshold: float = DEFAULT_THRESHOLD) -> None:
+        self._base = base
+        self._threshold = threshold
+        self.name = f"SingleTruth[{base.name}]"
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        return single_truth_scores(
+            self._base.score(observations), observations, self._threshold
+        )
+
+    def fuse(
+        self,
+        observations: ObservationMatrix,
+        threshold: float | None = None,
+    ) -> FusionResult:
+        return super().fuse(
+            observations,
+            threshold=self._threshold if threshold is None else threshold,
+        )

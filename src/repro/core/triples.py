@@ -1,0 +1,120 @@
+"""Knowledge-triple data model.
+
+The paper's unit of data is a *triple*: a ``{subject, predicate, object}``
+statement such as ``{Obama, profession, president}``, or equivalently a cell
+``{row-entity, column-attribute, value}`` of a database table (Section 2.1).
+Truthfulness is judged per triple, independently of other triples
+(independent-triple semantics), and a source that does not output a triple is
+agnostic about it (open-world semantics).
+
+A triple optionally carries a ``domain`` label.  The domain models the
+"scope" discussion of Section 2.2: a source should only be penalised for not
+providing a triple when the triple falls inside the part of the world the
+source actually covers (e.g. a source listing only Obama facts is not
+penalised for missing Bush facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """An immutable knowledge triple.
+
+    Attributes
+    ----------
+    subject:
+        The entity the statement is about (``Obama``).
+    predicate:
+        The attribute or relation (``profession``).
+    obj:
+        The value (``president``).
+    domain:
+        Optional scope label used for scope-aware recall; defaults to the
+        subject, which matches the common "per row-entity" notion of scope.
+    """
+
+    subject: str
+    predicate: str
+    obj: str
+    domain: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in ("subject", "predicate", "obj"):
+            value = getattr(self, attr)
+            if not isinstance(value, str) or not value:
+                raise ValueError(f"Triple.{attr} must be a non-empty string, got {value!r}")
+        if self.domain is None:
+            object.__setattr__(self, "domain", self.subject)
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Identity of the triple: ``(subject, predicate, obj)``.
+
+        The domain is deliberately excluded -- two sources asserting the same
+        fact refer to the same triple even if loaded with different scope
+        metadata.
+        """
+        return (self.subject, self.predicate, self.obj)
+
+    @property
+    def data_item(self) -> tuple[str, str]:
+        """The ``(subject, predicate)`` pair this triple gives a value for.
+
+        Closed-world, single-truth baselines (e.g. AccuVote) group triples by
+        data item: under that semantics at most one value per item is true.
+        """
+        return (self.subject, self.predicate)
+
+    def __str__(self) -> str:
+        return f"{{{self.subject}, {self.predicate}, {self.obj}}}"
+
+
+class TripleIndex:
+    """A bidirectional mapping between triples and dense integer ids.
+
+    The fusion algorithms operate on a dense boolean matrix; this index pins
+    down the column order and lets callers translate back and forth.  Ids are
+    assigned in first-seen order, so building an index from a stable iterable
+    is deterministic.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: list[Triple] = []
+        self._ids: dict[tuple[str, str, str], int] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> int:
+        """Insert ``triple`` if unseen and return its id."""
+        existing = self._ids.get(triple.key)
+        if existing is not None:
+            return existing
+        new_id = len(self._triples)
+        self._triples.append(triple)
+        self._ids[triple.key] = new_id
+        return new_id
+
+    def id_of(self, triple: Triple) -> int:
+        """Return the id of ``triple``; raise ``KeyError`` if absent."""
+        return self._ids[triple.key]
+
+    def __getitem__(self, triple_id: int) -> Triple:
+        return self._triples[triple_id]
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.key in self._ids
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    @property
+    def triples(self) -> tuple[Triple, ...]:
+        """All indexed triples in id order."""
+        return tuple(self._triples)

@@ -1,0 +1,157 @@
+"""Dataset serialization: save/load a :class:`FusionDataset` as plain files.
+
+Layout of a saved dataset directory::
+
+    <dir>/
+      matrix.csv     header: triple ids; rows: source name + 0/1 cells
+      coverage.csv   same shape (written only under partial coverage)
+      labels.csv     triple id, label (0/1)
+      triples.jsonl  one {"id", "subject", "predicate", "object", "domain"}
+                     per line (written only when a triple index exists)
+      meta.json      name, description, JSON-safe metadata
+
+Everything is text so saved datasets diff cleanly and can be inspected (or
+produced) without this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.core.triples import Triple, TripleIndex
+from repro.data.model import FusionDataset
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: FusionDataset, directory: PathLike) -> Path:
+    """Write ``dataset`` under ``directory`` (created if needed)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    obs = dataset.observations
+
+    with open(root / "matrix.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source"] + [str(j) for j in range(obs.n_triples)])
+        for i, name in enumerate(obs.source_names):
+            writer.writerow([name] + obs.provides[i].astype(int).tolist())
+
+    if obs.has_partial_coverage:
+        with open(root / "coverage.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["source"] + [str(j) for j in range(obs.n_triples)])
+            for i, name in enumerate(obs.source_names):
+                writer.writerow([name] + obs.coverage[i].astype(int).tolist())
+
+    with open(root / "labels.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["triple", "label"])
+        for j, value in enumerate(dataset.labels):
+            writer.writerow([j, int(value)])
+
+    if obs.triple_index is not None:
+        with open(root / "triples.jsonl", "w") as handle:
+            for j, triple in enumerate(obs.triple_index):
+                handle.write(
+                    json.dumps(
+                        {
+                            "id": j,
+                            "subject": triple.subject,
+                            "predicate": triple.predicate,
+                            "object": triple.obj,
+                            "domain": triple.domain,
+                        }
+                    )
+                    + "\n"
+                )
+
+    meta = {
+        "name": dataset.name,
+        "description": dataset.description,
+        "metadata": _json_safe(dict(dataset.metadata)),
+    }
+    (root / "meta.json").write_text(json.dumps(meta, indent=2))
+    return root
+
+
+def load_dataset(directory: PathLike) -> FusionDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    root = Path(directory)
+    names, provides = _read_matrix(root / "matrix.csv")
+    coverage = None
+    if (root / "coverage.csv").exists():
+        cov_names, coverage = _read_matrix(root / "coverage.csv")
+        if cov_names != names:
+            raise ValueError("coverage.csv source order differs from matrix.csv")
+
+    labels = np.zeros(provides.shape[1], dtype=bool)
+    with open(root / "labels.csv", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            labels[int(row["triple"])] = bool(int(row["label"]))
+
+    index = None
+    triples_path = root / "triples.jsonl"
+    if triples_path.exists():
+        index = TripleIndex()
+        with open(triples_path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                index.add(
+                    Triple(
+                        subject=record["subject"],
+                        predicate=record["predicate"],
+                        obj=record["object"],
+                        domain=record.get("domain"),
+                    )
+                )
+
+    meta = json.loads((root / "meta.json").read_text())
+    matrix = ObservationMatrix(
+        provides,
+        names,
+        triple_index=index,
+        coverage=coverage,
+    )
+    return FusionDataset(
+        name=meta["name"],
+        observations=matrix,
+        labels=labels,
+        description=meta.get("description", ""),
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def _read_matrix(path: Path) -> tuple[list[str], np.ndarray]:
+    names: list[str] = []
+    rows: list[list[int]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)  # header of triple ids
+        for row in reader:
+            names.append(row[0])
+            rows.append([int(cell) for cell in row[1:]])
+    return names, np.array(rows, dtype=bool)
+
+
+def _json_safe(value):
+    """Best-effort conversion of metadata into JSON-serialisable values."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

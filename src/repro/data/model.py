@@ -1,0 +1,101 @@
+"""The dataset container shared by experiments, tests, and benchmarks.
+
+A :class:`FusionDataset` bundles an observation matrix with its gold
+standard: one boolean label per triple.  Following the paper's protocol
+(Section 5), the gold standard doubles as the training set from which
+quality and correlation parameters are measured, though the harness also
+supports calibrating on a split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+
+
+@dataclass(frozen=True)
+class FusionDataset:
+    """An observation matrix plus gold labels and descriptive metadata.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"reverb"``, ``"figure1"``...).
+    observations:
+        The sources-by-triples matrix.
+    labels:
+        Gold truth per triple; ``labels[j]`` is ``True`` iff triple ``j`` is
+        correct.
+    description:
+        One-line human description for reports.
+    metadata:
+        Free-form extras (generator parameters, provenance notes).
+    """
+
+    name: str
+    observations: ObservationMatrix
+    labels: np.ndarray
+    description: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=bool)
+        if labels.shape != (self.observations.n_triples,):
+            raise ValueError(
+                f"labels shape {labels.shape} != "
+                f"({self.observations.n_triples},)"
+            )
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def n_sources(self) -> int:
+        return self.observations.n_sources
+
+    @property
+    def n_triples(self) -> int:
+        return self.observations.n_triples
+
+    @property
+    def n_true(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def n_false(self) -> int:
+        return int((~self.labels).sum())
+
+    @property
+    def true_fraction(self) -> float:
+        if self.labels.size == 0:
+            return 0.0
+        return self.n_true / self.labels.size
+
+    def train_test_split(
+        self, train_fraction: float, seed: Optional[int] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Random boolean masks ``(train, test)`` partitioning the triples.
+
+        Stratified by label so both halves keep the dataset's truth ratio.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        train = np.zeros(self.n_triples, dtype=bool)
+        for label_value in (True, False):
+            pool = np.flatnonzero(self.labels == label_value)
+            n_train = int(round(train_fraction * pool.size))
+            chosen = rng.choice(pool, size=n_train, replace=False)
+            train[chosen] = True
+        return train, ~train
+
+    def summary(self) -> str:
+        """One-line dataset profile for logs and reports."""
+        return (
+            f"{self.name}: {self.n_sources} sources, {self.n_triples} triples "
+            f"({self.n_true} true / {self.n_false} false)"
+        )

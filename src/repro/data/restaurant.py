@@ -1,0 +1,122 @@
+"""RESTAURANT-like dataset simulator.
+
+The paper's RESTAURANT dataset [17] has 7 listing sources (Yelp, Foursquare,
+OpenTable, MechanicalTurk, YellowPages, CitySearch, MenuPages) providing
+location triples for ~1000 restaurants; the gold standard -- 93 triples,
+68 true and 25 false -- was labelled by majority vote over 10 Mechanical
+Turk responses.  The original crawl is not redistributable, so this module
+generates a statistical stand-in matching the published characteristics:
+
+- 7 sources, *all high precision* and mostly high recall (the paper's
+  quality scatter);
+- a gold standard of exactly 68 true / 25 false triples;
+- the discovered correlations of Section 5.1: on true triples a strongly
+  correlated group of 4 and a fairly strongly anti-correlated pair; on
+  false triples a strongly correlated group of 6.
+
+Each triple is given RDF form ``{restaurant-k, located at, value}`` so the
+dataset also exercises the triple-indexed code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.core.triples import Triple, TripleIndex
+from repro.data.model import FusionDataset
+from repro.data.synthetic import (
+    CorrelationGroup,
+    SourceSpec,
+    SyntheticConfig,
+    generate,
+    trim_to_counts,
+)
+from repro.util.rng import RngLike
+
+#: Published gold-standard composition [17] / paper Section 5.
+GOLD_TRUE = 68
+GOLD_FALSE = 25
+
+#: Seven listing sources, all high precision, mostly high recall.  The
+#: configured precisions run higher than the target band because the gold
+#: trim keeps only *provided* false triples, which biases realised precision
+#: downward; these values land the realised scatter in the paper's band.
+SOURCES = (
+    SourceSpec("Yelp", precision=0.99, recall=0.85),
+    SourceSpec("Foursquare", precision=0.98, recall=0.80),
+    SourceSpec("OpenTable", precision=0.98, recall=0.72),
+    SourceSpec("MechanicalTurk", precision=0.94, recall=0.55),
+    SourceSpec("YellowPages", precision=0.97, recall=0.78),
+    SourceSpec("CitySearch", precision=0.96, recall=0.65),
+    SourceSpec("MenuPages", precision=0.96, recall=0.60),
+)
+
+#: Section 5.1 correlations: true side -- a 4-group and an anti-correlated
+#: pair; false side -- a 6-group (shared upstream listing errors).  The
+#: strengths are high because with only 68 true / 25 false gold triples a
+#: weaker correlation would not be statistically identifiable -- and the
+#: paper does identify these groups on its 93-triple gold standard.
+GROUPS = (
+    CorrelationGroup(members=(0, 1, 2, 4), mode="overlap_true", strength=1.0),
+    CorrelationGroup(members=(5, 6), mode="complementary_true", strength=0.95),
+    CorrelationGroup(
+        members=(0, 1, 2, 3, 4, 5), mode="overlap_false", strength=0.85
+    ),
+)
+
+
+def restaurant_config(pool_scale: float = 8.0) -> SyntheticConfig:
+    """Generator configuration behind :func:`restaurant_dataset`.
+
+    The pool is oversized generously because with high-precision sources and
+    positively correlated mistakes, the provided-false yield per candidate
+    is very low, and the gold standard needs 25 provided false triples.
+    """
+    if pool_scale < 1.0:
+        raise ValueError(f"pool_scale must be >= 1, got {pool_scale}")
+    pool = int((GOLD_TRUE + GOLD_FALSE) * pool_scale)
+    return SyntheticConfig(
+        sources=SOURCES,
+        n_triples=pool,
+        true_fraction=0.5,
+        groups=GROUPS,
+        name="restaurant",
+    )
+
+
+def restaurant_dataset(seed: RngLike = 23, pool_scale: float = 8.0) -> FusionDataset:
+    """Generate a RESTAURANT-like dataset with the published gold counts."""
+    dataset = generate(restaurant_config(pool_scale), seed=seed)
+    trimmed = trim_to_counts(dataset, GOLD_TRUE, GOLD_FALSE, seed=seed)
+    # Attach restaurant-location triple semantics to the kept columns.
+    triples = []
+    for j, is_true in enumerate(trimmed.labels):
+        marker = "verified-address" if is_true else "stale-address"
+        triples.append(
+            Triple(
+                subject=f"restaurant{j}",
+                predicate="located at",
+                obj=f"{marker}-{j}",
+            )
+        )
+    matrix = ObservationMatrix(
+        trimmed.observations.provides.copy(),
+        trimmed.observations.source_names,
+        triple_index=TripleIndex(triples),
+        coverage=trimmed.observations.coverage.copy(),
+    )
+    return FusionDataset(
+        name="restaurant",
+        observations=matrix,
+        labels=trimmed.labels,
+        description=(
+            "RESTAURANT-like simulation: 7 high-precision listing sources, "
+            f"{GOLD_TRUE} true / {GOLD_FALSE} false gold triples"
+        ),
+        metadata={
+            **dict(trimmed.metadata),
+            "substitutes": "restaurant dataset of Marian & Wu [17]",
+            "paper_gold": (GOLD_TRUE, GOLD_FALSE),
+        },
+    )

@@ -1,0 +1,388 @@
+"""Synthetic workload generator (paper Section 5.2).
+
+Generates observation matrices from configured per-source precision/recall
+plus optional *correlation groups* realising the four scenarios of
+Example 4.1:
+
+- ``copy``               -- members replicate a template source (Scenario 1);
+- ``overlap_true``       -- members share true triples but err independently
+                            (Scenario 2);
+- ``overlap_false``      -- members share mistakes but find true triples
+                            independently (Scenario 3);
+- ``complementary_true`` -- members split the true triples between them
+                            (Scenario 4, negative correlation on truths);
+- ``complementary_false``-- members make disjoint mistakes (negative
+                            correlation on falsehoods, Figure 7's second case).
+
+Mechanics: a source with precision ``p`` and recall ``r`` in a world with
+``n_T`` true and ``n_F`` false triples provides each true triple with
+probability ``r`` and each false triple with probability
+``q = r * (n_T / n_F) * (1 - p) / p`` (the Theorem 3.5 relation with
+``alpha = n_T / (n_T + n_F)``), so realised precision/recall concentrate on
+the configured values.  A group of ``mode`` other than ``copy`` mixes each
+member's independent draw with a shared (or partitioned) template at rate
+``strength`` -- ``strength = 0`` degrades to independence, ``1`` is full
+correlation.  Marginal rates are preserved by construction, so correlation
+is injected *without* moving precision or recall.
+
+Triples with no provider are dropped from the output, since the fusion
+problem is defined over provided triples only (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.data.model import FusionDataset
+from repro.util.rng import RngLike, ensure_rng
+from repro.util.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+)
+
+GroupMode = Literal[
+    "copy",
+    "overlap_true",
+    "overlap_false",
+    "complementary_true",
+    "complementary_false",
+    "avoid_false",
+]
+
+_VALID_MODES = (
+    "copy",
+    "overlap_true",
+    "overlap_false",
+    "complementary_true",
+    "complementary_false",
+    "avoid_false",
+)
+
+#: Which side(s) of the data each mode rewrites; a source may belong to at
+#: most one group per side.
+_MODE_SIDES = {
+    "copy": ("true", "false"),
+    "overlap_true": ("true",),
+    "complementary_true": ("true",),
+    "overlap_false": ("false",),
+    "complementary_false": ("false",),
+    "avoid_false": ("false",),
+}
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Configured quality of one synthetic source."""
+
+    name: str
+    precision: float
+    recall: float
+
+    def __post_init__(self) -> None:
+        check_fraction(self.precision, "precision")
+        check_probability(self.recall, "recall")
+        if self.recall == 0.0:
+            raise ValueError("recall 0 would make the source provide nothing")
+
+
+@dataclass(frozen=True)
+class CorrelationGroup:
+    """A set of sources correlated in one of the Example 4.1 modes."""
+
+    members: tuple[int, ...]
+    mode: GroupMode
+    strength: float = 0.9
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("a correlation group needs at least two members")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("group members must be distinct")
+        if self.mode not in _VALID_MODES:
+            raise ValueError(
+                f"unknown group mode {self.mode!r}; expected one of {_VALID_MODES}"
+            )
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError(f"strength must be in [0, 1], got {self.strength}")
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Full description of a synthetic fusion workload."""
+
+    sources: tuple[SourceSpec, ...]
+    n_triples: int = 1000
+    true_fraction: float = 0.5
+    groups: tuple[CorrelationGroup, ...] = field(default_factory=tuple)
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if len(self.sources) < 1:
+            raise ValueError("at least one source required")
+        check_positive_int(self.n_triples, "n_triples")
+        check_fraction(self.true_fraction, "true_fraction")
+        n = len(self.sources)
+        used_per_side: dict[str, set[int]] = {"true": set(), "false": set()}
+        for group in self.groups:
+            for member in group.members:
+                if not 0 <= member < n:
+                    raise ValueError(f"group member {member} out of range 0..{n - 1}")
+            # avoid_false only rewrites its first member; the rest are the
+            # sources being avoided and remain free to join other groups.
+            constrained = (
+                group.members[:1] if group.mode == "avoid_false" else group.members
+            )
+            for member in constrained:
+                for side in _MODE_SIDES[group.mode]:
+                    if member in used_per_side[side]:
+                        raise ValueError(
+                            f"source {member} appears in more than one "
+                            f"{side}-side group"
+                        )
+                    used_per_side[side].add(member)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+
+def uniform_sources(
+    n: int, precision: float, recall: float, prefix: str = "S"
+) -> tuple[SourceSpec, ...]:
+    """``n`` sources of identical quality (the Figure 6/7 setting)."""
+    check_positive_int(n, "n")
+    return tuple(
+        SourceSpec(name=f"{prefix}{i + 1}", precision=precision, recall=recall)
+        for i in range(n)
+    )
+
+
+def false_positive_rate_for(
+    spec: SourceSpec, n_true: int, n_false: int
+) -> float:
+    """Per-false-triple provision rate hitting the configured precision."""
+    if n_false == 0:
+        return 0.0
+    rate = spec.recall * (n_true / n_false) * (1.0 - spec.precision) / spec.precision
+    if rate > 1.0:
+        raise ValueError(
+            f"source {spec.name}: precision {spec.precision} with recall "
+            f"{spec.recall} is unattainable with {n_true} true / {n_false} "
+            f"false triples (needs false-provision rate {rate:.3f} > 1)"
+        )
+    return rate
+
+
+def generate(config: SyntheticConfig, seed: RngLike = None) -> FusionDataset:
+    """Sample one dataset from ``config``.
+
+    The returned dataset drops provider-less triples and records the
+    configuration in ``metadata``.
+    """
+    rng = ensure_rng(seed)
+    n_true = int(round(config.n_triples * config.true_fraction))
+    n_false = config.n_triples - n_true
+    labels = np.zeros(config.n_triples, dtype=bool)
+    labels[:n_true] = True
+    true_ids = np.arange(n_true)
+    false_ids = np.arange(n_true, config.n_triples)
+
+    provides = np.zeros((config.n_sources, config.n_triples), dtype=bool)
+    fprs = [
+        false_positive_rate_for(spec, n_true, n_false) for spec in config.sources
+    ]
+    # Independent layer: every source draws by its own rates.
+    for i, spec in enumerate(config.sources):
+        provides[i, true_ids] = rng.random(n_true) < spec.recall
+        provides[i, false_ids] = rng.random(n_false) < fprs[i]
+
+    # Correlation layer: groups overwrite their members on the chosen side.
+    # avoid_false groups run last so they see the final mistakes to avoid.
+    ordered = sorted(config.groups, key=lambda g: g.mode == "avoid_false")
+    for group in ordered:
+        _apply_group(provides, config, group, fprs, true_ids, false_ids, rng)
+
+    keep = provides.any(axis=0)
+    matrix = ObservationMatrix(
+        provides[:, keep], [spec.name for spec in config.sources]
+    )
+    return FusionDataset(
+        name=config.name,
+        observations=matrix,
+        labels=labels[keep],
+        description=(
+            f"synthetic: {config.n_sources} sources, {config.n_triples} triples "
+            f"({config.true_fraction:.0%} true), {len(config.groups)} groups"
+        ),
+        metadata={
+            "config": config,
+            "n_generated": config.n_triples,
+            "n_dropped_unprovided": int((~keep).sum()),
+        },
+    )
+
+
+def _apply_group(
+    provides: np.ndarray,
+    config: SyntheticConfig,
+    group: CorrelationGroup,
+    fprs: Sequence[float],
+    true_ids: np.ndarray,
+    false_ids: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    members = list(group.members)
+    if group.mode == "copy":
+        mirror_copy(provides, members, group.strength, rng)
+        return
+    if group.mode == "overlap_true":
+        rates = [config.sources[i].recall for i in members]
+        share_template(provides, members, true_ids, rates, group.strength, rng)
+    elif group.mode == "overlap_false":
+        rates = [fprs[i] for i in members]
+        share_template(provides, members, false_ids, rates, group.strength, rng)
+    elif group.mode == "complementary_true":
+        rates = [config.sources[i].recall for i in members]
+        partition_disjoint(provides, members, true_ids, rates, group.strength, rng)
+    elif group.mode == "complementary_false":
+        rates = [fprs[i] for i in members]
+        partition_disjoint(provides, members, false_ids, rates, group.strength, rng)
+    elif group.mode == "avoid_false":
+        avoid_union(provides, members, false_ids, fprs[members[0]], rng)
+
+
+def mirror_copy(
+    provides: np.ndarray,
+    members: list[int],
+    strength: float,
+    rng: np.random.Generator,
+) -> None:
+    """Members mirror the first member's row on a ``strength`` fraction.
+
+    Scenario 1 of Example 4.1 (replica sources) at ``strength = 1``.
+    """
+    template = provides[members[0]].copy()
+    n = template.size
+    for i in members[1:]:
+        mirror = rng.random(n) < strength
+        provides[i, mirror] = template[mirror]
+
+
+def share_template(
+    provides: np.ndarray,
+    members: list[int],
+    triple_ids: np.ndarray,
+    rates: Sequence[float],
+    strength: float,
+    rng: np.random.Generator,
+) -> None:
+    """Shared-template positive correlation, marginal rates preserved.
+
+    A template subset is drawn at the *maximum* member rate; each member
+    follows the template (thinned down to its own rate) with probability
+    ``strength`` and keeps its independent draw otherwise.
+    """
+    max_rate = max(rates)
+    if max_rate == 0.0:
+        return
+    template = rng.random(triple_ids.size) < max_rate
+    for i, rate in zip(members, rates):
+        thinned = template & (rng.random(triple_ids.size) < rate / max_rate)
+        follow = rng.random(triple_ids.size) < strength
+        row = provides[i, triple_ids]
+        row[follow] = thinned[follow]
+        provides[i, triple_ids] = row
+
+
+def partition_disjoint(
+    provides: np.ndarray,
+    members: list[int],
+    triple_ids: np.ndarray,
+    rates: Sequence[float],
+    strength: float,
+    rng: np.random.Generator,
+) -> None:
+    """Partitioned negative correlation, marginal rates preserved.
+
+    Each triple is assigned to one member (uniformly); the owner provides it
+    with probability ``k * rate`` (its marginal scaled up by the group size),
+    non-owners skip it.  Rates requiring ``k * rate > 1`` are clamped with
+    the excess spilling back into independence, keeping the construction
+    valid for any configuration.
+    """
+    k = len(members)
+    assignment = rng.integers(0, k, size=triple_ids.size)
+    for slot, (i, rate) in enumerate(zip(members, rates)):
+        boosted = min(k * rate, 1.0)
+        owned = assignment == slot
+        partitioned = owned & (rng.random(triple_ids.size) < boosted)
+        follow = rng.random(triple_ids.size) < strength
+        row = provides[i, triple_ids]
+        row[follow] = partitioned[follow]
+        provides[i, triple_ids] = row
+
+
+def avoid_union(
+    provides: np.ndarray,
+    members: list[int],
+    triple_ids: np.ndarray,
+    rate: float,
+    rng: np.random.Generator,
+) -> None:
+    """``members[0]`` redraws its picks away from the others' (anti-correlation).
+
+    The first member's provisions on ``triple_ids`` are resampled from the
+    triples that *no other group member* provides, at a boosted rate that
+    preserves its marginal.  This realises a source "strongly anti-correlated
+    with every other source" on false triples, as the paper observes in
+    REVERB.
+    """
+    avoider = members[0]
+    others = members[1:]
+    if not others:
+        return
+    claimed = provides[np.asarray(others), :][:, triple_ids].any(axis=0)
+    unclaimed = ~claimed
+    n_unclaimed = int(unclaimed.sum())
+    if n_unclaimed == 0:
+        provides[avoider, triple_ids] = False
+        return
+    boosted = min(rate * triple_ids.size / n_unclaimed, 1.0)
+    row = np.zeros(triple_ids.size, dtype=bool)
+    row[unclaimed] = rng.random(n_unclaimed) < boosted
+    provides[avoider, triple_ids] = row
+
+
+def trim_to_counts(
+    dataset: FusionDataset,
+    n_true: int,
+    n_false: int,
+    seed: RngLike = None,
+) -> FusionDataset:
+    """Subsample a dataset's columns to exact true/false triple counts.
+
+    The dataset simulators oversample a candidate pool (some candidates end
+    up provider-less and are dropped) and then trim to the *published* gold
+    sizes with this helper.  If a side has fewer triples than requested, all
+    of them are kept.
+    """
+    rng = ensure_rng(seed)
+    keep = np.zeros(dataset.n_triples, dtype=bool)
+    for label_value, wanted in ((True, n_true), (False, n_false)):
+        pool = np.flatnonzero(dataset.labels == label_value)
+        if pool.size <= wanted:
+            keep[pool] = True
+        else:
+            keep[rng.choice(pool, size=wanted, replace=False)] = True
+    return FusionDataset(
+        name=dataset.name,
+        observations=dataset.observations.restricted_to_triples(keep),
+        labels=dataset.labels[keep],
+        description=dataset.description,
+        metadata={**dict(dataset.metadata), "trimmed_to": (n_true, n_false)},
+    )

@@ -1,0 +1,265 @@
+"""Experiment harness: run methods over datasets the way Section 5 does.
+
+The harness owns three jobs:
+
+- **MethodSpec** -- a named recipe that builds a fuser *for a given dataset*
+  (supervised methods fit their quality model on the dataset's labels at
+  build time, exactly like the paper calibrates on the gold standard);
+- **run_method / run_comparison** -- execute specs, time them end-to-end
+  (fitting + scoring), and package binary metrics, PR/ROC curves and AUCs;
+- **sweeps** -- repeat a generator-backed experiment over seeds and average,
+  which is how Figures 6 and 7 are produced ("we averaged 10 repetitions").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.estimates import ThreeEstimatesFuser
+from repro.baselines.ltm import LatentTruthModel
+from repro.baselines.voting import UnionKFuser
+from repro.core.api import fit_model, make_fuser
+from repro.core.fusion import FusionResult, TruthFuser
+from repro.data.model import FusionDataset
+from repro.eval.metrics import BinaryMetrics, Curve, binary_metrics, pr_curve, roc_curve
+
+FuserBuilder = Callable[[FusionDataset], TruthFuser]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named, dataset-parameterised fuser recipe."""
+
+    name: str
+    build: FuserBuilder
+
+
+@dataclass(frozen=True)
+class MethodEvaluation:
+    """Everything Section 5 reports about one method on one dataset."""
+
+    method: str
+    result: FusionResult
+    metrics: BinaryMetrics
+    pr: Curve
+    roc: Curve
+    elapsed_seconds: float
+
+    @property
+    def precision(self) -> float:
+        return self.metrics.precision
+
+    @property
+    def recall(self) -> float:
+        return self.metrics.recall
+
+    @property
+    def f1(self) -> float:
+        return self.metrics.f1
+
+    @property
+    def auc_pr(self) -> float:
+        return self.pr.area
+
+    @property
+    def auc_roc(self) -> float:
+        return self.roc.area
+
+
+def evaluate_result(
+    result: FusionResult, labels: np.ndarray, elapsed_seconds: Optional[float] = None
+) -> MethodEvaluation:
+    """Score a finished :class:`FusionResult` against gold labels."""
+    labels = np.asarray(labels, dtype=bool)
+    return MethodEvaluation(
+        method=result.method,
+        result=result,
+        metrics=binary_metrics(result.accepted, labels),
+        pr=pr_curve(result.scores, labels),
+        roc=roc_curve(result.scores, labels),
+        elapsed_seconds=(
+            result.elapsed_seconds if elapsed_seconds is None else elapsed_seconds
+        ),
+    )
+
+
+def run_method(dataset: FusionDataset, spec: MethodSpec) -> MethodEvaluation:
+    """Build, run, time, and evaluate one method on one dataset.
+
+    The clock covers building (which includes model fitting for supervised
+    methods) plus scoring -- the paper's runtimes are end-to-end too.
+    """
+    start = time.perf_counter()
+    fuser = spec.build(dataset)
+    result = fuser.fuse(dataset.observations)
+    elapsed = time.perf_counter() - start
+    result = FusionResult(
+        method=spec.name,
+        scores=result.scores,
+        threshold=result.threshold,
+        elapsed_seconds=elapsed,
+    )
+    return evaluate_result(result, dataset.labels, elapsed_seconds=elapsed)
+
+
+@dataclass
+class Comparison:
+    """All methods' evaluations on one dataset, in run order."""
+
+    dataset: FusionDataset
+    evaluations: list[MethodEvaluation] = field(default_factory=list)
+
+    def __getitem__(self, method: str) -> MethodEvaluation:
+        for evaluation in self.evaluations:
+            if evaluation.method == method:
+                return evaluation
+        raise KeyError(f"no evaluation for method {method!r}")
+
+    @property
+    def methods(self) -> list[str]:
+        return [e.method for e in self.evaluations]
+
+    def best_by_f1(self) -> MethodEvaluation:
+        return max(self.evaluations, key=lambda e: e.f1)
+
+
+def run_comparison(
+    dataset: FusionDataset, specs: Sequence[MethodSpec]
+) -> Comparison:
+    """Run every spec on the dataset (the paper's Figure 4 protocol)."""
+    comparison = Comparison(dataset=dataset)
+    for spec in specs:
+        comparison.evaluations.append(run_method(dataset, spec))
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# Standard method line-ups
+# ----------------------------------------------------------------------
+
+
+def supervised_spec(
+    name: str,
+    method: str,
+    prior: Optional[float] = None,
+    smoothing: float = 0.0,
+    decision_prior: Optional[float] = 0.5,
+    **options,
+) -> MethodSpec:
+    """Spec for a model-based fuser calibrated on the dataset's labels.
+
+    ``prior=None`` estimates ``alpha`` from the labels for the quality
+    model; ``decision_prior=0.5`` fixes the posterior's ``alpha`` the way
+    the paper's Section 5 protocol does ("we set alpha = 0.5").
+    """
+
+    def build(dataset: FusionDataset) -> TruthFuser:
+        model = fit_model(
+            dataset.observations, dataset.labels, prior=prior, smoothing=smoothing
+        )
+        fuser = make_fuser(
+            method, model, decision_prior=decision_prior, **options
+        )
+        fuser.name = name
+        return fuser
+
+    return MethodSpec(name=name, build=build)
+
+
+def paper_method_specs(
+    prior: Optional[float] = None,
+    smoothing: float = 0.0,
+    decision_prior: Optional[float] = 0.5,
+    ltm_iterations: int = 60,
+    ltm_burn_in: int = 10,
+    ltm_seed: int = 7,
+    estimates_iterations: int = 20,
+    corr_options: Optional[Mapping] = None,
+) -> list[MethodSpec]:
+    """The seven methods of the paper's main comparison (Figure 4).
+
+    UNION-25/50/75, 3-Estimates, LTM, PrecRec, and PrecRecCorr -- the last
+    automatically switches from the exact solver to the clustered one on
+    wide source sets, mirroring the paper's BOOK treatment.
+    """
+    corr_options = dict(corr_options or {})
+    return [
+        MethodSpec("Union-25", lambda ds: UnionKFuser(25)),
+        MethodSpec("Union-50", lambda ds: UnionKFuser(50)),
+        MethodSpec("Union-75", lambda ds: UnionKFuser(75)),
+        MethodSpec(
+            "3-Estimates",
+            lambda ds: ThreeEstimatesFuser(iterations=estimates_iterations),
+        ),
+        MethodSpec(
+            "LTM",
+            lambda ds: LatentTruthModel(
+                iterations=ltm_iterations,
+                burn_in=min(ltm_burn_in, max(ltm_iterations // 2, 1)),
+                seed=ltm_seed,
+            ),
+        ),
+        supervised_spec(
+            "PrecRec", "precrec",
+            prior=prior, smoothing=smoothing, decision_prior=decision_prior,
+        ),
+        supervised_spec(
+            "PrecRecCorr", "precreccorr",
+            prior=prior, smoothing=smoothing, decision_prior=decision_prior,
+            **corr_options,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Repetition sweeps (Figures 6 and 7)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Mean +/- std of each method's F1 at one sweep configuration."""
+
+    label: str
+    mean_f1: Mapping[str, float]
+    std_f1: Mapping[str, float]
+
+
+def sweep_f1(
+    label: str,
+    dataset_factory: Callable[[int], FusionDataset],
+    specs: Sequence[MethodSpec],
+    repetitions: int = 10,
+    base_seed: int = 0,
+) -> SweepPoint:
+    """Average each method's F1 over ``repetitions`` generated datasets."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    per_method: dict[str, list[float]] = {spec.name: [] for spec in specs}
+    for rep in range(repetitions):
+        dataset = dataset_factory(base_seed + rep)
+        for spec in specs:
+            evaluation = run_method(dataset, spec)
+            per_method[spec.name].append(evaluation.f1)
+    return SweepPoint(
+        label=label,
+        mean_f1={name: float(np.mean(v)) for name, v in per_method.items()},
+        std_f1={name: float(np.std(v)) for name, v in per_method.items()},
+    )
+
+
+def run_sweep(
+    points: Iterable[tuple[str, Callable[[int], FusionDataset]]],
+    specs: Sequence[MethodSpec],
+    repetitions: int = 10,
+    base_seed: int = 0,
+) -> list[SweepPoint]:
+    """Run :func:`sweep_f1` for each labelled dataset factory."""
+    return [
+        sweep_f1(label, factory, specs, repetitions=repetitions, base_seed=base_seed)
+        for label, factory in points
+    ]

@@ -1,0 +1,114 @@
+"""Plain-text report rendering for experiments and benchmarks.
+
+Benchmarks regenerate the paper's tables and figure series as text: aligned
+ASCII tables for the metric/runtime tables and coordinate listings for the
+curves.  Everything here is presentation only -- no numbers are computed in
+this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.eval.harness import Comparison, SweepPoint
+from repro.eval.metrics import Curve
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table; floats are rounded uniformly."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(cells))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def comparison_table(comparison: Comparison, include_timing: bool = True) -> str:
+    """Figure-4-style table: method x (precision, recall, F1, AUCs[, time])."""
+    headers = ["method", "precision", "recall", "F1", "AUC-PR", "AUC-ROC"]
+    if include_timing:
+        headers.append("time(s)")
+    rows = []
+    for e in comparison.evaluations:
+        row: list[object] = [
+            e.method, e.precision, e.recall, e.f1, e.auc_pr, e.auc_roc,
+        ]
+        if include_timing:
+            row.append(e.elapsed_seconds)
+        rows.append(row)
+    title = comparison.dataset.summary()
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def runtime_table(comparisons: Mapping[str, Comparison]) -> str:
+    """Figure-5b-style table: rows = methods, columns = datasets, cells = s."""
+    dataset_names = list(comparisons.keys())
+    methods: list[str] = []
+    for comparison in comparisons.values():
+        for name in comparison.methods:
+            if name not in methods:
+                methods.append(name)
+    headers = ["time(sec)"] + dataset_names
+    rows = []
+    for method in methods:
+        row: list[object] = [method]
+        for name in dataset_names:
+            try:
+                row.append(comparisons[name][method].elapsed_seconds)
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def sweep_table(points: Sequence[SweepPoint], methods: Sequence[str]) -> str:
+    """Figure-6/7-style series: rows = sweep points, columns = method F1."""
+    headers = ["config"] + list(methods)
+    rows = []
+    for point in points:
+        rows.append([point.label] + [point.mean_f1.get(m, float("nan")) for m in methods])
+    return format_table(headers, rows)
+
+
+def curve_points(curve: Curve, max_points: int = 20) -> str:
+    """A downsampled ``x,y`` listing of a PR or ROC curve."""
+    n = curve.x.size
+    if n <= max_points:
+        idx = range(n)
+    else:
+        step = (n - 1) / (max_points - 1)
+        idx = sorted({int(round(k * step)) for k in range(max_points)})
+    pts = ", ".join(f"({curve.x[i]:.2f},{curve.y[i]:.2f})" for i in idx)
+    return f"[{pts}] area={curve.area:.3f}"
+
+
+def quality_scatter(
+    names: Sequence[str],
+    precisions: Sequence[float],
+    recalls: Sequence[float],
+    max_rows: Optional[int] = 15,
+) -> str:
+    """The Section 5 dataset profile: per-source precision/recall listing."""
+    rows = list(zip(names, precisions, recalls))
+    clipped = rows if max_rows is None or len(rows) <= max_rows else rows[:max_rows]
+    table = format_table(["source", "precision", "recall"], clipped)
+    if len(rows) > len(clipped):
+        table += f"\n... ({len(rows) - len(clipped)} more sources)"
+    return table

@@ -1,0 +1,130 @@
+"""The high-level fuse / fit_model / make_fuser API and FusionResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EXACT_SOURCE_LIMIT,
+    ClusteredCorrelationFuser,
+    ElasticFuser,
+    ExactCorrelationFuser,
+    ExpectationMaximizationFuser,
+    FusionResult,
+    fit_model,
+    fuse,
+    make_fuser,
+)
+from repro.core.fusion import FunctionFuser
+from repro.data import SyntheticConfig, generate, uniform_sources
+
+
+class TestFitModel:
+    def test_prior_estimated_from_labels(self, figure1):
+        model = fit_model(figure1.observations, figure1.labels)
+        assert model.prior == pytest.approx(0.6)
+
+    def test_explicit_prior_wins(self, figure1):
+        model = fit_model(figure1.observations, figure1.labels, prior=0.5)
+        assert model.prior == 0.5
+
+    def test_train_mask_restricts_calibration(self, figure1):
+        mask = np.zeros(10, dtype=bool)
+        mask[:6] = True
+        model = fit_model(figure1.observations, figure1.labels, train_mask=mask)
+        full = fit_model(figure1.observations, figure1.labels)
+        assert model.evidence_counts()[0] + model.evidence_counts()[1] == 6
+        assert full.evidence_counts() == (6, 4)
+
+
+class TestMakeFuser:
+    def test_name_normalisation(self, figure1_model):
+        assert isinstance(make_fuser("Prec-Rec", figure1_model).name, str)
+        assert isinstance(
+            make_fuser("PRECRECCORR", figure1_model), ExactCorrelationFuser
+        )
+
+    def test_elastic_options_forwarded(self, figure1_model):
+        fuser = make_fuser("elastic", figure1_model, level=2)
+        assert isinstance(fuser, ElasticFuser)
+        assert fuser.level == 2
+
+    def test_em_requires_no_model(self):
+        assert isinstance(make_fuser("em"), ExpectationMaximizationFuser)
+
+    def test_model_required_otherwise(self):
+        with pytest.raises(ValueError, match="requires a fitted quality model"):
+            make_fuser("precrec")
+
+    def test_unknown_method(self, figure1_model):
+        with pytest.raises(ValueError, match="unknown fusion method"):
+            make_fuser("magic", figure1_model)
+
+    def test_wide_inputs_switch_to_clustered(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(EXACT_SOURCE_LIMIT + 2, 0.8, 0.3),
+            n_triples=200,
+            true_fraction=0.5,
+        )
+        dataset = generate(config, seed=0)
+        model = fit_model(dataset.observations, dataset.labels)
+        fuser = make_fuser("precreccorr", model)
+        assert isinstance(fuser, ClusteredCorrelationFuser)
+
+
+class TestFuse:
+    def test_returns_result_with_scores(self, figure1):
+        result = fuse(figure1.observations, figure1.labels, method="precrec")
+        assert isinstance(result, FusionResult)
+        assert result.scores.shape == (10,)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_em_path(self, small_independent):
+        result = fuse(
+            small_independent.observations,
+            small_independent.labels,
+            method="em",
+        )
+        assert np.all((result.scores >= 0) & (result.scores <= 1))
+
+    def test_decision_prior_forwarded(self, figure1):
+        strict = fuse(
+            figure1.observations, figure1.labels,
+            method="precrec", prior=0.5, decision_prior=0.01,
+        )
+        loose = fuse(
+            figure1.observations, figure1.labels,
+            method="precrec", prior=0.5, decision_prior=0.99,
+        )
+        assert strict.n_accepted < loose.n_accepted
+
+
+class TestFusionResult:
+    def test_threshold_is_inclusive(self):
+        result = FusionResult(method="m", scores=np.array([0.5, 0.4999, 0.6]))
+        assert result.accepted.tolist() == [True, False, True]
+
+    def test_with_threshold(self):
+        result = FusionResult(method="m", scores=np.array([0.3, 0.6]))
+        rethresholded = result.with_threshold(0.25)
+        assert rethresholded.accepted.tolist() == [True, True]
+        assert rethresholded.method == "m"
+
+    def test_n_accepted(self):
+        result = FusionResult(method="m", scores=np.array([0.9, 0.1]))
+        assert result.n_accepted == 1
+
+    def test_scores_must_be_1d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            FusionResult(method="m", scores=np.zeros((2, 2)))
+
+
+class TestFunctionFuser:
+    def test_wraps_callable(self, tiny_matrix):
+        fuser = FunctionFuser(
+            lambda obs: obs.provides.mean(axis=0), name="vote-mean"
+        )
+        result = fuser.fuse(tiny_matrix)
+        assert result.method == "vote-mean"
+        assert result.scores.shape == (4,)

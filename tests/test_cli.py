@@ -1,0 +1,81 @@
+"""The dataset registry and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import available_datasets, get_dataset
+
+
+class TestRegistry:
+    def test_all_names_listed(self):
+        names = available_datasets()
+        for expected in ("figure1", "reverb", "restaurant", "book"):
+            assert expected in names
+
+    def test_default_seed_matches_bench_suite(self):
+        a = get_dataset("reverb")
+        b = get_dataset("reverb", seed=11)
+        assert np.array_equal(a.observations.provides, b.observations.provides)
+
+    def test_synthetic_kwargs_forwarded(self):
+        dataset = get_dataset(
+            "synthetic-independent", seed=1, n_sources=3, n_triples=100
+        )
+        assert dataset.n_sources == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("mystery")
+
+    def test_case_insensitive(self):
+        assert get_dataset("FIGURE1").name == "figure1"
+
+
+class TestCli:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "reverb" in out
+
+    def test_fuse_command(self, capsys):
+        assert main(["fuse", "--dataset", "figure1", "--method", "precreccorr"]) == 0
+        out = capsys.readouterr().out
+        assert "PrecRecCorr" in out
+        assert "F1" in out
+
+    def test_fuse_scores_csv(self, tmp_path, capsys):
+        target = tmp_path / "scores.csv"
+        assert main(
+            ["fuse", "--dataset", "figure1", "--scores-csv", str(target)]
+        ) == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "triple,score,accepted,gold"
+        assert len(lines) == 11  # header + 10 triples
+
+    def test_fuse_calibrated_prior_flag(self, capsys):
+        assert main(
+            ["fuse", "--dataset", "figure1", "--decision-prior", "-1"]
+        ) == 0
+
+    def test_correlations_command(self, capsys):
+        assert main(
+            ["correlations", "--dataset", "synthetic-correlated",
+             "--min-phi", "0.25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "true-side correlation groups" in out
+
+    def test_compare_command_small(self, capsys):
+        assert main(
+            ["compare", "--dataset", "figure1", "--ltm-iterations", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        for method in ("Union-25", "3-Estimates", "LTM", "PrecRec", "PrecRecCorr"):
+            assert method in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

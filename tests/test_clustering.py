@@ -1,0 +1,196 @@
+"""Correlation clustering and the clustered (BOOK-scale) fuser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusteredCorrelationFuser,
+    ExactCorrelationFuser,
+    IndependentJointModel,
+    SourcePartition,
+    SourceQuality,
+    correlation_clusters,
+    discovered_correlation_groups,
+    fit_model,
+    pairwise_correlations,
+    pairwise_phi,
+)
+from repro.data import CorrelationGroup, SyntheticConfig, generate, uniform_sources
+
+
+def correlated_dataset(seed=0, strength=0.95):
+    config = SyntheticConfig(
+        sources=uniform_sources(6, precision=0.75, recall=0.5),
+        n_triples=1500,
+        true_fraction=0.5,
+        groups=(
+            CorrelationGroup(members=(0, 1, 2), mode="overlap_true", strength=strength),
+            CorrelationGroup(members=(3, 4), mode="overlap_false", strength=strength),
+        ),
+    )
+    return generate(config, seed=seed)
+
+
+class TestPairwisePhi:
+    def test_independent_is_zero(self):
+        assert pairwise_phi(0.5, 0.5, 0.25) == pytest.approx(0.0)
+
+    def test_perfect_correlation(self):
+        assert pairwise_phi(0.5, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pairwise_phi(0.5, 0.5, 0.0) == pytest.approx(-1.0)
+
+    def test_degenerate_rates(self):
+        assert pairwise_phi(0.0, 0.5, 0.0) == 0.0
+        assert pairwise_phi(1.0, 0.5, 0.5) == 0.0
+
+
+class TestPairwiseCorrelations:
+    def test_detects_planted_groups(self):
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        true_edges = {
+            frozenset((e.source_i, e.source_j))
+            for e in pairwise_correlations(model, "true", min_phi=0.25)
+        }
+        assert {frozenset(p) for p in [(0, 1), (0, 2), (1, 2)]} <= true_edges
+        false_edges = {
+            frozenset((e.source_i, e.source_j))
+            for e in pairwise_correlations(model, "false", min_phi=0.25)
+        }
+        assert frozenset((3, 4)) in false_edges
+
+    def test_edge_records_sign(self):
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        for edge in pairwise_correlations(model, "true", min_phi=0.25):
+            if {edge.source_i, edge.source_j} <= {0, 1, 2}:
+                assert edge.positive
+                assert edge.factor > 1.0
+
+    def test_independent_sources_produce_no_strong_edges(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(6, precision=0.75, recall=0.5),
+            n_triples=1500,
+            true_fraction=0.5,
+        )
+        dataset = generate(config, seed=77)
+        model = fit_model(dataset.observations, dataset.labels)
+        # Independent generation; only weak selection-induced dependence
+        # remains, which min_phi filters out.
+        assert pairwise_correlations(model, "true", min_phi=0.25) == []
+
+    def test_parameter_validation(self, figure1_model):
+        with pytest.raises(ValueError, match="min_phi"):
+            pairwise_correlations(figure1_model, "true", min_phi=2.0)
+        with pytest.raises(ValueError, match="significance"):
+            pairwise_correlations(figure1_model, "true", significance=0.0)
+
+
+class TestCorrelationClusters:
+    def test_partition_covers_all_sources(self):
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        partition = correlation_clusters(model, "true", min_phi=0.25)
+        members = sorted(i for cluster in partition.clusters for i in cluster)
+        assert members == list(range(6))
+
+    def test_planted_cluster_found(self):
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        partition = correlation_clusters(model, "true", min_phi=0.25)
+        assert frozenset({0, 1, 2}) in partition.clusters
+
+    def test_discovered_groups_report(self):
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        report = discovered_correlation_groups(model, min_phi=0.25)
+        assert (0, 1, 2) in report["true"]
+        assert (3, 4) in report["false"]
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SourcePartition(clusters=(frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_partition_helpers(self):
+        partition = SourcePartition(
+            clusters=(frozenset({0, 1, 2}), frozenset({3}), frozenset({4, 5}))
+        )
+        assert partition.sizes == (3, 2, 1)
+        assert partition.nontrivial == (frozenset({0, 1, 2}), frozenset({4, 5}))
+        assert partition.cluster_of(4) == frozenset({4, 5})
+        with pytest.raises(KeyError):
+            partition.cluster_of(9)
+
+
+class TestClusteredFuser:
+    def test_matches_exact_under_independence(self):
+        qualities = [
+            SourceQuality(f"s{i}", precision=0.8, recall=0.5, false_positive_rate=0.125)
+            for i in range(4)
+        ]
+        model = IndependentJointModel(qualities, prior=0.5)
+        singleton_partition = SourcePartition(
+            clusters=tuple(frozenset({i}) for i in range(4))
+        )
+        clustered = ClusteredCorrelationFuser(
+            model,
+            true_partition=singleton_partition,
+            false_partition=singleton_partition,
+        )
+        exact = ExactCorrelationFuser(model)
+        for providers in (frozenset(), frozenset({0}), frozenset({0, 2})):
+            silent = frozenset(range(4)) - providers
+            assert clustered.pattern_mu(providers, silent) == pytest.approx(
+                exact.pattern_mu(providers, silent), rel=1e-9
+            )
+
+    def test_matches_exact_with_one_full_cluster(self, figure1, figure1_model):
+        full = SourcePartition(clusters=(frozenset(range(5)),))
+        clustered = ClusteredCorrelationFuser(
+            figure1_model, true_partition=full, false_partition=full
+        )
+        exact = ExactCorrelationFuser(figure1_model)
+        assert np.allclose(
+            clustered.score(figure1.observations),
+            exact.score(figure1.observations),
+            atol=1e-9,
+        )
+
+    def test_improves_over_wrong_independence_on_correlated_data(self):
+        from repro.core import PrecRecFuser
+        from repro.eval import auc_pr
+
+        dataset = correlated_dataset(seed=5)
+        model = fit_model(dataset.observations, dataset.labels)
+        clustered = ClusteredCorrelationFuser(model, min_phi=0.25)
+        independent = PrecRecFuser(model)
+        auc_clustered = auc_pr(clustered.score(dataset.observations), dataset.labels)
+        auc_independent = auc_pr(
+            independent.score(dataset.observations), dataset.labels
+        )
+        assert auc_clustered > auc_independent
+
+    def test_cluster_limit_validation(self, figure1_model):
+        with pytest.raises(ValueError, match="exact_cluster_limit"):
+            ClusteredCorrelationFuser(figure1_model, exact_cluster_limit=0)
+
+    def test_oversized_cluster_uses_elastic(self, figure1, figure1_model):
+        full = SourcePartition(clusters=(frozenset(range(5)),))
+        fuser = ClusteredCorrelationFuser(
+            figure1_model,
+            true_partition=full,
+            false_partition=full,
+            exact_cluster_limit=2,
+            elastic_level=5,
+        )
+        # Level 5 >= any silent set here, so elastic equals exact anyway.
+        exact = ExactCorrelationFuser(figure1_model)
+        assert np.allclose(
+            fuser.score(figure1.observations),
+            exact.score(figure1.observations),
+            atol=1e-9,
+        )

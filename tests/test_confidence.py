@@ -1,0 +1,100 @@
+"""Confidence-scored outputs and threshold determinisation (Section 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfidenceBundle,
+    Triple,
+    confidence_threshold_sweep,
+    matrix_from_confidences,
+)
+
+T1 = Triple("a", "p", "x")
+T2 = Triple("b", "p", "y")
+T3 = Triple("c", "p", "z")
+
+OUTPUTS = {
+    "S1": [(T1, 0.9), (T2, 0.4)],
+    "S2": [(T1, 0.6), (T3, 0.8)],
+}
+
+
+class TestConfidenceBundle:
+    def test_shape_and_nan_for_missing(self):
+        bundle = ConfidenceBundle.from_outputs(OUTPUTS)
+        assert bundle.n_sources == 2
+        assert bundle.n_triples == 3
+        j3 = bundle.index.id_of(T3)
+        assert np.isnan(bundle.confidence[0, j3])  # S1 never scored T3
+
+    def test_duplicates_keep_max(self):
+        bundle = ConfidenceBundle.from_outputs({"S": [(T1, 0.3), (T1, 0.7)]})
+        assert bundle.confidence[0, 0] == 0.7
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceBundle.from_outputs({"S": [(T1, 1.5)]})
+
+    def test_threshold_vector_mapping(self):
+        bundle = ConfidenceBundle.from_outputs(OUTPUTS)
+        vector = bundle.thresholds_vector({"S1": 0.5, "S2": 0.7})
+        assert vector.tolist() == [0.5, 0.7]
+        with pytest.raises(ValueError, match="no threshold"):
+            bundle.thresholds_vector({"S1": 0.5})
+
+
+class TestMatrixFromConfidences:
+    def test_global_threshold(self):
+        matrix = matrix_from_confidences(OUTPUTS, threshold=0.5)
+        # T2 (0.4) falls below everyone's threshold and drops out.
+        assert matrix.n_triples == 2
+        assert T2 not in matrix.triple_index
+        j1 = matrix.triple_index.id_of(T1)
+        assert set(matrix.providers_of(j1)) == {0, 1}
+
+    def test_higher_threshold_prunes(self):
+        loose = matrix_from_confidences(OUTPUTS, threshold=0.3)
+        strict = matrix_from_confidences(OUTPUTS, threshold=0.85)
+        assert loose.n_triples == 3
+        assert strict.n_triples == 1  # only S1's 0.9 for T1 survives
+
+    def test_per_source_thresholds(self):
+        matrix = matrix_from_confidences(
+            OUTPUTS, threshold={"S1": 0.95, "S2": 0.5}
+        )
+        # S1's scores both fall below its strict bar; S2 keeps T1 and T3.
+        assert matrix.n_triples == 2
+        for j in range(matrix.n_triples):
+            assert list(matrix.providers_of(j)) == [1]
+
+
+class TestThresholdSweep:
+    def test_sweep_records(self):
+        rng = np.random.default_rng(4)
+        triples = [Triple(f"e{k}", "p", f"v{k}") for k in range(120)]
+        truth = {t.key: bool(k % 2) for k, t in enumerate(triples)}
+        outputs = {}
+        for s in range(4):
+            scored = []
+            for k, t in enumerate(triples):
+                base = 0.7 if truth[t.key] else 0.35
+                scored.append((t, float(np.clip(base + rng.normal(0, 0.15), 0, 1))))
+            outputs[f"S{s}"] = scored
+        bundle = ConfidenceBundle.from_outputs(outputs)
+        records = confidence_threshold_sweep(
+            bundle, truth, thresholds=[0.2, 0.5, 0.8], method="precrec"
+        )
+        assert [r["threshold"] for r in records] == [0.2, 0.5, 0.8]
+        assert records[0]["n_triples"] >= records[2]["n_triples"]
+        assert all(0.0 <= r["f1"] <= 1.0 for r in records)
+
+    def test_empty_threshold_yields_zero_row(self):
+        bundle = ConfidenceBundle.from_outputs({"S": [(T1, 0.2)]})
+        records = confidence_threshold_sweep(
+            bundle, {T1.key: True}, thresholds=[0.9]
+        )
+        assert records[0]["n_triples"] == 0
+        assert records[0]["f1"] == 0.0

@@ -1,0 +1,45 @@
+"""Crowd gold-labelling simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import crowd_labels
+
+
+class TestCrowdLabels:
+    def test_accurate_crowd_recovers_truth(self):
+        truth = np.array([True] * 50 + [False] * 50)
+        report = crowd_labels(truth, n_workers=10, worker_accuracy=0.95, seed=1)
+        assert report.error_rate(truth) < 0.05
+
+    def test_random_crowd_is_uninformative(self):
+        truth = np.array([True] * 500 + [False] * 500)
+        report = crowd_labels(truth, n_workers=5, worker_accuracy=0.5, seed=2)
+        assert report.error_rate(truth) == pytest.approx(0.5, abs=0.08)
+
+    def test_agreement_in_valid_range(self):
+        truth = np.ones(30, dtype=bool)
+        report = crowd_labels(truth, n_workers=10, worker_accuracy=0.8, seed=3)
+        assert np.all(report.agreement >= 0.5)
+        assert np.all(report.agreement <= 1.0)
+
+    def test_more_workers_help(self):
+        truth = np.array([True, False] * 300)
+        few = crowd_labels(truth, n_workers=3, worker_accuracy=0.7, seed=4)
+        many = crowd_labels(truth, n_workers=25, worker_accuracy=0.7, seed=4)
+        assert many.error_rate(truth) < few.error_rate(truth)
+
+    def test_deterministic_with_seed(self):
+        truth = np.array([True, False, True])
+        a = crowd_labels(truth, seed=5)
+        b = crowd_labels(truth, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        truth = np.array([True])
+        with pytest.raises(ValueError):
+            crowd_labels(truth, n_workers=0)
+        with pytest.raises(ValueError):
+            crowd_labels(truth, worker_accuracy=1.0)

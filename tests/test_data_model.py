@@ -1,0 +1,90 @@
+"""The FusionDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ObservationMatrix
+from repro.data import FusionDataset
+
+
+def make_dataset(n_true=6, n_false=4):
+    n = n_true + n_false
+    provides = np.ones((2, n), dtype=bool)
+    labels = np.array([True] * n_true + [False] * n_false)
+    return FusionDataset(
+        name="toy",
+        observations=ObservationMatrix(provides, ["A", "B"]),
+        labels=labels,
+        description="a toy dataset",
+        metadata={"origin": "test"},
+    )
+
+
+class TestFusionDataset:
+    def test_counts(self):
+        dataset = make_dataset()
+        assert dataset.n_sources == 2
+        assert dataset.n_triples == 10
+        assert dataset.n_true == 6
+        assert dataset.n_false == 4
+        assert dataset.true_fraction == 0.6
+
+    def test_summary_mentions_composition(self):
+        text = make_dataset().summary()
+        assert "6 true" in text and "4 false" in text
+
+    def test_labels_coerced_to_bool(self):
+        provides = np.ones((1, 3), dtype=bool)
+        dataset = FusionDataset(
+            name="t",
+            observations=ObservationMatrix(provides, ["A"]),
+            labels=np.array([1, 0, 1]),
+        )
+        assert dataset.labels.dtype == bool
+
+    def test_label_shape_mismatch(self):
+        provides = np.ones((1, 3), dtype=bool)
+        with pytest.raises(ValueError, match="labels shape"):
+            FusionDataset(
+                name="t",
+                observations=ObservationMatrix(provides, ["A"]),
+                labels=np.array([True]),
+            )
+
+    def test_empty_dataset_true_fraction(self):
+        provides = np.ones((1, 0), dtype=bool)
+        dataset = FusionDataset(
+            name="t",
+            observations=ObservationMatrix(provides, ["A"]),
+            labels=np.array([], dtype=bool),
+        )
+        assert dataset.true_fraction == 0.0
+
+
+class TestTrainTestSplit:
+    def test_partition_properties(self):
+        dataset = make_dataset(n_true=60, n_false=40)
+        train, test = dataset.train_test_split(0.7, seed=1)
+        assert not (train & test).any()
+        assert (train | test).all()
+        assert train.sum() == pytest.approx(70, abs=1)
+
+    def test_stratification(self):
+        dataset = make_dataset(n_true=60, n_false=40)
+        train, _ = dataset.train_test_split(0.5, seed=2)
+        assert dataset.labels[train].mean() == pytest.approx(0.6, abs=0.02)
+
+    def test_seeded_determinism(self):
+        dataset = make_dataset(n_true=30, n_false=30)
+        a, _ = dataset.train_test_split(0.5, seed=3)
+        b, _ = dataset.train_test_split(0.5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_fraction_validation(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError, match="train_fraction"):
+            dataset.train_test_split(1.0)
+        with pytest.raises(ValueError, match="train_fraction"):
+            dataset.train_test_split(0.0)

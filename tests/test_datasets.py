@@ -1,0 +1,191 @@
+"""The three dataset simulators and the extraction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_source_quality, fit_model
+from repro.core.clustering import discovered_correlation_groups
+from repro.data import (
+    ExtractorSpec,
+    Pattern,
+    book_dataset,
+    build_corpus,
+    restaurant_dataset,
+    reverb_dataset,
+    run_extractors,
+)
+from repro.data.book import COPY_PAIR
+from repro.data.restaurant import GOLD_FALSE as RESTAURANT_FALSE
+from repro.data.restaurant import GOLD_TRUE as RESTAURANT_TRUE
+from repro.data.reverb import GOLD_FALSE as REVERB_FALSE
+from repro.data.reverb import GOLD_TRUE as REVERB_TRUE
+
+
+class TestReverbSimulator:
+    def test_published_gold_composition(self):
+        dataset = reverb_dataset(seed=11)
+        assert dataset.n_sources == 6
+        assert dataset.n_true == REVERB_TRUE == 616
+        assert dataset.n_false == REVERB_FALSE == 1791
+
+    def test_low_quality_band(self):
+        dataset = reverb_dataset(seed=11)
+        for q in estimate_source_quality(dataset.observations, dataset.labels):
+            assert q.precision < 0.55, "REVERB sources have fairly low precision"
+            assert q.recall < 0.70, "REVERB sources have fairly low recall"
+
+    def test_planted_true_correlation_groups(self):
+        dataset = reverb_dataset(seed=11)
+        model = fit_model(dataset.observations, dataset.labels)
+        report = discovered_correlation_groups(model, min_phi=0.3)
+        assert (0, 1, 2) in report["true"]
+        assert (3, 4) in report["true"]
+
+    def test_determinism(self):
+        a = reverb_dataset(seed=4)
+        b = reverb_dataset(seed=4)
+        assert np.array_equal(a.observations.provides, b.observations.provides)
+
+    def test_pool_scale_validation(self):
+        with pytest.raises(ValueError, match="pool_scale"):
+            reverb_dataset(seed=1, pool_scale=0.5)
+
+
+class TestRestaurantSimulator:
+    def test_published_gold_composition(self):
+        dataset = restaurant_dataset(seed=23)
+        assert dataset.n_sources == 7
+        assert dataset.n_true == RESTAURANT_TRUE == 68
+        assert dataset.n_false == RESTAURANT_FALSE == 25
+
+    def test_high_precision_band(self):
+        dataset = restaurant_dataset(seed=23)
+        qualities = estimate_source_quality(dataset.observations, dataset.labels)
+        precisions = [q.precision for q in qualities]
+        assert min(precisions) > 0.6
+        assert sum(p > 0.8 for p in precisions) >= 4
+        assert float(np.mean(precisions)) > 0.8
+
+    def test_triples_attached(self):
+        dataset = restaurant_dataset(seed=23)
+        index = dataset.observations.triple_index
+        assert index is not None
+        assert len(index) == 93
+        assert index[0].predicate == "located at"
+
+    def test_source_names(self):
+        dataset = restaurant_dataset(seed=23)
+        assert "Yelp" in dataset.observations.source_names
+        assert "MechanicalTurk" in dataset.observations.source_names
+
+
+class TestBookSimulator:
+    @pytest.fixture(scope="class")
+    def book(self):
+        return book_dataset(seed=42)
+
+    def test_published_gold_composition(self, book):
+        assert book.n_sources == 333
+        assert book.n_true == 482
+        assert book.n_false == 935
+
+    def test_quality_bands(self, book):
+        qualities = estimate_source_quality(book.observations, book.labels)
+        precisions = np.array([q.precision for q in qualities])
+        # "large variations in precision, and most of them have low recall"
+        assert precisions.max() - precisions.min() > 0.5
+
+    def test_partial_coverage(self, book):
+        assert book.observations.has_partial_coverage
+
+    def test_multi_truth_books(self, book):
+        index = book.observations.triple_index
+        per_book: dict[str, int] = {}
+        for j, triple in enumerate(index):
+            if book.labels[j]:
+                per_book[triple.subject] = per_book.get(triple.subject, 0) + 1
+        assert max(per_book.values()) >= 2, "some books have multiple true authors"
+
+    def test_discovered_cluster_sizes_match_paper(self, book):
+        """Paper Section 5.1: clusters {22, 3, 2} (true), {22, 3, 2, 2} (false)."""
+        model = fit_model(book.observations, book.labels)
+        report = discovered_correlation_groups(model)
+        assert sorted((len(g) for g in report["true"]), reverse=True) == [22, 3, 2]
+        assert sorted((len(g) for g in report["false"]), reverse=True) == [22, 3, 2, 2]
+        # The copy pair is the one cluster shared between the two sides.
+        assert tuple(sorted(COPY_PAIR)) in report["true"]
+        assert tuple(sorted(COPY_PAIR)) in report["false"]
+
+    def test_small_variant_for_tests(self):
+        small = book_dataset(
+            seed=5, n_sources=60, n_books=40, gold_true=80, gold_false=160
+        )
+        assert small.n_sources == 60
+        assert small.n_true == 80
+        assert small.n_false == 160
+
+    def test_source_floor_validation(self):
+        with pytest.raises(ValueError, match=">= 54 sources"):
+            book_dataset(seed=1, n_sources=10)
+
+
+class TestExtractionPipeline:
+    def test_corpus_shape(self):
+        corpus = build_corpus(n_sentences=200, n_shapes=4, fact_rate=0.7, seed=1)
+        assert corpus.n_sentences == 200
+        assert corpus.truthful.mean() == pytest.approx(0.7, abs=0.1)
+        assert len(corpus.triples) == 200
+
+    def test_shared_patterns_agree_exactly(self):
+        corpus = build_corpus(n_sentences=400, seed=2)
+        patterns = [Pattern(shape=0), Pattern(shape=1), Pattern(shape=2)]
+        extractors = [
+            ExtractorSpec("E1", patterns=(0, 1)),
+            ExtractorSpec("E2", patterns=(0, 2)),
+        ]
+        dataset = run_extractors(corpus, patterns, extractors, seed=3)
+        # On sentences of shape 0 both extractors rely on the same pattern,
+        # so they must agree exactly there.
+        index = dataset.observations.triple_index
+        kept_shapes = []
+        for triple in index:
+            sentence_id = int(triple.subject.removeprefix("entity"))
+            kept_shapes.append(corpus.shapes[sentence_id])
+        kept_shapes = np.array(kept_shapes)
+        provides = dataset.observations.provides
+        shape0 = kept_shapes == 0
+        assert np.array_equal(provides[0, shape0], provides[1, shape0])
+
+    def test_extractors_with_disjoint_patterns_are_complementary(self):
+        corpus = build_corpus(n_sentences=600, seed=4)
+        patterns = [Pattern(shape=0), Pattern(shape=1)]
+        extractors = [
+            ExtractorSpec("A", patterns=(0,)),
+            ExtractorSpec("B", patterns=(1,)),
+        ]
+        dataset = run_extractors(corpus, patterns, extractors, seed=5)
+        provides = dataset.observations.provides
+        assert not (provides[0] & provides[1]).any()
+
+    def test_gold_labels_follow_sentences(self):
+        corpus = build_corpus(n_sentences=300, seed=6)
+        patterns = [Pattern(shape=s, hit_rate=0.9) for s in range(6)]
+        extractors = [ExtractorSpec("all", patterns=tuple(range(6)))]
+        dataset = run_extractors(corpus, patterns, extractors, seed=7)
+        index = dataset.observations.triple_index
+        for j, triple in enumerate(index):
+            sentence_id = int(triple.subject.removeprefix("entity"))
+            assert dataset.labels[j] == corpus.truthful[sentence_id]
+
+    def test_unknown_pattern_reference(self):
+        corpus = build_corpus(n_sentences=10, seed=8)
+        with pytest.raises(ValueError, match="unknown pattern"):
+            run_extractors(
+                corpus, [Pattern(shape=0)], [ExtractorSpec("X", patterns=(3,))]
+            )
+
+    def test_empty_extractor_rejected(self):
+        with pytest.raises(ValueError, match="no patterns"):
+            ExtractorSpec("X", patterns=())

@@ -1,0 +1,105 @@
+"""The semi-supervised EM extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExpectationMaximizationFuser, ObservationMatrix
+from repro.data import SyntheticConfig, generate, uniform_sources
+from repro.eval import auc_roc, binary_metrics
+
+
+def easy_dataset(seed=0, n_sources=8, precision=0.85, recall=0.6):
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision, recall),
+        n_triples=800,
+        true_fraction=0.5,
+    )
+    return generate(config, seed=seed)
+
+
+class TestUnsupervisedEM:
+    def test_beats_random_on_easy_data(self):
+        dataset = easy_dataset()
+        fuser = ExpectationMaximizationFuser()
+        scores = fuser.score(dataset.observations)
+        assert auc_roc(scores, dataset.labels) > 0.8
+
+    def test_diagnostics_populated(self):
+        dataset = easy_dataset(seed=2)
+        fuser = ExpectationMaximizationFuser(max_iterations=50)
+        fuser.score(dataset.observations)
+        assert fuser.diagnostics is not None
+        assert 1 <= fuser.diagnostics.iterations <= 50
+        assert 0.0 < fuser.diagnostics.final_prior < 1.0
+
+    def test_converges_with_tolerance(self):
+        dataset = easy_dataset(seed=3)
+        fuser = ExpectationMaximizationFuser(max_iterations=500, tolerance=1e-4)
+        fuser.score(dataset.observations)
+        assert fuser.diagnostics.converged
+
+    def test_fixed_prior_mode(self):
+        dataset = easy_dataset(seed=4)
+        fuser = ExpectationMaximizationFuser(prior=0.5, update_prior=False)
+        fuser.score(dataset.observations)
+        assert fuser.diagnostics.final_prior == 0.5
+
+
+class TestSeededEM:
+    def test_seed_labels_are_pinned(self):
+        dataset = easy_dataset(seed=5)
+        seed_labels = np.full(dataset.n_triples, np.nan)
+        seed_labels[0] = 1.0
+        seed_labels[1] = 0.0
+        fuser = ExpectationMaximizationFuser(seed_labels=seed_labels)
+        scores = fuser.score(dataset.observations)
+        assert scores[0] == 1.0
+        assert scores[1] == 0.0
+
+    def test_seeding_improves_quality(self):
+        dataset = easy_dataset(seed=6, precision=0.6, recall=0.3)
+        rng = np.random.default_rng(0)
+        seed_labels = np.full(dataset.n_triples, np.nan)
+        known = rng.choice(dataset.n_triples, size=dataset.n_triples // 3, replace=False)
+        seed_labels[known] = dataset.labels[known].astype(float)
+        unsupervised = ExpectationMaximizationFuser()
+        seeded = ExpectationMaximizationFuser(seed_labels=seed_labels)
+        holdout = np.ones(dataset.n_triples, dtype=bool)
+        holdout[known] = False
+        auc_unsup = auc_roc(
+            unsupervised.score(dataset.observations)[holdout],
+            dataset.labels[holdout],
+        )
+        auc_seeded = auc_roc(
+            seeded.score(dataset.observations)[holdout], dataset.labels[holdout]
+        )
+        assert auc_seeded >= auc_unsup - 0.02
+
+    def test_seed_shape_mismatch(self):
+        dataset = easy_dataset(seed=7)
+        fuser = ExpectationMaximizationFuser(seed_labels=np.array([1.0]))
+        with pytest.raises(ValueError, match="seed_labels shape"):
+            fuser.score(dataset.observations)
+
+
+class TestEMWithScopes:
+    def test_partial_coverage_handled(self):
+        provides = np.array([[1, 1, 0, 0], [1, 0, 1, 0], [0, 1, 1, 1]], dtype=bool)
+        coverage = np.array([[1, 1, 1, 0], [1, 1, 1, 1], [1, 1, 1, 1]], dtype=bool)
+        matrix = ObservationMatrix(provides, list("abc"), coverage=coverage)
+        scores = ExpectationMaximizationFuser(max_iterations=20).score(matrix)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            ExpectationMaximizationFuser(prior=0.0)
+        with pytest.raises(ValueError):
+            ExpectationMaximizationFuser(max_iterations=0)
+        with pytest.raises(ValueError):
+            ExpectationMaximizationFuser(tolerance=0.0)
+        with pytest.raises(ValueError):
+            ExpectationMaximizationFuser(smoothing=-0.1)

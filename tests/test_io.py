@@ -1,0 +1,79 @@
+"""Dataset serialization round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import figure1_dataset, load_dataset, restaurant_dataset, save_dataset
+from repro.data.io import _json_safe
+
+
+class TestRoundTrip:
+    def test_figure1(self, tmp_path, figure1):
+        save_dataset(figure1, tmp_path / "fig1")
+        loaded = load_dataset(tmp_path / "fig1")
+        assert loaded.name == figure1.name
+        assert loaded.description == figure1.description
+        assert np.array_equal(
+            loaded.observations.provides, figure1.observations.provides
+        )
+        assert np.array_equal(loaded.labels, figure1.labels)
+        assert loaded.observations.source_names == figure1.observations.source_names
+
+    def test_triple_index_preserved(self, tmp_path):
+        dataset = restaurant_dataset(seed=23)
+        save_dataset(dataset, tmp_path / "rest")
+        loaded = load_dataset(tmp_path / "rest")
+        original = dataset.observations.triple_index
+        restored = loaded.observations.triple_index
+        assert restored is not None
+        assert len(restored) == len(original)
+        for j in range(len(original)):
+            assert restored[j].key == original[j].key
+            assert restored[j].domain == original[j].domain
+
+    def test_partial_coverage_preserved(self, tmp_path):
+        from repro.core import ObservationMatrix
+        from repro.data import FusionDataset
+
+        provides = np.array([[1, 0], [0, 1]], dtype=bool)
+        coverage = np.array([[1, 1], [0, 1]], dtype=bool)
+        dataset = FusionDataset(
+            name="scoped",
+            observations=ObservationMatrix(provides, ["A", "B"], coverage=coverage),
+            labels=np.array([True, False]),
+        )
+        save_dataset(dataset, tmp_path / "scoped")
+        loaded = load_dataset(tmp_path / "scoped")
+        assert loaded.observations.has_partial_coverage
+        assert np.array_equal(loaded.observations.coverage, coverage)
+
+    def test_full_coverage_writes_no_coverage_file(self, tmp_path, figure1):
+        root = save_dataset(figure1, tmp_path / "fig1")
+        assert not (root / "coverage.csv").exists()
+
+    def test_metadata_json_safe(self, tmp_path, figure1):
+        save_dataset(figure1, tmp_path / "fig1")
+        loaded = load_dataset(tmp_path / "fig1")
+        assert loaded.metadata["paper_section"] == "1"
+
+
+class TestJsonSafe:
+    def test_numpy_scalars(self):
+        assert _json_safe(np.int64(3)) == 3
+        assert _json_safe(np.float64(0.5)) == 0.5
+
+    def test_arrays_become_lists(self):
+        assert _json_safe(np.array([1, 2])) == [1, 2]
+
+    def test_nested_structures(self):
+        value = {"a": (1, np.float32(2.0)), "b": [None, True]}
+        assert _json_safe(value) == {"a": [1, 2.0], "b": [None, True]}
+
+    def test_unknown_objects_become_repr(self):
+        class Strange:
+            def __repr__(self):
+                return "<strange>"
+
+        assert _json_safe(Strange()) == "<strange>"

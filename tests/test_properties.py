@@ -1,0 +1,272 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate random quality parameters, observation matrices, and
+score vectors; the properties assert the algebra the paper's machinery must
+satisfy regardless of inputs: probabilities stay in [0, 1], Theorem 3.5 is
+self-consistent, the three correlation methods coincide under independence,
+inclusion-exclusion matches direct enumeration, metrics behave, and
+serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    AggressiveFuser,
+    ElasticFuser,
+    ExactCorrelationFuser,
+    IndependentJointModel,
+    ObservationMatrix,
+    PrecRecFuser,
+    SourceQuality,
+    derive_false_positive_rate,
+    estimate_source_quality,
+    fpr_validity_bound,
+)
+from repro.eval import auc_roc, binary_metrics, pr_curve, roc_curve
+from repro.util.probability import probability_from_mu
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+rates = st.floats(min_value=0.01, max_value=0.99)
+priors = st.floats(min_value=0.05, max_value=0.95)
+
+
+@st.composite
+def quality_lists(draw, min_sources=2, max_sources=5):
+    n = draw(st.integers(min_sources, max_sources))
+    qualities = []
+    for i in range(n):
+        r = draw(rates)
+        q = draw(rates)
+        p = draw(rates)
+        qualities.append(
+            SourceQuality(f"s{i}", precision=p, recall=r, false_positive_rate=q)
+        )
+    return qualities
+
+
+@st.composite
+def observation_matrices(draw, max_sources=5, max_triples=30):
+    n = draw(st.integers(2, max_sources))
+    m = draw(st.integers(2, max_triples))
+    provides = draw(
+        arrays(dtype=bool, shape=(n, m), elements=st.booleans()).filter(
+            lambda a: a.any(axis=0).all()  # every triple has a provider
+        )
+    )
+    labels = draw(arrays(dtype=bool, shape=(m,), elements=st.booleans()))
+    return ObservationMatrix(provides, [f"s{i}" for i in range(n)]), labels
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.5 self-consistency
+# ----------------------------------------------------------------------
+
+
+class TestTheorem35Properties:
+    @given(p=rates, r=rates, a=priors)
+    def test_derived_fpr_is_a_rate(self, p, r, a):
+        q = derive_false_positive_rate(p, r, a, clip=True)
+        assert 0.0 <= q <= 1.0
+
+    @given(p=rates, r=rates, a=priors)
+    def test_bayes_inversion(self, p, r, a):
+        """Plugging q back into Bayes' rule recovers the precision."""
+        q = derive_false_positive_rate(p, r, a, clip=False) if a <= fpr_validity_bound(p, r) else None
+        if q is None:
+            return
+        recovered = a * r / (a * r + (1 - a) * q) if (a * r + (1 - a) * q) else 1.0
+        assert recovered == pytest.approx(p, rel=1e-6)
+
+    @given(p=rates, r=rates)
+    def test_good_source_iff_precision_above_prior(self, p, r):
+        a = 0.5
+        if a > fpr_validity_bound(p, r):
+            return
+        q = derive_false_positive_rate(p, r, a, clip=False)
+        if p > a:
+            assert q < r
+        elif p < a:
+            assert q > r
+
+
+# ----------------------------------------------------------------------
+# Fusion algebra
+# ----------------------------------------------------------------------
+
+
+class TestFusionProperties:
+    @given(qualities=quality_lists(), prior=priors, data=st.data())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_posterior_in_unit_interval(self, qualities, prior, data):
+        model = IndependentJointModel(qualities, prior=prior)
+        n = len(qualities)
+        provider_mask = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        providers = frozenset(i for i, v in enumerate(provider_mask) if v)
+        silent = frozenset(range(n)) - providers
+        for fuser in (
+            PrecRecFuser(model),
+            ExactCorrelationFuser(model),
+            AggressiveFuser(model),
+            ElasticFuser(model, level=2),
+        ):
+            prob = fuser.pattern_probability(providers, silent)
+            assert 0.0 <= prob <= 1.0
+
+    @given(qualities=quality_lists(), prior=priors)
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_methods_coincide_under_independence(self, qualities, prior):
+        model = IndependentJointModel(qualities, prior=prior)
+        n = len(qualities)
+        providers = frozenset(range(0, n, 2))
+        silent = frozenset(range(n)) - providers
+        reference = PrecRecFuser(model).pattern_mu(providers, silent)
+        for fuser in (
+            ExactCorrelationFuser(model),
+            AggressiveFuser(model),
+            ElasticFuser(model, level=n),
+        ):
+            assert fuser.pattern_mu(providers, silent) == pytest.approx(
+                reference, rel=1e-6
+            )
+
+    @given(mu=st.floats(min_value=1e-6, max_value=1e6), prior=priors)
+    def test_posterior_monotone_in_mu(self, mu, prior):
+        assert probability_from_mu(mu * 2, prior) >= probability_from_mu(mu, prior)
+
+    @given(qualities=quality_lists())
+    @settings(max_examples=30)
+    def test_source_order_permutation_invariance(self, qualities):
+        """Scoring is invariant under renaming/permuting the sources."""
+        model = IndependentJointModel(qualities, prior=0.5)
+        n = len(qualities)
+        providers = frozenset({0})
+        silent = frozenset(range(1, n))
+        base = PrecRecFuser(model).pattern_probability(providers, silent)
+        permuted = IndependentJointModel(list(reversed(qualities)), prior=0.5)
+        prob = PrecRecFuser(permuted).pattern_probability(
+            frozenset({n - 1}), frozenset(range(n - 1))
+        )
+        assert prob == pytest.approx(base, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Empirical-model invariants on random matrices
+# ----------------------------------------------------------------------
+
+
+class TestEmpiricalModelProperties:
+    @given(case=observation_matrices())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_inclusion_exclusion_equals_pattern_frequency(self, case):
+        matrix, labels = case
+        if not labels.any():
+            return
+        from repro.core import fit_model
+
+        model = fit_model(matrix, labels, prior=0.5)
+        exact = ExactCorrelationFuser(model)
+        provides = matrix.provides
+        n_true = labels.sum()
+        j = 0
+        providers = frozenset(np.flatnonzero(provides[:, j]).tolist())
+        silent = frozenset(range(matrix.n_sources)) - providers
+        numerator, _ = exact.pattern_likelihoods(providers, silent)
+        column = provides[:, j]
+        frequency = (provides.T[labels] == column).all(axis=1).mean()
+        assert numerator == pytest.approx(max(frequency, 1e-12), abs=1e-9)
+
+    @given(case=observation_matrices())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_estimated_rates_are_probabilities(self, case):
+        matrix, labels = case
+        for quality in estimate_source_quality(matrix, labels):
+            assert 0.0 <= quality.precision <= 1.0
+            assert 0.0 <= quality.recall <= 1.0
+            assert 0.0 <= quality.false_positive_rate <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Metric properties
+# ----------------------------------------------------------------------
+
+
+score_arrays = st.integers(4, 40).flatmap(
+    lambda n: st.tuples(
+        arrays(
+            dtype=float,
+            shape=(n,),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        ),
+        arrays(dtype=bool, shape=(n,), elements=st.booleans()),
+    )
+)
+
+
+class TestMetricProperties:
+    @given(case=score_arrays)
+    @settings(max_examples=80)
+    def test_auc_bounds(self, case):
+        scores, labels = case
+        assert 0.0 <= auc_roc(scores, labels) <= 1.0
+        assert 0.0 <= pr_curve(scores, labels).area <= 1.0 + 1e-9
+
+    @given(case=score_arrays)
+    @settings(max_examples=80)
+    def test_roc_flip_symmetry(self, case):
+        scores, labels = case
+        if labels.all() or not labels.any():
+            return
+        direct = auc_roc(scores, labels)
+        flipped = auc_roc(-scores, labels)
+        assert direct + flipped == pytest.approx(1.0, abs=1e-9)
+
+    @given(case=score_arrays)
+    @settings(max_examples=80)
+    def test_curves_are_monotone_in_x(self, case):
+        scores, labels = case
+        roc = roc_curve(scores, labels)
+        assert np.all(np.diff(roc.x) >= -1e-12)
+        assert np.all(np.diff(roc.y) >= -1e-12)
+        pr = pr_curve(scores, labels)
+        assert np.all(np.diff(pr.x) >= -1e-12)
+
+    @given(case=score_arrays, threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_f1_between_zero_and_one(self, case, threshold):
+        scores, labels = case
+        metrics = binary_metrics(scores >= threshold, labels)
+        assert 0.0 <= metrics.f1 <= 1.0
+        if metrics.precision and metrics.recall:
+            assert min(metrics.precision, metrics.recall) <= metrics.f1
+            assert metrics.f1 <= max(metrics.precision, metrics.recall)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trip
+# ----------------------------------------------------------------------
+
+
+class TestSerializationProperties:
+    @given(case=observation_matrices())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    def test_save_load_roundtrip(self, case, tmp_path_factory):
+        from repro.data import FusionDataset, load_dataset, save_dataset
+
+        matrix, labels = case
+        dataset = FusionDataset(name="prop", observations=matrix, labels=labels)
+        target = tmp_path_factory.mktemp("roundtrip")
+        save_dataset(dataset, target)
+        loaded = load_dataset(target)
+        assert np.array_equal(loaded.observations.provides, matrix.provides)
+        assert np.array_equal(loaded.labels, labels)

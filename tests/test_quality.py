@@ -1,0 +1,143 @@
+"""Source-quality estimation and the Theorem 3.5 derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ObservationMatrix,
+    derive_false_positive_rate,
+    estimate_prior,
+    estimate_source_quality,
+    fpr_validity_bound,
+)
+from repro.core.quality import SourceQuality
+
+
+class TestDeriveFalsePositiveRate:
+    def test_formula(self):
+        # q = a/(1-a) * (1-p)/p * r
+        q = derive_false_positive_rate(precision=0.5, recall=0.6, prior=0.5)
+        assert q == pytest.approx(0.6)
+
+    def test_example_3_4(self):
+        """The paper derives q1 = 0.5 for S1 (p=0.57, r=0.67, a=0.5)."""
+        q = derive_false_positive_rate(precision=4 / 7, recall=4 / 6, prior=0.5)
+        assert q == pytest.approx(0.5)
+
+    def test_good_source_condition(self):
+        """Theorem 3.5: p > alpha implies q < r (a good source)."""
+        for precision in (0.51, 0.7, 0.99):
+            q = derive_false_positive_rate(precision, recall=0.5, prior=0.5)
+            assert q < 0.5
+
+    def test_bad_source_condition(self):
+        for precision in (0.2, 0.4, 0.49):
+            q = derive_false_positive_rate(precision, recall=0.5, prior=0.5)
+            assert q > 0.5
+
+    def test_boundary_precision_equals_prior(self):
+        q = derive_false_positive_rate(precision=0.5, recall=0.7, prior=0.5)
+        assert q == pytest.approx(0.7)  # q == r exactly at p == alpha
+
+    def test_infeasible_clipped(self):
+        assert derive_false_positive_rate(0.1, 0.9, 0.9, clip=True) == 1.0
+
+    def test_infeasible_strict_raises(self):
+        with pytest.raises(ValueError, match="validity bound"):
+            derive_false_positive_rate(0.1, 0.9, 0.9, clip=False)
+
+    def test_zero_precision(self):
+        assert derive_false_positive_rate(0.0, 0.5, 0.5, clip=True) == 1.0
+        with pytest.raises(ValueError, match="undefined"):
+            derive_false_positive_rate(0.0, 0.5, 0.5, clip=False)
+
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(ValueError):
+            derive_false_positive_rate(0.5, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            derive_false_positive_rate(0.5, 0.5, 1.0)
+
+
+class TestValidityBound:
+    def test_bound_value(self):
+        # alpha <= p / (p + r - p r)
+        assert fpr_validity_bound(0.5, 0.5) == pytest.approx(0.5 / 0.75)
+
+    def test_at_bound_q_is_one(self):
+        p, r = 0.4, 0.7
+        bound = fpr_validity_bound(p, r)
+        q = derive_false_positive_rate(p, r, bound - 1e-9)
+        assert q == pytest.approx(1.0, abs=1e-6)
+
+    def test_degenerate_inputs(self):
+        assert fpr_validity_bound(0.0, 0.0) == 1.0
+
+
+class TestEstimateSourceQuality:
+    def test_counts(self, tiny_matrix):
+        labels = np.array([True, True, False, False])
+        qualities = estimate_source_quality(tiny_matrix, labels, prior=0.5)
+        # A provides t0 (true), t1 (true): precision 1, recall 2/2
+        assert qualities[0].precision == pytest.approx(1.0)
+        assert qualities[0].recall == pytest.approx(1.0)
+        # B provides t0 (true), t2 (false): precision 1/2, recall 1/2
+        assert qualities[1].precision == pytest.approx(0.5)
+        assert qualities[1].recall == pytest.approx(0.5)
+
+    def test_smoothing_pulls_ratios_off_endpoints(self, tiny_matrix):
+        labels = np.array([True, True, False, False])
+        smoothed = estimate_source_quality(tiny_matrix, labels, smoothing=1.0)
+        assert 0.0 < smoothed[0].precision < 1.0
+        assert 0.0 < smoothed[0].recall < 1.0
+
+    def test_scope_aware_recall(self):
+        # Source B covers only the first two triples; it should not be
+        # penalised for missing the true triple t2 outside its scope.
+        provides = np.array([[1, 0, 1], [1, 0, 0]], dtype=bool)
+        coverage = np.array([[1, 1, 1], [1, 1, 0]], dtype=bool)
+        matrix = ObservationMatrix(provides, ["A", "B"], coverage=coverage)
+        labels = np.array([True, False, True])
+        qualities = estimate_source_quality(matrix, labels)
+        assert qualities[0].recall == pytest.approx(1.0)   # 2 of 2 in scope
+        assert qualities[1].recall == pytest.approx(1.0)   # 1 of 1 in scope
+
+    def test_label_shape_mismatch(self, tiny_matrix):
+        with pytest.raises(ValueError, match="labels shape"):
+            estimate_source_quality(tiny_matrix, np.array([True, False]))
+
+    def test_negative_smoothing_rejected(self, tiny_matrix):
+        labels = np.zeros(4, dtype=bool)
+        with pytest.raises(ValueError, match="smoothing"):
+            estimate_source_quality(tiny_matrix, labels, smoothing=-1.0)
+
+
+class TestSourceQuality:
+    def test_is_good(self):
+        good = SourceQuality("s", precision=0.8, recall=0.6, false_positive_rate=0.2)
+        bad = SourceQuality("s", precision=0.3, recall=0.4, false_positive_rate=0.6)
+        assert good.is_good and not bad.is_good
+
+    def test_f1(self):
+        q = SourceQuality("s", precision=0.5, recall=0.5, false_positive_rate=0.5)
+        assert q.f1 == pytest.approx(0.5)
+        zero = SourceQuality("s", precision=0.0, recall=0.0, false_positive_rate=0.0)
+        assert zero.f1 == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceQuality("s", precision=1.5, recall=0.5, false_positive_rate=0.5)
+
+
+class TestEstimatePrior:
+    def test_fraction(self):
+        labels = np.array([True, True, False, False, False])
+        assert estimate_prior(labels) == pytest.approx(0.4)
+
+    def test_empty_defaults_to_half(self):
+        assert estimate_prior(np.array([], dtype=bool)) == 0.5
+
+    def test_all_true_clamped_inside_unit_interval(self):
+        alpha = estimate_prior(np.ones(10, dtype=bool))
+        assert 0.0 < alpha < 1.0

@@ -1,0 +1,64 @@
+"""Paired-bootstrap significance testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import paired_bootstrap
+
+
+def make_case(n=400, gap=0.25, seed=1):
+    rng = np.random.default_rng(seed)
+    labels = rng.random(n) < 0.5
+    noise = rng.normal(0, 0.15, size=n)
+    good = np.clip(labels * (0.5 + gap) + ~labels * (0.5 - gap) + noise, 0, 1)
+    bad = np.clip(0.5 + rng.normal(0, 0.2, size=n), 0, 1)
+    return good, bad, labels
+
+
+class TestPairedBootstrap:
+    def test_clear_advantage_is_significant(self):
+        good, bad, labels = make_case()
+        comparison = paired_bootstrap(good, bad, labels, metric="f1", seed=2)
+        assert comparison.observed_difference > 0
+        assert comparison.significant(0.05)
+        assert comparison.ci_low > 0
+
+    def test_self_comparison_is_not_significant(self):
+        good, _, labels = make_case()
+        comparison = paired_bootstrap(good, good, labels, metric="f1", seed=3)
+        assert comparison.observed_difference == 0
+        assert not comparison.significant(0.05)
+
+    @pytest.mark.parametrize(
+        "metric", ["f1", "precision", "recall", "auc_pr", "auc_roc"]
+    )
+    def test_all_metrics_supported(self, metric):
+        good, bad, labels = make_case(n=150)
+        comparison = paired_bootstrap(
+            good, bad, labels, metric=metric, n_resamples=150, seed=4
+        )
+        assert comparison.metric == metric
+        assert comparison.ci_low <= comparison.mean_difference <= comparison.ci_high
+
+    def test_seeded_reproducibility(self):
+        good, bad, labels = make_case(n=120)
+        a = paired_bootstrap(good, bad, labels, n_resamples=120, seed=5)
+        b = paired_bootstrap(good, bad, labels, n_resamples=120, seed=5)
+        assert a == b
+
+    def test_str_rendering(self):
+        good, bad, labels = make_case(n=100)
+        comparison = paired_bootstrap(good, bad, labels, n_resamples=60, seed=6)
+        text = str(comparison)
+        assert "diff=" in text and "p(not better)=" in text
+
+    def test_validation(self):
+        good, bad, labels = make_case(n=50)
+        with pytest.raises(ValueError, match="unknown metric"):
+            paired_bootstrap(good, bad, labels, metric="accuracy")
+        with pytest.raises(ValueError, match="one shape"):
+            paired_bootstrap(good[:-1], bad, labels)
+        with pytest.raises(ValueError, match="confidence"):
+            paired_bootstrap(good, bad, labels, confidence=1.0)

@@ -1,0 +1,86 @@
+"""Single-truth (closed-world) decision adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ObservationMatrix,
+    SingleTruthAdapter,
+    Triple,
+    TripleIndex,
+    single_truth_scores,
+)
+from repro.core.fusion import FunctionFuser
+
+
+def item_matrix():
+    """Two items, two candidate values each; one lone-value item."""
+    triples = [
+        Triple("e1", "birthdate", "1950"),
+        Triple("e1", "birthdate", "1951"),
+        Triple("e2", "birthdate", "1960"),
+        Triple("e2", "birthdate", "1961"),
+        Triple("e3", "birthdate", "1970"),
+    ]
+    provides = np.array(
+        [
+            [1, 0, 1, 1, 1],
+            [1, 1, 0, 1, 0],
+        ],
+        dtype=bool,
+    )
+    return ObservationMatrix(provides, ["A", "B"], triple_index=TripleIndex(triples))
+
+
+class TestSingleTruthScores:
+    def test_one_winner_per_item(self):
+        matrix = item_matrix()
+        scores = np.array([0.9, 0.8, 0.6, 0.7, 0.55])
+        adjusted = single_truth_scores(scores, matrix, threshold=0.5)
+        accepted = adjusted >= 0.5
+        assert accepted.tolist() == [True, False, False, True, True]
+
+    def test_winner_keeps_its_score(self):
+        matrix = item_matrix()
+        scores = np.array([0.9, 0.8, 0.6, 0.7, 0.55])
+        adjusted = single_truth_scores(scores, matrix, threshold=0.5)
+        assert adjusted[0] == 0.9
+        assert adjusted[3] == 0.7
+        assert adjusted[1] < 0.5
+
+    def test_low_scores_unchanged(self):
+        matrix = item_matrix()
+        scores = np.array([0.2, 0.1, 0.3, 0.25, 0.4])
+        adjusted = single_truth_scores(scores, matrix, threshold=0.5)
+        assert np.allclose(adjusted, scores)  # nothing above the bar anyway
+
+    def test_no_index_is_identity(self):
+        matrix = ObservationMatrix(np.ones((1, 3), dtype=bool), ["A"])
+        scores = np.array([0.9, 0.8, 0.7])
+        assert np.allclose(single_truth_scores(scores, matrix), scores)
+
+    def test_shape_validation(self):
+        matrix = item_matrix()
+        with pytest.raises(ValueError, match="scores shape"):
+            single_truth_scores(np.array([0.5]), matrix)
+
+
+class TestSingleTruthAdapter:
+    def test_wraps_and_renames(self):
+        matrix = item_matrix()
+        base = FunctionFuser(
+            lambda obs: np.array([0.9, 0.8, 0.6, 0.7, 0.55]), name="stub"
+        )
+        adapter = SingleTruthAdapter(base)
+        assert adapter.name == "SingleTruth[stub]"
+        result = adapter.fuse(matrix)
+        assert result.accepted.tolist() == [True, False, False, True, True]
+
+    def test_accepts_at_most_one_per_item(self):
+        matrix = item_matrix()
+        base = FunctionFuser(lambda obs: np.full(5, 0.99), name="always")
+        result = SingleTruthAdapter(base).fuse(matrix)
+        # Items e1 and e2 each keep exactly one accepted value.
+        assert result.accepted.sum() == 3

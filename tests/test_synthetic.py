@@ -1,0 +1,248 @@
+"""The synthetic workload generator: marginals, correlation modes, trimming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_source_quality, fit_model
+from repro.data import (
+    CorrelationGroup,
+    SourceSpec,
+    SyntheticConfig,
+    generate,
+    trim_to_counts,
+    uniform_sources,
+)
+from repro.data.synthetic import false_positive_rate_for
+
+
+def realized_quality(dataset):
+    return estimate_source_quality(dataset.observations, dataset.labels)
+
+
+class TestMarginals:
+    def test_precision_and_recall_close_to_configured(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(5, precision=0.7, recall=0.4),
+            n_triples=5000,
+            true_fraction=0.5,
+        )
+        dataset = generate(config, seed=42)
+        for quality in realized_quality(dataset):
+            # Tolerances account for sampling noise and the mild selection
+            # bias of dropping provider-less candidates.
+            assert quality.precision == pytest.approx(0.7, abs=0.06)
+            assert quality.recall == pytest.approx(0.4, abs=0.06)
+
+    def test_true_fraction_respected(self):
+        # With many mid-precision sources, coverage of both label classes is
+        # near-total, so the kept fraction tracks the configured one.
+        config = SyntheticConfig(
+            sources=uniform_sources(12, precision=0.5, recall=0.6),
+            n_triples=2000,
+            true_fraction=0.3,
+        )
+        dataset = generate(config, seed=7)
+        assert dataset.true_fraction == pytest.approx(0.3, abs=0.04)
+        kept_plus_dropped = dataset.n_triples + dataset.metadata[
+            "n_dropped_unprovided"
+        ]
+        assert kept_plus_dropped == 2000
+
+    def test_unprovided_triples_dropped(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(1, precision=0.6, recall=0.2),
+            n_triples=500,
+            true_fraction=0.5,
+        )
+        dataset = generate(config, seed=3)
+        assert dataset.observations.provides.any(axis=0).all()
+        assert dataset.metadata["n_dropped_unprovided"] > 0
+
+    def test_infeasible_precision_raises(self):
+        spec = SourceSpec("s", precision=0.05, recall=0.9)
+        with pytest.raises(ValueError, match="unattainable"):
+            false_positive_rate_for(spec, n_true=900, n_false=100)
+
+    def test_seeded_determinism(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(4, 0.8, 0.5), n_triples=300, true_fraction=0.5
+        )
+        a = generate(config, seed=9)
+        b = generate(config, seed=9)
+        assert np.array_equal(a.observations.provides, b.observations.provides)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestCorrelationModes:
+    def _factor(self, mode, side, strength=1.0, members=(0, 1)):
+        config = SyntheticConfig(
+            sources=uniform_sources(4, precision=0.7, recall=0.4),
+            n_triples=6000,
+            true_fraction=0.5,
+            groups=(CorrelationGroup(members=members, mode=mode, strength=strength),),
+        )
+        dataset = generate(config, seed=11)
+        model = fit_model(dataset.observations, dataset.labels)
+        if side == "true":
+            return model.correlation_true(members)
+        return model.correlation_false(members)
+
+    def test_overlap_true_positive_on_true_side(self):
+        assert self._factor("overlap_true", "true") > 1.3
+
+    def test_overlap_true_leaves_false_side_alone(self):
+        """Raw false-side co-provision stays at the independence product.
+
+        (The *derived* joint-q factor is distorted by the Theorem 3.5
+        derivation and selection effects, so this checks raw counts.)
+        """
+        config = SyntheticConfig(
+            sources=uniform_sources(4, precision=0.7, recall=0.4),
+            n_triples=6000,
+            true_fraction=0.5,
+            groups=(
+                CorrelationGroup(members=(0, 1), mode="overlap_true", strength=1.0),
+            ),
+        )
+        dataset = generate(config, seed=11)
+        provides = dataset.observations.provides
+        false_cols = ~dataset.labels
+
+        def dependence_ratio(i, j):
+            rate_i = provides[i, false_cols].mean()
+            rate_j = provides[j, false_cols].mean()
+            joint = (provides[i, false_cols] & provides[j, false_cols]).mean()
+            return joint / (rate_i * rate_j)
+
+        # Conditioning on ">= 1 provider" (dropping unprovided candidates)
+        # induces the same mild Berkson anti-correlation for every pair, so
+        # the grouped pair must match the ungrouped control pair.
+        assert dependence_ratio(0, 1) == pytest.approx(
+            dependence_ratio(2, 3), abs=0.2
+        )
+
+    def test_overlap_false_positive_on_false_side(self):
+        assert self._factor("overlap_false", "false") > 1.3
+
+    def test_complementary_true_negative(self):
+        assert self._factor("complementary_true", "true") < 0.6
+
+    def test_complementary_false_negative(self):
+        assert self._factor("complementary_false", "false") < 0.6
+
+    def test_copy_correlates_both_sides(self):
+        assert self._factor("copy", "true") > 1.3
+        assert self._factor("copy", "false") > 1.3
+
+    def test_zero_strength_is_independence(self):
+        assert self._factor("overlap_true", "true", strength=0.0) == pytest.approx(
+            1.0, abs=0.25
+        )
+
+    def test_avoid_false_disjoint_mistakes(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(3, precision=0.6, recall=0.4),
+            n_triples=6000,
+            true_fraction=0.5,
+            groups=(
+                CorrelationGroup(members=(2, 0, 1), mode="avoid_false"),
+            ),
+        )
+        dataset = generate(config, seed=13)
+        provides = dataset.observations.provides
+        false_cols = ~dataset.labels
+        overlap = provides[2, false_cols] & (
+            provides[0, false_cols] | provides[1, false_cols]
+        )
+        assert overlap.sum() == 0
+
+    def test_marginals_preserved_under_correlation(self):
+        """Group members keep the same marginal recall as ungrouped peers.
+
+        (Absolute realised recall sits above the configured rate for every
+        source because provider-less candidates are dropped -- the same
+        selection the real gold standards have -- so the invariant worth
+        holding is grouped == ungrouped.)
+        """
+        config = SyntheticConfig(
+            sources=uniform_sources(4, precision=0.7, recall=0.4),
+            n_triples=8000,
+            true_fraction=0.5,
+            groups=(
+                CorrelationGroup(members=(0, 1), mode="overlap_true", strength=0.9),
+            ),
+        )
+        dataset = generate(config, seed=17)
+        qualities = realized_quality(dataset)
+        ungrouped = (qualities[2].recall + qualities[3].recall) / 2
+        for quality in qualities[:2]:
+            assert quality.recall == pytest.approx(ungrouped, abs=0.05)
+
+
+class TestConfigValidation:
+    def test_group_needs_two_members(self):
+        with pytest.raises(ValueError, match="two members"):
+            CorrelationGroup(members=(0,), mode="copy")
+
+    def test_duplicate_members(self):
+        with pytest.raises(ValueError, match="distinct"):
+            CorrelationGroup(members=(0, 0), mode="copy")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown group mode"):
+            CorrelationGroup(members=(0, 1), mode="telepathy")
+
+    def test_strength_range(self):
+        with pytest.raises(ValueError, match="strength"):
+            CorrelationGroup(members=(0, 1), mode="copy", strength=1.5)
+
+    def test_one_group_per_side(self):
+        sources = uniform_sources(4, 0.7, 0.4)
+        with pytest.raises(ValueError, match="true-side group"):
+            SyntheticConfig(
+                sources=sources,
+                groups=(
+                    CorrelationGroup(members=(0, 1), mode="overlap_true"),
+                    CorrelationGroup(members=(1, 2), mode="complementary_true"),
+                ),
+            )
+
+    def test_different_sides_allowed(self):
+        sources = uniform_sources(4, 0.7, 0.4)
+        config = SyntheticConfig(
+            sources=sources,
+            groups=(
+                CorrelationGroup(members=(0, 1), mode="overlap_true"),
+                CorrelationGroup(members=(0, 1), mode="overlap_false"),
+            ),
+        )
+        assert len(config.groups) == 2
+
+    def test_member_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SyntheticConfig(
+                sources=uniform_sources(2, 0.7, 0.4),
+                groups=(CorrelationGroup(members=(0, 5), mode="copy"),),
+            )
+
+
+class TestTrimToCounts:
+    def test_exact_counts(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(5, 0.7, 0.5), n_triples=2000, true_fraction=0.5
+        )
+        dataset = generate(config, seed=19)
+        trimmed = trim_to_counts(dataset, 100, 200, seed=19)
+        assert trimmed.n_true == 100
+        assert trimmed.n_false == 200
+
+    def test_short_side_kept_whole(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(5, 0.7, 0.5), n_triples=100, true_fraction=0.5
+        )
+        dataset = generate(config, seed=23)
+        trimmed = trim_to_counts(dataset, 10_000, 10, seed=23)
+        assert trimmed.n_true == dataset.n_true  # fewer than requested: all kept
+        assert trimmed.n_false == 10

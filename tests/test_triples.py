@@ -1,0 +1,68 @@
+"""Triple data model and the triple index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Triple, TripleIndex
+
+
+class TestTriple:
+    def test_fields_and_str(self):
+        t = Triple("Obama", "profession", "president")
+        assert str(t) == "{Obama, profession, president}"
+        assert t.key == ("Obama", "profession", "president")
+        assert t.data_item == ("Obama", "profession")
+
+    def test_domain_defaults_to_subject(self):
+        assert Triple("Obama", "spouse", "Michelle").domain == "Obama"
+
+    def test_explicit_domain(self):
+        t = Triple("Obama", "spouse", "Michelle", domain="wiki/Barack_Obama")
+        assert t.domain == "wiki/Barack_Obama"
+
+    def test_domain_excluded_from_identity(self):
+        a = Triple("s", "p", "o", domain="d1")
+        b = Triple("s", "p", "o", domain="d2")
+        assert a == b
+        assert a.key == b.key
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ValueError, match="subject"):
+            Triple("", "p", "o")
+        with pytest.raises(ValueError, match="obj"):
+            Triple("s", "p", "")
+
+    def test_hashable_and_ordered(self):
+        triples = {Triple("b", "p", "o"), Triple("a", "p", "o")}
+        assert len(triples) == 2
+        assert min(triples).subject == "a"
+
+
+class TestTripleIndex:
+    def test_first_seen_order(self):
+        a, b = Triple("a", "p", "x"), Triple("b", "p", "y")
+        index = TripleIndex([a, b])
+        assert index.id_of(a) == 0
+        assert index.id_of(b) == 1
+        assert index[1] is b
+        assert len(index) == 2
+        assert list(index) == [a, b]
+        assert index.triples == (a, b)
+
+    def test_add_is_idempotent(self):
+        a = Triple("a", "p", "x")
+        index = TripleIndex()
+        assert index.add(a) == 0
+        assert index.add(Triple("a", "p", "x")) == 0
+        assert len(index) == 1
+
+    def test_contains(self):
+        a = Triple("a", "p", "x")
+        index = TripleIndex([a])
+        assert a in index
+        assert Triple("z", "p", "x") not in index
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            TripleIndex().id_of(Triple("a", "p", "x"))
