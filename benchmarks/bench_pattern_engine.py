@@ -1,0 +1,221 @@
+"""Pattern engine: legacy per-triple scoring vs the vectorized engine.
+
+Measures end-to-end scoring wall-clock (model fitting excluded -- both
+engines share the fitted parameters; only the subset-statistics and scoring
+paths differ) for the PrecRec family on the ``bench_scalability`` synthetic
+workload grid, extended along the triple axis to serving-scale matrices.
+Each (sources, triples) cell times every method under both engines and
+records the speedup plus the maximum absolute score difference, then writes
+the whole table to ``benchmarks/results/BENCH_pattern_engine.json`` so the
+perf trajectory across PRs is machine-readable.
+
+Runnable two ways::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pattern_engine.py --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_pattern_engine.py [--quick]
+
+The ``--quick`` flag (used by CI's smoke job) restricts the grid to its
+smallest cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow plain `python benchmarks/bench_pattern_engine.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+
+from _helpers import RESULTS_DIR, emit
+from repro.core import (
+    AggressiveFuser,
+    ClusteredCorrelationFuser,
+    ElasticFuser,
+    ExactCorrelationFuser,
+    PrecRecFuser,
+    fit_model,
+)
+from repro.data import CorrelationGroup, SyntheticConfig, generate, uniform_sources
+from repro.eval import format_table
+
+JSON_PATH = RESULTS_DIR / "BENCH_pattern_engine.json"
+
+#: The ``bench_scalability`` source grid ...
+SOURCE_GRID = (6, 10, 14, 18)
+#: ... extended along the triple axis (the seed grid fixes 400 triples; a
+#: serving-scale matrix is wider, which is where per-triple walks hurt).
+TRIPLE_GRID = (400, 4000)
+
+#: Methods timed per cell.  Exact is restricted to narrow source sets, like
+#: in ``bench_scalability`` (the 2^|silent| sum is off the chart beyond 14).
+EXACT_SOURCE_CAP = 10
+
+
+def _workload(n_sources: int, n_triples: int, seed: int = 9):
+    """The ``bench_scalability`` correlated synthetic workload."""
+    groups = (
+        CorrelationGroup(
+            members=tuple(range(min(4, n_sources))), mode="overlap_false",
+            strength=0.9,
+        ),
+    )
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision=0.65, recall=0.4),
+        n_triples=n_triples,
+        true_fraction=0.5,
+        groups=groups,
+    )
+    return generate(config, seed=seed)
+
+
+def _methods(n_sources: int):
+    """(name, fuser factory) pairs; factories take (model, engine)."""
+    methods = [
+        ("precrec", lambda m, e: PrecRecFuser(m, engine=e)),
+        ("aggressive", lambda m, e: AggressiveFuser(m, engine=e)),
+        ("elastic3", lambda m, e: ElasticFuser(m, level=3, engine=e)),
+        ("clustered", lambda m, e: ClusteredCorrelationFuser(m, engine=e)),
+    ]
+    if n_sources <= EXACT_SOURCE_CAP:
+        methods.append(("exact", lambda m, e: ExactCorrelationFuser(m, engine=e)))
+    return methods
+
+
+def _time_scoring(fuser, observations) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    scores = fuser.score(observations)
+    return time.perf_counter() - start, scores
+
+
+def run_grid(
+    source_grid=SOURCE_GRID, triple_grid=TRIPLE_GRID
+) -> list[dict]:
+    """Time every (sources, triples, method) cell under both engines."""
+    rows: list[dict] = []
+    for n_triples in triple_grid:
+        for n_sources in source_grid:
+            dataset = _workload(n_sources, n_triples)
+            # Each engine gets its own fitted model so the subset-statistics
+            # path (bit-packed vs boolean masks) is part of what's measured;
+            # fitting itself (singleton estimation) is shared-cost and
+            # excluded from the clock.
+            model_legacy = fit_model(
+                dataset.observations, dataset.labels, engine="legacy"
+            )
+            model_vec = fit_model(
+                dataset.observations, dataset.labels, engine="vectorized"
+            )
+            for name, factory in _methods(n_sources):
+                legacy_s, legacy_scores = _time_scoring(
+                    factory(model_legacy, "legacy"), dataset.observations
+                )
+                vec_s, vec_scores = _time_scoring(
+                    factory(model_vec, "vectorized"), dataset.observations
+                )
+                rows.append(
+                    {
+                        "n_sources": n_sources,
+                        "n_triples": n_triples,
+                        "method": name,
+                        "legacy_seconds": legacy_s,
+                        "vectorized_seconds": vec_s,
+                        "speedup": legacy_s / vec_s if vec_s > 0 else float("inf"),
+                        "max_abs_diff": float(
+                            np.abs(legacy_scores - vec_scores).max()
+                        ),
+                        "n_patterns": dataset.observations.patterns().n_patterns,
+                    }
+                )
+    return rows
+
+
+def _headline(rows: list[dict]) -> dict:
+    """Summary stats, anchored on the largest grid configuration."""
+    largest_sources = max(r["n_sources"] for r in rows)
+    largest_triples = max(
+        r["n_triples"] for r in rows if r["n_sources"] == largest_sources
+    )
+    largest = [
+        r
+        for r in rows
+        if r["n_sources"] == largest_sources
+        and r["n_triples"] == largest_triples
+    ]
+    legacy_total = sum(r["legacy_seconds"] for r in largest)
+    vec_total = sum(r["vectorized_seconds"] for r in largest)
+    return {
+        "largest_config": {
+            "n_sources": largest_sources,
+            "n_triples": largest_triples,
+        },
+        "largest_config_speedup": (
+            legacy_total / vec_total if vec_total > 0 else float("inf")
+        ),
+        "best_method_speedup": max(r["speedup"] for r in largest),
+        "max_abs_diff": max(r["max_abs_diff"] for r in rows),
+    }
+
+
+def _render(rows: list[dict], headline: dict) -> str:
+    table = format_table(
+        ["sources", "triples", "method", "legacy(s)", "vectorized(s)",
+         "speedup", "max|diff|"],
+        [
+            [r["n_sources"], r["n_triples"], r["method"],
+             r["legacy_seconds"], r["vectorized_seconds"], r["speedup"],
+             r["max_abs_diff"]]
+            for r in rows
+        ],
+    )
+    cfg = headline["largest_config"]
+    return (
+        table
+        + f"\nlargest config ({cfg['n_sources']} sources x "
+        f"{cfg['n_triples']} triples): "
+        f"{headline['largest_config_speedup']:.1f}x family speedup, "
+        f"best method {headline['best_method_speedup']:.1f}x; "
+        f"max |score diff| {headline['max_abs_diff']:.2e}"
+    )
+
+
+def _persist(rows: list[dict], headline: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    JSON_PATH.write_text(
+        json.dumps({"headline": headline, "rows": rows}, indent=2) + "\n"
+    )
+
+
+def bench_pattern_engine(benchmark):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    headline = _headline(rows)
+    _persist(rows, headline)
+    emit("pattern_engine", _render(rows, headline))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest grid cell only (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows = run_grid(source_grid=(6,), triple_grid=(400,))
+    else:
+        rows = run_grid()
+    headline = _headline(rows)
+    _persist(rows, headline)
+    print(_render(rows, headline))
+    if headline["max_abs_diff"] > 1e-9:
+        print("ERROR: engines disagree beyond 1e-9", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.core.api import METHOD_NAMES, fuse
 from repro.core.clustering import discovered_correlation_groups, pairwise_correlations
 from repro.core.api import fit_model
+from repro.util.validation import ENGINES
 from repro.data.registry import available_datasets, get_dataset
 from repro.eval.harness import paper_method_specs, run_comparison
 from repro.eval.metrics import auc_pr, auc_roc, binary_metrics
@@ -59,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scores-csv", metavar="PATH",
         help="write per-triple scores (id, score, accepted, gold) to a CSV",
     )
+    _add_engine_arg(fuse_cmd)
 
     compare_cmd = sub.add_parser(
         "compare", help="run the paper's seven methods on one dataset"
@@ -68,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ltm-iterations", type=int, default=60,
         help="Gibbs sweeps for the LTM baseline",
     )
+    _add_engine_arg(compare_cmd)
 
     corr_cmd = sub.add_parser(
         "correlations", help="report the discovered source correlations"
@@ -78,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum |phi| for a pair to count as correlated",
     )
     return parser
+
+
+def _add_engine_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--engine", choices=ENGINES, default="vectorized",
+        help="execution engine: pattern-centric bit-packed scoring "
+             "(vectorized, default) or the per-triple reference path (legacy)",
+    )
 
 
 def _add_dataset_args(command: argparse.ArgumentParser) -> None:
@@ -111,6 +122,7 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         method=args.method,
         smoothing=args.smoothing,
         decision_prior=decision_prior,
+        engine=args.engine,
     )
     metrics = binary_metrics(result.accepted, dataset.labels)
     print(dataset.summary())
@@ -140,7 +152,9 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     dataset = get_dataset(args.dataset, seed=args.seed)
-    specs = paper_method_specs(ltm_iterations=args.ltm_iterations)
+    specs = paper_method_specs(
+        ltm_iterations=args.ltm_iterations, engine=args.engine
+    )
     comparison = run_comparison(dataset, specs)
     print(comparison_table(comparison))
     return 0

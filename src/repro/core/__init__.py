@@ -4,6 +4,9 @@ The modules map one-to-one onto the paper's sections:
 
 - :mod:`repro.core.triples`, :mod:`repro.core.observations` -- the data model
   (Section 2.1) with open-world, independent-triple semantics and scopes.
+- :mod:`repro.core.bitset`, :mod:`repro.core.patterns` -- the vectorized
+  execution engine's base layers: bit-packed subset intersections and
+  unique-observation-pattern extraction (see ``docs/architecture.md``).
 - :mod:`repro.core.quality` -- precision/recall measurement and the
   Theorem 3.5 false-positive-rate derivation (Section 3.2).
 - :mod:`repro.core.joint` -- joint precision/recall and correlation factors
@@ -24,6 +27,8 @@ The modules map one-to-one onto the paper's sections:
 
 from repro.core.aggressive import AggressiveFuser
 from repro.core.api import EXACT_SOURCE_LIMIT, METHOD_NAMES, fit_model, fuse, make_fuser
+from repro.core.bitset import PackedMatrix, pack_bool_rows, pack_bool_vector, popcount
+from repro.core.patterns import PatternSet, extract_patterns
 from repro.core.confidence import (
     ConfidenceBundle,
     confidence_threshold_sweep,
@@ -44,7 +49,9 @@ from repro.core.elastic import ElasticFuser
 from repro.core.em import EMDiagnostics, ExpectationMaximizationFuser
 from repro.core.exact import ExactCorrelationFuser
 from repro.core.fusion import (
+    DEFAULT_MU_CACHE_ENTRIES,
     DEFAULT_THRESHOLD,
+    ENGINES,
     FunctionFuser,
     FusionResult,
     ModelBasedFuser,
@@ -55,6 +62,7 @@ from repro.core.joint import (
     ExplicitJointModel,
     IndependentJointModel,
     JointQualityModel,
+    MaskedJointCache,
 )
 from repro.core.observations import ObservationMatrix
 from repro.core.precrec import PrecRecFuser
@@ -73,8 +81,10 @@ __all__ = [
     "DomainReport",
     "SingleTruthAdapter",
     "ClusteredCorrelationFuser",
+    "DEFAULT_MU_CACHE_ENTRIES",
     "DEFAULT_THRESHOLD",
     "EMDiagnostics",
+    "ENGINES",
     "EXACT_SOURCE_LIMIT",
     "ElasticFuser",
     "EmpiricalJointModel",
@@ -86,9 +96,12 @@ __all__ = [
     "IndependentJointModel",
     "JointQualityModel",
     "METHOD_NAMES",
+    "MaskedJointCache",
     "ModelBasedFuser",
     "ObservationMatrix",
+    "PackedMatrix",
     "PairwiseCorrelation",
+    "PatternSet",
     "PrecRecFuser",
     "SourcePartition",
     "SourceQuality",
@@ -100,10 +113,14 @@ __all__ = [
     "discovered_correlation_groups",
     "estimate_prior",
     "estimate_source_quality",
+    "extract_patterns",
     "fit_model",
     "fpr_validity_bound",
     "fuse",
     "make_fuser",
+    "pack_bool_rows",
+    "pack_bool_vector",
+    "popcount",
     "confidence_threshold_sweep",
     "fuse_per_domain",
     "matrix_from_confidences",

@@ -24,8 +24,26 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.fusion import ModelBasedFuser
+import numpy as np
+
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel
+from repro.core.patterns import PatternSet
+
+
+def _signed_log(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose reals into ``(log |x|, x < 0, x == 0)`` for batch products.
+
+    The aggressive factors can push an effective rate past 1, making a
+    silent-source term ``(1 - C+_i r_i)`` negative (Proposition 4.8), so a
+    plain log-space product is not enough: magnitude, sign parity, and
+    exact zeros are tracked separately.
+    """
+    magnitudes = np.abs(values)
+    zeros = magnitudes == 0.0
+    with np.errstate(divide="ignore"):
+        logs = np.where(zeros, 0.0, np.log(np.where(zeros, 1.0, magnitudes)))
+    return logs, values < 0.0, zeros
 
 
 class AggressiveFuser(ModelBasedFuser):
@@ -40,6 +58,9 @@ class AggressiveFuser(ModelBasedFuser):
         Source ids over which the factors ``C+_i, C-_i`` are defined;
         defaults to all of the model's sources.  The clustered fuser passes
         each cluster here so factors are relative to the cluster.
+    engine, max_cache_entries:
+        Execution engine switch and per-pattern memo cap -- see
+        :class:`repro.core.fusion.ModelBasedFuser`.
     """
 
     name = "PrecRecCorr-Aggressive"
@@ -49,9 +70,17 @@ class AggressiveFuser(ModelBasedFuser):
         model: JointQualityModel,
         universe: Optional[Sequence[int]] = None,
         decision_prior: Optional[float] = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
-        super().__init__(model, decision_prior=decision_prior)
+        super().__init__(
+            model,
+            decision_prior=decision_prior,
+            engine=engine,
+            max_cache_entries=max_cache_entries,
+        )
         ids = list(range(model.n_sources)) if universe is None else list(universe)
+        self._covers_all_sources = sorted(ids) == list(range(model.n_sources))
         c_plus, c_minus = model.aggressive_factors(ids)
         # Effective per-source rates, indexed by absolute source id.
         self._eff_recall: dict[int, float] = {}
@@ -80,3 +109,50 @@ class AggressiveFuser(ModelBasedFuser):
         if denominator == 0.0:
             return float("inf") if numerator > 0 else 0.0
         return numerator / denominator
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> Optional[np.ndarray]:
+        """All pattern ``mu`` values via sign-tracked log-space products.
+
+        Only available when the factor universe covers every source (the
+        standalone configuration); with a restricted universe the engine
+        falls back to the per-pattern path, whose semantics (including the
+        deliberate ``KeyError`` on out-of-universe sources) are preserved.
+        """
+        if not self._covers_all_sources:
+            return None
+        n = self.model.n_sources
+        eff_r = np.array([self._eff_recall[i] for i in range(n)], dtype=float)
+        eff_q = np.array([self._eff_fpr[i] for i in range(n)], dtype=float)
+        numerator = self._batch_product(patterns, eff_r, 1.0 - eff_r)
+        denominator = self._batch_product(patterns, eff_q, 1.0 - eff_q)
+        zero_den = denominator == 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mu = np.where(zero_den, 1.0, numerator) / np.where(
+                zero_den, 1.0, denominator
+            )
+        return np.where(
+            zero_den, np.where(numerator > 0, np.inf, 0.0), mu
+        )
+
+    @staticmethod
+    def _batch_product(
+        patterns: PatternSet,
+        provider_factors: np.ndarray,
+        silent_factors: np.ndarray,
+    ) -> np.ndarray:
+        """``prod_{i in providers} a_i * prod_{i in silent} b_i`` per pattern."""
+        log_p, neg_p, zero_p = _signed_log(provider_factors)
+        log_s, neg_s, zero_s = _signed_log(silent_factors)
+        provider = patterns.provider_matrix
+        silent = patterns.silent_matrix
+        log_magnitude = provider @ log_p + silent @ log_s
+        negatives = provider @ neg_p.astype(np.int64) + silent @ neg_s.astype(
+            np.int64
+        )
+        has_zero = (
+            provider @ zero_p.astype(np.int64) + silent @ zero_s.astype(np.int64)
+        ) > 0
+        with np.errstate(over="ignore"):
+            magnitude = np.exp(log_magnitude)
+        signed = np.where(negatives % 2 == 1, -magnitude, magnitude)
+        return np.where(has_zero, 0.0, signed)

@@ -51,6 +51,7 @@ def fit_model(
     prior: Optional[float] = None,
     smoothing: float = 0.0,
     train_mask: Optional[np.ndarray] = None,
+    engine: str = "vectorized",
 ) -> EmpiricalJointModel:
     """Fit an :class:`EmpiricalJointModel` from labelled observations.
 
@@ -66,6 +67,9 @@ def fit_model(
         Optional boolean mask restricting which triples calibrate the model
         (a train/test split); ``None`` uses everything, as the paper's
         evaluation does.
+    engine:
+        Subset-statistics engine for the fitted model: ``"vectorized"``
+        (bit-packed popcounts, default) or ``"legacy"`` (boolean masks).
     """
     labels = np.asarray(labels, dtype=bool)
     if train_mask is not None:
@@ -74,7 +78,9 @@ def fit_model(
         labels = labels[train_mask]
     if prior is None:
         prior = estimate_prior(labels)
-    return EmpiricalJointModel(observations, labels, prior=prior, smoothing=smoothing)
+    return EmpiricalJointModel(
+        observations, labels, prior=prior, smoothing=smoothing, engine=engine
+    )
 
 
 def make_fuser(
@@ -90,6 +96,8 @@ def make_fuser(
     """
     key = method.lower().replace("-", "").replace("_", "")
     if key == "em":
+        # EM manages its own scoring loop; the engine switch does not apply.
+        options.pop("engine", None)
         return ExpectationMaximizationFuser(**options)
     if model is None:
         raise ValueError(f"method {method!r} requires a fitted quality model")
@@ -129,6 +137,7 @@ def fuse(
     smoothing: float = 0.0,
     train_mask: Optional[np.ndarray] = None,
     threshold: float = DEFAULT_THRESHOLD,
+    engine: str = "vectorized",
     **options,
 ) -> FusionResult:
     """Calibrate on ``labels`` and score every triple with ``method``.
@@ -141,6 +150,13 @@ def fuse(
     omitted); pass ``decision_prior=...`` among ``options`` to override the
     ``alpha`` of the posterior formula only (the paper's Section 5 protocol
     uses ``decision_prior=0.5``).
+
+    ``engine`` selects the execution engine end to end: it configures both
+    the fitted quality model's subset statistics and the fuser's scoring
+    loop.  ``"vectorized"`` (default) is the pattern-centric bit-packed
+    path; ``"legacy"`` is the original per-triple reference, kept for
+    equivalence testing.  The EM method manages its own scoring loop and
+    ignores the switch.
     """
     if method.lower() == "em":
         fuser: TruthFuser = make_fuser("em", **options)
@@ -151,6 +167,7 @@ def fuse(
             prior=prior,
             smoothing=smoothing,
             train_mask=train_mask,
+            engine=engine,
         )
-        fuser = make_fuser(method, model, **options)
+        fuser = make_fuser(method, model, engine=engine, **options)
     return fuser.fuse(observations, threshold=threshold)

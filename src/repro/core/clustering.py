@@ -34,7 +34,7 @@ from scipy import stats
 
 from repro.core.elastic import ElasticFuser
 from repro.core.exact import ExactCorrelationFuser
-from repro.core.fusion import ModelBasedFuser
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel
 from repro.util.probability import PROBABILITY_FLOOR
 
@@ -244,6 +244,11 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         larger ones use :class:`ElasticFuser` at ``elastic_level``.
     elastic_level:
         Elastic ``lambda`` for oversized clusters (paper: level 3).
+    engine, max_cache_entries:
+        Execution engine switch and per-pattern memo cap -- see
+        :class:`repro.core.fusion.ModelBasedFuser`.  The per-cluster
+        evaluators are consulted through their pattern interface, so the
+        engine choice governs the outer scoring loop.
     """
 
     name = "PrecRecCorr-Clustered"
@@ -259,8 +264,15 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         exact_cluster_limit: int = 12,
         elastic_level: int = 3,
         decision_prior: Optional[float] = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
-        super().__init__(model, decision_prior=decision_prior)
+        super().__init__(
+            model,
+            decision_prior=decision_prior,
+            engine=engine,
+            max_cache_entries=max_cache_entries,
+        )
         if exact_cluster_limit < 1:
             raise ValueError(
                 f"exact_cluster_limit must be >= 1, got {exact_cluster_limit}"

@@ -26,8 +26,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.fusion import ModelBasedFuser
-from repro.core.joint import JointQualityModel
+import numpy as np
+
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser, UnionCollector
+from repro.core.joint import JointQualityModel, MaskedJointCache
+from repro.core.patterns import PatternSet
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets_of_size, subset_parity
 from repro.util.validation import check_non_negative_int
@@ -47,6 +50,9 @@ class ElasticFuser(ModelBasedFuser):
     universe:
         Source ids over which the aggressive factors are defined; defaults
         to all sources (the clustered fuser passes each cluster).
+    engine, max_cache_entries:
+        Execution engine switch and per-pattern memo cap -- see
+        :class:`repro.core.fusion.ModelBasedFuser`.
     """
 
     def __init__(
@@ -55,8 +61,15 @@ class ElasticFuser(ModelBasedFuser):
         level: int = 3,
         universe: Optional[Sequence[int]] = None,
         decision_prior: Optional[float] = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
-        super().__init__(model, decision_prior=decision_prior)
+        super().__init__(
+            model,
+            decision_prior=decision_prior,
+            engine=engine,
+            max_cache_entries=max_cache_entries,
+        )
         self._level = check_non_negative_int(level, "level")
         self.name = f"PrecRecCorr-Elastic{self._level}"
         ids = list(range(model.n_sources)) if universe is None else list(universe)
@@ -66,6 +79,7 @@ class ElasticFuser(ModelBasedFuser):
         for k, i in enumerate(ids):
             self._eff_recall[i] = float(c_plus[k]) * model.recall(i)
             self._eff_fpr[i] = float(c_minus[k]) * model.fpr(i)
+        self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
 
     @property
     def level(self) -> int:
@@ -112,3 +126,123 @@ class ElasticFuser(ModelBasedFuser):
             max(numerator, PROBABILITY_FLOOR),
             max(denominator, PROBABILITY_FLOOR),
         )
+
+    def _masked_likelihoods(
+        self, providers: list[int], silent: list[int]
+    ) -> tuple[float, float]:
+        """:meth:`pattern_likelihoods` via the bitmask-keyed joint cache.
+
+        Same terms in the same order with the same model values; only the
+        memo key changes (int bitmask instead of frozenset), removing the
+        dominant hashing cost of the ``O(n^lambda)`` look-up loop.
+        ``providers`` and ``silent`` must be sorted ascending.
+        """
+        cache = self._joint_cache
+        base_mask = 0
+        for i in providers:
+            base_mask |= 1 << i
+        r_st, q_st = cache.get(base_mask, providers)
+
+        numerator = r_st
+        denominator = q_st
+        for i in silent:
+            numerator *= 1.0 - self._eff_recall[i]
+            denominator *= 1.0 - self._eff_fpr[i]
+
+        max_level = min(self._level, len(silent))
+        for l in range(1, max_level + 1):
+            sign = subset_parity(l)
+            for subset in iter_subsets_of_size(silent, l):
+                approx_r = r_st
+                approx_q = q_st
+                mask = base_mask
+                for i in subset:
+                    approx_r *= self._eff_recall[i]
+                    approx_q *= self._eff_fpr[i]
+                    mask |= 1 << i
+                recall, fpr = cache.get(mask, providers + list(subset))
+                numerator += sign * (recall - approx_r)
+                denominator += sign * (fpr - approx_q)
+
+        return (
+            max(numerator, PROBABILITY_FLOOR),
+            max(denominator, PROBABILITY_FLOOR),
+        )
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """Every distinct pattern's ``mu`` from one batched model evaluation.
+
+        Mirrors :meth:`ExactCorrelationFuser.pattern_mu_batch`: unions are
+        collected once (deduplicated by bitmask), evaluated in bulk via
+        :meth:`JointQualityModel.joint_params_batch`, and Algorithm 1's sums
+        re-accumulated per pattern in the legacy term order, keeping scores
+        bit-identical to the legacy path.  Models without batch support fall
+        back to bitmask-keyed scalar queries.
+        """
+        probe = self.model.joint_params_batch(
+            np.zeros((0, patterns.n_sources), dtype=bool)
+        )
+        provider_lists = [
+            np.flatnonzero(row).tolist() for row in patterns.provider_matrix
+        ]
+        silent_lists = [
+            np.flatnonzero(row).tolist() for row in patterns.silent_matrix
+        ]
+        mus = np.empty(patterns.n_patterns, dtype=float)
+        if probe is None:
+            for k in range(patterns.n_patterns):
+                numerator, denominator = self._masked_likelihoods(
+                    provider_lists[k], silent_lists[k]
+                )
+                mus[k] = numerator / denominator
+            return mus
+
+        # Pass 1: every base set and every level-1..lambda union, once each.
+        collector = UnionCollector(patterns.n_sources)
+        base_index: list[int] = []
+        term_index: list[int] = []
+        for k in range(patterns.n_patterns):
+            base_row = patterns.provider_matrix[k]
+            base_mask = collector.mask_of(provider_lists[k])
+            base_index.append(collector.add(base_mask, base_row, ()))
+            silent = silent_lists[k]
+            max_level = min(self._level, len(silent))
+            for l in range(1, max_level + 1):
+                for subset in iter_subsets_of_size(silent, l):
+                    mask = base_mask
+                    for i in subset:
+                        mask |= collector.bit(i)
+                    term_index.append(collector.add(mask, base_row, subset))
+
+        recalls, fprs = self.model.joint_params_batch(collector.rows())
+        recall_list = recalls.tolist()
+        fpr_list = fprs.tolist()
+
+        # Pass 2: Algorithm 1 per pattern, terms in the legacy order.
+        position = 0
+        for k in range(patterns.n_patterns):
+            silent = silent_lists[k]
+            r_st = recall_list[base_index[k]]
+            q_st = fpr_list[base_index[k]]
+            numerator = r_st
+            denominator = q_st
+            for i in silent:
+                numerator *= 1.0 - self._eff_recall[i]
+                denominator *= 1.0 - self._eff_fpr[i]
+            max_level = min(self._level, len(silent))
+            for l in range(1, max_level + 1):
+                sign = subset_parity(l)
+                for subset in iter_subsets_of_size(silent, l):
+                    approx_r = r_st
+                    approx_q = q_st
+                    for i in subset:
+                        approx_r *= self._eff_recall[i]
+                        approx_q *= self._eff_fpr[i]
+                    index = term_index[position]
+                    position += 1
+                    numerator += sign * (recall_list[index] - approx_r)
+                    denominator += sign * (fpr_list[index] - approx_q)
+            mus[k] = max(numerator, PROBABILITY_FLOOR) / max(
+                denominator, PROBABILITY_FLOOR
+            )
+        return mus

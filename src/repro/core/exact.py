@@ -26,8 +26,11 @@ positive value before the ratio is taken.
 
 from __future__ import annotations
 
-from repro.core.fusion import ModelBasedFuser
-from repro.core.joint import JointQualityModel
+import numpy as np
+
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser, UnionCollector
+from repro.core.joint import JointQualityModel, MaskedJointCache
+from repro.core.patterns import PatternSet
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets, subset_parity
 
@@ -45,6 +48,11 @@ class ExactCorrelationFuser(ModelBasedFuser):
         sources raise ``ValueError`` (each one costs ``2^{|St-bar|}`` model
         look-ups).  Use :class:`repro.core.clustering.ClusteredCorrelationFuser`
         or :class:`repro.core.elastic.ElasticFuser` beyond this scale.
+    engine, max_cache_entries:
+        Execution engine switch and per-pattern memo cap -- see
+        :class:`repro.core.fusion.ModelBasedFuser`.  The inclusion-exclusion
+        sum itself is evaluated per distinct pattern either way; the
+        vectorized engine visits each pattern once instead of per triple.
     """
 
     name = "PrecRecCorr"
@@ -54,28 +62,39 @@ class ExactCorrelationFuser(ModelBasedFuser):
         model: JointQualityModel,
         max_silent_sources: int = 20,
         decision_prior: float | None = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
-        super().__init__(model, decision_prior=decision_prior)
+        super().__init__(
+            model,
+            decision_prior=decision_prior,
+            engine=engine,
+            max_cache_entries=max_cache_entries,
+        )
         if max_silent_sources < 0:
             raise ValueError(
                 f"max_silent_sources must be non-negative, got {max_silent_sources}"
             )
         self._max_silent = max_silent_sources
+        self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
 
     def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
         numerator, denominator = self.pattern_likelihoods(providers, silent)
         return numerator / denominator
 
+    def _check_silent_width(self, n_silent: int) -> None:
+        if n_silent > self._max_silent:
+            raise ValueError(
+                f"exact inclusion-exclusion over {n_silent} silent sources "
+                f"needs 2^{n_silent} terms (limit {self._max_silent}); use "
+                "ElasticFuser or ClusteredCorrelationFuser for this scale"
+            )
+
     def pattern_likelihoods(
         self, providers: frozenset[int], silent: frozenset[int]
     ) -> tuple[float, float]:
         """``(Pr(Ot | t), Pr(Ot | not t))`` via Eq. 10 and 11, floored > 0."""
-        if len(silent) > self._max_silent:
-            raise ValueError(
-                f"exact inclusion-exclusion over {len(silent)} silent sources "
-                f"needs 2^{len(silent)} terms (limit {self._max_silent}); use "
-                "ElasticFuser or ClusteredCorrelationFuser for this scale"
-            )
+        self._check_silent_width(len(silent))
         base = sorted(providers)
         numerator = 0.0
         denominator = 0.0
@@ -88,3 +107,95 @@ class ExactCorrelationFuser(ModelBasedFuser):
             max(numerator, PROBABILITY_FLOOR),
             max(denominator, PROBABILITY_FLOOR),
         )
+
+    def _masked_likelihoods(
+        self, providers: list[int], silent: list[int]
+    ) -> tuple[float, float]:
+        """:meth:`pattern_likelihoods` via the bitmask-keyed joint cache.
+
+        Same subsets, same accumulation order, same model values -- only the
+        memo key changes (int bitmask instead of frozenset), which removes
+        the dominant hashing cost from the hot loop.  ``providers`` and
+        ``silent`` must be sorted ascending.
+        """
+        self._check_silent_width(len(silent))
+        base_mask = 0
+        for i in providers:
+            base_mask |= 1 << i
+        numerator = 0.0
+        denominator = 0.0
+        cache = self._joint_cache
+        for subset in iter_subsets(silent):
+            mask = base_mask
+            for i in subset:
+                mask |= 1 << i
+            recall, fpr = cache.get(mask, providers + list(subset))
+            sign = subset_parity(len(subset))
+            numerator += sign * recall
+            denominator += sign * fpr
+        return (
+            max(numerator, PROBABILITY_FLOOR),
+            max(denominator, PROBABILITY_FLOOR),
+        )
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """Every distinct pattern's ``mu`` from one batched model evaluation.
+
+        All subset unions across all patterns are collected (deduplicated by
+        bitmask), their ``(r, q)`` evaluated in one vectorized model call,
+        and the inclusion-exclusion sums re-accumulated per pattern in the
+        legacy term order -- so scores are bit-identical to the legacy path.
+        Models without batch support fall back to bitmask-keyed scalar
+        queries.
+        """
+        probe = self.model.joint_params_batch(
+            np.zeros((0, patterns.n_sources), dtype=bool)
+        )
+        provider_lists = [
+            np.flatnonzero(row).tolist() for row in patterns.provider_matrix
+        ]
+        silent_lists = [
+            np.flatnonzero(row).tolist() for row in patterns.silent_matrix
+        ]
+        mus = np.empty(patterns.n_patterns, dtype=float)
+        if probe is None:
+            for k in range(patterns.n_patterns):
+                numerator, denominator = self._masked_likelihoods(
+                    provider_lists[k], silent_lists[k]
+                )
+                mus[k] = numerator / denominator
+            return mus
+
+        # Pass 1: enumerate every union once, deduplicated by bitmask.
+        collector = UnionCollector(patterns.n_sources)
+        term_index: list[int] = []
+        for k in range(patterns.n_patterns):
+            silent = silent_lists[k]
+            self._check_silent_width(len(silent))
+            base_row = patterns.provider_matrix[k]
+            base_mask = collector.mask_of(provider_lists[k])
+            for subset in iter_subsets(silent):
+                mask = base_mask
+                for i in subset:
+                    mask |= collector.bit(i)
+                term_index.append(collector.add(mask, base_row, subset))
+
+        recalls, fprs = self.model.joint_params_batch(collector.rows())
+        recall_list = recalls.tolist()
+        fpr_list = fprs.tolist()
+
+        # Pass 2: re-accumulate each pattern's sums in the legacy order.
+        position = 0
+        for k in range(patterns.n_patterns):
+            numerator = 0.0
+            denominator = 0.0
+            for subset in iter_subsets(silent_lists[k]):
+                sign = subset_parity(len(subset))
+                index = term_index[position]
+                position += 1
+                numerator += sign * recall_list[index]
+                denominator += sign * fpr_list[index]
+            mus[k] = max(numerator, PROBABILITY_FLOOR) / max(
+                denominator, PROBABILITY_FLOOR
+            )
+        return mus

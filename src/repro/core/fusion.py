@@ -30,10 +30,17 @@ import numpy as np
 
 from repro.core.joint import JointQualityModel
 from repro.core.observations import ObservationMatrix
-from repro.util.probability import probability_from_mu
+from repro.core.patterns import PatternSet
+from repro.util.probability import probability_from_mu, probability_from_mu_array
+from repro.util.validation import ENGINES, check_engine
 
 #: Decision threshold used throughout the paper: accept when Pr(t | Ot) > 0.5.
 DEFAULT_THRESHOLD = 0.5
+
+#: Default cap on memoised per-pattern likelihood ratios, mirroring
+#: ``EmpiricalJointModel``'s ``max_cache_entries`` so long-lived serving
+#: processes cannot grow without bound.
+DEFAULT_MU_CACHE_ENTRIES = 200_000
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,63 @@ class TruthFuser(ABC):
 PatternKey = tuple[frozenset[int], frozenset[int]]
 
 
+class UnionCollector:
+    """Deduplicating collector of subset-union rows for batched evaluation.
+
+    The inclusion-exclusion fusers enumerate unions ``providers + subset``
+    per pattern; most unions repeat across patterns.  The collector keys
+    each union by an int bitmask (cheap to build and hash), materialises a
+    boolean source row only on first sighting, and hands the distinct rows
+    to :meth:`JointQualityModel.joint_params_batch` in one call.
+    """
+
+    __slots__ = ("_bits", "_index", "_rows", "_n_sources")
+
+    def __init__(self, n_sources: int) -> None:
+        self._bits = [1 << i for i in range(n_sources)]
+        self._index: dict[int, int] = {}
+        self._rows: list[np.ndarray] = []
+        self._n_sources = n_sources
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def mask_of(self, source_ids) -> int:
+        """Bitmask of a collection of source ids."""
+        mask = 0
+        bits = self._bits
+        for i in source_ids:
+            mask |= bits[i]
+        return mask
+
+    def bit(self, source_id: int) -> int:
+        return self._bits[source_id]
+
+    def add(self, mask: int, base_row: np.ndarray, extra_ids) -> int:
+        """Index of the union ``base_row | extra_ids`` identified by ``mask``.
+
+        ``mask`` must equal the bitmask of the union; ``base_row`` (a boolean
+        source row) and ``extra_ids`` are only consulted when the mask is new.
+        """
+        index = self._index.get(mask)
+        if index is None:
+            index = len(self._rows)
+            self._index[mask] = index
+            if extra_ids:
+                row = base_row.copy()
+                row[list(extra_ids)] = True
+            else:
+                row = base_row
+            self._rows.append(row)
+        return index
+
+    def rows(self) -> np.ndarray:
+        """All distinct union rows, shape ``(n_distinct, n_sources)``."""
+        if not self._rows:
+            return np.zeros((0, self._n_sources), dtype=bool)
+        return np.array(self._rows, dtype=bool)
+
+
 class ModelBasedFuser(TruthFuser):
     """Shared machinery for fusers driven by a :class:`JointQualityModel`.
 
@@ -126,22 +190,44 @@ class ModelBasedFuser(TruthFuser):
     ``mu = Pr(Ot | t) / Pr(Ot | not t)`` for one observation pattern; this
     class handles scope masking, per-pattern memoisation, and the posterior
     transform ``Pr(t | Ot) = 1 / (1 + (1 - a)/a * 1/mu)``.
+
+    Two execution engines are available (see :data:`ENGINES`): the default
+    ``"vectorized"`` engine extracts the matrix's distinct observation
+    patterns once, evaluates each exactly once (through
+    :meth:`pattern_mu_batch` when a subclass vectorises it, otherwise
+    through the memoised per-pattern path), and scatters scores back;
+    ``"legacy"`` is the original per-triple loop.
     """
 
     def __init__(
-        self, model: JointQualityModel, decision_prior: Optional[float] = None
+        self,
+        model: JointQualityModel,
+        decision_prior: Optional[float] = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
         if decision_prior is not None and not 0.0 < decision_prior < 1.0:
             raise ValueError(
                 f"decision_prior must be in (0, 1), got {decision_prior}"
             )
+        if max_cache_entries < 0:
+            raise ValueError(
+                f"max_cache_entries must be non-negative, got {max_cache_entries}"
+            )
         self._model = model
         self._decision_prior = decision_prior
+        self._engine = check_engine(engine)
+        self._max_cache = int(max_cache_entries)
         self._mu_cache: dict[PatternKey, float] = {}
 
     @property
     def model(self) -> JointQualityModel:
         return self._model
+
+    @property
+    def engine(self) -> str:
+        """The execution engine this fuser scores with."""
+        return self._engine
 
     @property
     def prior(self) -> float:
@@ -164,13 +250,30 @@ class ModelBasedFuser(TruthFuser):
     def pattern_probability(
         self, providers: frozenset[int], silent: frozenset[int]
     ) -> float:
-        """Memoised posterior for one observation pattern."""
+        """Memoised posterior for one observation pattern.
+
+        The memo is bounded by ``max_cache_entries``; beyond the cap values
+        are recomputed instead of stored, so long-lived serving processes
+        cannot grow without limit (same policy as ``EmpiricalJointModel``).
+        """
         key = (providers, silent)
         mu = self._mu_cache.get(key)
         if mu is None:
             mu = self.pattern_mu(providers, silent)
-            self._mu_cache[key] = mu
+            if len(self._mu_cache) < self._max_cache:
+                self._mu_cache[key] = mu
         return probability_from_mu(mu, self.prior)
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> Optional[np.ndarray]:
+        """Vectorized ``mu`` for every distinct pattern, or ``None``.
+
+        Subclasses whose likelihood ratio factorises per source (PrecRec,
+        the aggressive approximation) override this to evaluate all patterns
+        with a handful of matrix operations.  Returning ``None`` falls back
+        to the generic per-pattern loop, which still benefits from pattern
+        deduplication and memoisation.
+        """
+        return None
 
     def score(self, observations: ObservationMatrix) -> np.ndarray:
         if observations.n_sources != self._model.n_sources:
@@ -178,6 +281,12 @@ class ModelBasedFuser(TruthFuser):
                 f"observation matrix has {observations.n_sources} sources but "
                 f"the quality model covers {self._model.n_sources}"
             )
+        if self._engine == "legacy":
+            return self._score_legacy(observations)
+        return self._score_vectorized(observations)
+
+    def _score_legacy(self, observations: ObservationMatrix) -> np.ndarray:
+        """Reference per-triple scoring loop (the seed implementation)."""
         scores = np.empty(observations.n_triples, dtype=float)
         for j in range(observations.n_triples):
             providers = frozenset(int(i) for i in observations.providers_of(j))
@@ -186,6 +295,22 @@ class ModelBasedFuser(TruthFuser):
             )
             scores[j] = self.pattern_probability(providers, silent)
         return scores
+
+    def _score_vectorized(self, observations: ObservationMatrix) -> np.ndarray:
+        """Pattern-centric scoring: one evaluation per distinct pattern."""
+        patterns = observations.patterns()
+        mus = self.pattern_mu_batch(patterns)
+        if mus is not None:
+            probabilities = probability_from_mu_array(
+                np.asarray(mus, dtype=float), self.prior
+            )
+        else:
+            probabilities = np.empty(patterns.n_patterns, dtype=float)
+            for k in range(patterns.n_patterns):
+                probabilities[k] = self.pattern_probability(
+                    patterns.provider_sets[k], patterns.silent_sets[k]
+                )
+        return patterns.scatter(probabilities).astype(float, copy=False)
 
 
 class FunctionFuser(TruthFuser):

@@ -34,6 +34,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.bitset import pack_bool_vector, popcount, popcount_rows
 from repro.core.observations import ObservationMatrix
 from repro.core.quality import (
     SourceQuality,
@@ -41,9 +42,14 @@ from repro.core.quality import (
     estimate_source_quality,
 )
 from repro.util.probability import safe_divide
-from repro.util.validation import check_fraction
+from repro.util.validation import check_engine, check_fraction
 
 SubsetKey = frozenset[int]
+
+#: Rows per chunk in :meth:`EmpiricalJointModel.joint_params_batch` --
+#: bounds the batched AND accumulator at a few tens of MB even when a fuser
+#: asks for hundreds of thousands of subset unions over a wide matrix.
+_BATCH_CHUNK = 32_768
 
 
 def _as_key(source_ids: Iterable[int]) -> SubsetKey:
@@ -103,6 +109,19 @@ class JointQualityModel(ABC):
         sample size behind the corresponding joint recall / fpr estimates.
         """
         return self.evidence_counts()
+
+    def joint_params_batch(
+        self, subsets: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """``(r_{S*}, q_{S*})`` arrays for many subsets at once, or ``None``.
+
+        ``subsets`` is boolean with shape ``(n_subsets, n_sources)``.  Models
+        that can answer subset statistics in bulk (the empirical model on
+        its vectorized engine) override this; ``None`` signals that only the
+        set-keyed scalar interface is available, and callers fall back to
+        per-subset queries.
+        """
+        return None
 
     # -- derived quantities (shared by both implementations) ----------
 
@@ -165,6 +184,51 @@ class JointQualityModel(ABC):
         return c_true, c_false
 
 
+class MaskedJointCache:
+    """Bitmask-keyed memo of ``(joint_recall, joint_fpr)`` model look-ups.
+
+    The inclusion-exclusion fusers issue millions of subset queries while
+    scoring; the dominant cost of a *cached* query through the set-keyed
+    interface is building and hashing a frozenset.  The vectorized engine
+    identifies a subset by an int bitmask instead -- int hashing is several
+    times cheaper -- and falls through to the wrapped model only on the
+    first sighting of a mask.  Values are exactly the model's own, so the
+    legacy and vectorized engines stay bit-identical.
+    """
+
+    __slots__ = ("_model", "_cache", "_max_entries")
+
+    def __init__(
+        self, model: "JointQualityModel", max_entries: int = 1_000_000
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        self._model = model
+        self._cache: dict[int, tuple[float, float]] = {}
+        self._max_entries = int(max_entries)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, mask: int, source_ids: Sequence[int]) -> tuple[float, float]:
+        """``(r_{S*}, q_{S*})`` for the subset with bitmask ``mask``.
+
+        ``source_ids`` must list exactly the bits set in ``mask``; it is
+        consulted only on a cache miss (the mask alone is the key).
+        """
+        value = self._cache.get(mask)
+        if value is None:
+            value = (
+                self._model.joint_recall(source_ids),
+                self._model.joint_fpr(source_ids),
+            )
+            if len(self._cache) < self._max_entries:
+                self._cache[mask] = value
+        return value
+
+
 class EmpiricalJointModel(JointQualityModel):
     """Joint parameters measured from labelled training data.
 
@@ -185,6 +249,11 @@ class EmpiricalJointModel(JointQualityModel):
         touch millions of distinct subsets during inclusion-exclusion;
         beyond the cap values are recomputed instead of stored, bounding
         memory at a small constant factor of the cap.
+    engine:
+        ``"vectorized"`` (default) answers every subset-intersection query
+        from bit-packed uint64 words with popcounts; ``"legacy"`` uses the
+        seed's full-width boolean-mask reductions.  Both produce identical
+        integer counts, hence identical parameters.
     """
 
     def __init__(
@@ -194,6 +263,7 @@ class EmpiricalJointModel(JointQualityModel):
         prior: float = 0.5,
         smoothing: float = 0.0,
         max_cache_entries: int = 200_000,
+        engine: str = "vectorized",
     ) -> None:
         super().__init__(observations.source_names, prior)
         labels = np.asarray(labels, dtype=bool)
@@ -207,6 +277,7 @@ class EmpiricalJointModel(JointQualityModel):
             raise ValueError(
                 f"max_cache_entries must be non-negative, got {max_cache_entries}"
             )
+        self._engine = check_engine(engine)
         self._observations = observations
         self._labels = labels
         self._smoothing = float(smoothing)
@@ -216,10 +287,18 @@ class EmpiricalJointModel(JointQualityModel):
             observations, labels, prior=prior, smoothing=smoothing
         )
         self._partial_coverage = observations.has_partial_coverage
+        if self._engine == "vectorized":
+            self._true_words = pack_bool_vector(labels)
+            self._false_words = pack_bool_vector(~labels)
         self._recall_cache: dict[SubsetKey, float] = {}
         self._fpr_cache: dict[SubsetKey, float] = {}
         self._precision_cache: dict[SubsetKey, float] = {}
         self._coverage_cache: dict[SubsetKey, tuple[int, int]] = {}
+
+    @property
+    def engine(self) -> str:
+        """The subset-statistics engine this model answers queries with."""
+        return self._engine
 
     # -- estimation ----------------------------------------------------
     #
@@ -231,6 +310,26 @@ class EmpiricalJointModel(JointQualityModel):
     # quality, without which every pair of narrow-scope sources would look
     # spuriously anti-correlated.
 
+    def _intersection_counts(self, key: SubsetKey) -> tuple[int, int]:
+        """``(provided_true, provided_false)`` of the subset's intersection.
+
+        The vectorized engine ANDs the subset's bit-packed provider rows and
+        popcounts through the packed label masks; the legacy engine reduces
+        full-width boolean masks.  Both return identical integers.
+        """
+        ids = sorted(key)
+        if self._engine == "vectorized":
+            words = self._observations.packed_provides.and_reduce(ids)
+            return (
+                popcount(words & self._true_words),
+                popcount(words & self._false_words),
+            )
+        mask = self._observations.subset_intersection(ids)
+        return (
+            int((mask & self._labels).sum()),
+            int((mask & ~self._labels).sum()),
+        )
+
     def joint_precision(self, source_ids: Iterable[int]) -> float:
         """``p_{S*}``: labelled-true fraction of the subset's intersection."""
         key = _as_key(source_ids)
@@ -239,10 +338,8 @@ class EmpiricalJointModel(JointQualityModel):
         cached = self._precision_cache.get(key)
         if cached is not None:
             return cached
-        mask = self._observations.subset_intersection(sorted(key))
-        provided = int(mask.sum())
-        provided_true = int((mask & self._labels).sum())
-        value = self._ratio(provided_true, provided)
+        provided_true, provided_false = self._intersection_counts(key)
+        value = self._ratio(provided_true, provided_true + provided_false)
         self._store(self._precision_cache, key, value)
         return value
 
@@ -253,8 +350,7 @@ class EmpiricalJointModel(JointQualityModel):
         cached = self._recall_cache.get(key)
         if cached is not None:
             return cached
-        mask = self._observations.subset_intersection(sorted(key))
-        provided_true = int((mask & self._labels).sum())
+        provided_true, _ = self._intersection_counts(key)
         covered_true, _ = self.joint_coverage_counts(key)
         value = self._ratio(provided_true, covered_true)
         self._store(self._recall_cache, key, value)
@@ -281,8 +377,7 @@ class EmpiricalJointModel(JointQualityModel):
                 precision, self.joint_recall(key), self.prior, clip=True
             )
         else:
-            mask = self._observations.subset_intersection(sorted(key))
-            provided_false = int((mask & ~self._labels).sum())
+            _, provided_false = self._intersection_counts(key)
             _, covered_false = self.joint_coverage_counts(key)
             value = self._ratio(provided_false, covered_false)
         self._store(self._fpr_cache, key, value)
@@ -296,14 +391,94 @@ class EmpiricalJointModel(JointQualityModel):
         cached = self._coverage_cache.get(key)
         if cached is not None:
             return cached
-        mask = self._observations.subset_coverage(sorted(key))
-        value = (
-            int((mask & self._labels).sum()),
-            int((mask & ~self._labels).sum()),
-        )
+        ids = sorted(key)
+        if self._engine == "vectorized":
+            words = self._observations.packed_coverage.and_reduce(ids)
+            value = (
+                popcount(words & self._true_words),
+                popcount(words & self._false_words),
+            )
+        else:
+            mask = self._observations.subset_coverage(ids)
+            value = (
+                int((mask & self._labels).sum()),
+                int((mask & ~self._labels).sum()),
+            )
         if len(self._coverage_cache) < self._max_cache:
             self._coverage_cache[key] = value
         return value
+
+    def joint_params_batch(
+        self, subsets: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Vectorized ``(r_{S*}, q_{S*})`` for many subsets in bulk.
+
+        The intersection words of *all* requested subsets are computed with
+        one pass per source row (:meth:`PackedMatrix.and_reduce_batch`), the
+        counts with vectorized popcounts, and the Theorem 3.5 derivation
+        element-wise in the same operation order as the scalar path -- so
+        every returned value is bit-identical to the corresponding
+        :meth:`joint_recall` / :meth:`joint_fpr` call.  Returns ``None`` on
+        the legacy engine (callers then fall back to scalar queries).
+        """
+        if self._engine != "vectorized":
+            return None
+        subsets = np.asarray(subsets, dtype=bool)
+        if subsets.ndim != 2 or subsets.shape[1] != self.n_sources:
+            raise ValueError(
+                f"subsets shape {subsets.shape} != (n_subsets, {self.n_sources})"
+            )
+        n_subsets = subsets.shape[0]
+        recalls = np.empty(n_subsets, dtype=float)
+        fprs = np.empty(n_subsets, dtype=float)
+        for start in range(0, n_subsets, _BATCH_CHUNK):
+            stop = min(start + _BATCH_CHUNK, n_subsets)
+            recalls[start:stop], fprs[start:stop] = self._params_chunk(
+                subsets[start:stop]
+            )
+        return recalls, fprs
+
+    def _params_chunk(
+        self, subsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        observations = self._observations
+        intersection = observations.packed_provides.and_reduce_batch(subsets)
+        provided_true = popcount_rows(intersection & self._true_words)
+        provided_false = popcount_rows(intersection & self._false_words)
+        if self._partial_coverage:
+            covered = observations.packed_coverage.and_reduce_batch(subsets)
+            covered_true = popcount_rows(covered & self._true_words)
+            covered_false = popcount_rows(covered & self._false_words)
+        else:
+            n_true, n_false = self.evidence_counts()
+            covered_true = np.full(len(subsets), n_true, dtype=np.int64)
+            covered_false = np.full(len(subsets), n_false, dtype=np.int64)
+
+        recall = self._ratio_vec(provided_true, covered_true)
+        precision = self._ratio_vec(provided_true, provided_true + provided_false)
+        # Theorem 3.5 with clip=True, element-wise in the scalar expression's
+        # evaluation order (left-to-right), so values match bit-for-bit.
+        prior_ratio = self.prior / (1.0 - self.prior)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            derived = prior_ratio * (1.0 - precision) / precision * recall
+        derived = np.where(derived > 1.0, 1.0, derived)
+        fallback = self._ratio_vec(provided_false, covered_false)
+        fpr = np.where(precision > 0.0, derived, fallback)
+
+        empty = ~subsets.any(axis=1)
+        recall = np.where(empty, 1.0, recall)
+        fpr = np.where(empty, 1.0, fpr)
+        return recall, fpr
+
+    def _ratio_vec(
+        self, numerator: np.ndarray, denominator: np.ndarray
+    ) -> np.ndarray:
+        """Element-wise :meth:`_ratio` (same smoothing, same 0/0 rule)."""
+        s = self._smoothing
+        den = denominator + 2.0 * s
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = (numerator + s) / den
+        return np.where(den == 0.0, 0.0, out)
 
     def source_quality(self, source_id: int) -> SourceQuality:
         return self._singletons[int(source_id)]

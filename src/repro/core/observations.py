@@ -17,6 +17,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.bitset import PackedMatrix
 from repro.core.triples import Triple, TripleIndex
 
 
@@ -82,6 +83,11 @@ class ObservationMatrix:
         self._source_names = tuple(str(name) for name in source_names)
         self._source_ids = {name: i for i, name in enumerate(self._source_names)}
         self._triple_index = triple_index
+        # Lazy caches for the vectorized engine; safe because the matrix is
+        # immutable (both arrays are write-locked above).
+        self._packed_provides: Optional[PackedMatrix] = None
+        self._packed_coverage: Optional[PackedMatrix] = None
+        self._patterns = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -166,6 +172,42 @@ class ObservationMatrix:
         return not bool(self._coverage.all())
 
     # ------------------------------------------------------------------
+    # Bit-packed views and observation patterns (the vectorized engine)
+    # ------------------------------------------------------------------
+
+    @property
+    def packed_provides(self) -> PackedMatrix:
+        """``provides`` packed into uint64 words, one bit row per source.
+
+        Built lazily and cached; subset-intersection counts against this
+        view cost a word-wise AND plus a popcount instead of a full-width
+        boolean reduction.
+        """
+        if self._packed_provides is None:
+            self._packed_provides = PackedMatrix.from_bool(self._provides)
+        return self._packed_provides
+
+    @property
+    def packed_coverage(self) -> PackedMatrix:
+        """``coverage`` packed into uint64 words (see :attr:`packed_provides`)."""
+        if self._packed_coverage is None:
+            self._packed_coverage = PackedMatrix.from_bool(self._coverage)
+        return self._packed_coverage
+
+    def patterns(self):
+        """The distinct ``(providers, silent)`` observation patterns.
+
+        Returns a cached :class:`repro.core.patterns.PatternSet`; model-based
+        fusers score each distinct pattern once and scatter the results back
+        through its inverse index.
+        """
+        if self._patterns is None:
+            from repro.core.patterns import extract_patterns
+
+            self._patterns = extract_patterns(self._provides, self._coverage)
+        return self._patterns
+
+    # ------------------------------------------------------------------
     # Per-triple and per-source queries
     # ------------------------------------------------------------------
 
@@ -214,19 +256,30 @@ class ObservationMatrix:
             return np.ones(self.n_triples, dtype=bool)
         return self._coverage[ids, :].all(axis=0)
 
-    def restricted_to_sources(self, source_ids: Sequence[int]) -> "ObservationMatrix":
-        """A new matrix containing only the given source rows (all triples).
+    def restricted_to_sources(
+        self,
+        source_ids: Sequence[int],
+        prune_empty_triples: bool = False,
+    ) -> "ObservationMatrix":
+        """A new matrix containing only the given source rows.
 
         Used by the clustered fuser, which evaluates each correlation cluster
-        in isolation.
+        in isolation.  With ``prune_empty_triples`` the result also drops
+        the columns no kept source provides, so clustered sub-problems do
+        not carry dead columns (and dead patterns) through the engine.
         """
         ids = list(source_ids)
-        return ObservationMatrix(
+        restricted = ObservationMatrix(
             self._provides[ids, :].copy(),
             [self._source_names[i] for i in ids],
             triple_index=self._triple_index,
             coverage=self._coverage[ids, :].copy(),
         )
+        if prune_empty_triples:
+            return restricted.restricted_to_triples(
+                restricted.provides.any(axis=0)
+            )
+        return restricted
 
     def restricted_to_triples(self, triple_mask: np.ndarray) -> "ObservationMatrix":
         """A new matrix containing only columns where ``triple_mask`` is true.

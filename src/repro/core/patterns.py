@@ -1,0 +1,143 @@
+"""Unique observation patterns of a matrix (the engine's dedup layer).
+
+Two triples with the same provider set and the same silent-covering set
+necessarily receive the same score from every model-based fuser -- the
+likelihood ratio ``mu`` depends on the observation *pattern*, not the triple.
+The legacy scoring loop exploits this only through memoisation: it still
+walks every column, builds two frozensets per triple, and hashes them.
+
+This module extracts the distinct ``(providers, silent)`` patterns of an
+:class:`~repro.core.observations.ObservationMatrix` **once**, by hashing the
+bit-packed columns, and returns pattern ids plus the inverse index mapping
+every triple to its pattern.  A fuser then evaluates each distinct pattern
+exactly once and scatters the results back -- turning ``O(n_triples)`` model
+walks into ``O(n_unique_patterns)``, with the remaining per-triple work a
+single vectorized gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.bitset import pack_bool_rows
+
+
+@dataclass(frozen=True)
+class PatternSet:
+    """The distinct observation patterns of one observation matrix.
+
+    Attributes
+    ----------
+    provider_matrix, silent_matrix:
+        Boolean arrays of shape ``(n_patterns, n_sources)``: row ``k`` marks
+        the providers (resp. silent covering sources) of pattern ``k``.
+    inverse:
+        ``(n_triples,)`` integer array; ``inverse[j]`` is the pattern id of
+        triple ``j``, so ``pattern_values[inverse]`` scatters per-pattern
+        results back to triples.
+    counts:
+        ``(n_patterns,)`` multiplicities: how many triples share each
+        pattern.  ``counts.sum() == n_triples``.
+    """
+
+    provider_matrix: np.ndarray
+    silent_matrix: np.ndarray
+    inverse: np.ndarray
+    counts: np.ndarray
+
+    @cached_property
+    def provider_sets(self) -> tuple[frozenset[int], ...]:
+        """Pattern provider rows as frozensets, for set-keyed evaluation.
+
+        Built lazily: the batched fusers (PrecRec, aggressive, and the
+        bitmask-keyed inclusion-exclusion paths) never materialise them.
+        """
+        return tuple(
+            frozenset(np.flatnonzero(row).tolist())
+            for row in self.provider_matrix
+        )
+
+    @cached_property
+    def silent_sets(self) -> tuple[frozenset[int], ...]:
+        """Pattern silent-covering rows as frozensets (lazy, see above)."""
+        return tuple(
+            frozenset(np.flatnonzero(row).tolist())
+            for row in self.silent_matrix
+        )
+
+    @property
+    def n_patterns(self) -> int:
+        return self.provider_matrix.shape[0]
+
+    @property
+    def n_triples(self) -> int:
+        return int(self.inverse.shape[0])
+
+    @property
+    def n_sources(self) -> int:
+        return self.provider_matrix.shape[1]
+
+    @property
+    def dedup_ratio(self) -> float:
+        """``n_triples / n_patterns`` -- the work saved by deduplication."""
+        if self.n_patterns == 0:
+            return 1.0
+        return self.n_triples / self.n_patterns
+
+    def scatter(self, pattern_values: np.ndarray) -> np.ndarray:
+        """Expand one value per pattern into one value per triple."""
+        pattern_values = np.asarray(pattern_values)
+        if pattern_values.shape != (self.n_patterns,):
+            raise ValueError(
+                f"pattern values shape {pattern_values.shape} != "
+                f"({self.n_patterns},)"
+            )
+        return pattern_values[self.inverse]
+
+
+def extract_patterns(
+    provides: np.ndarray, coverage: np.ndarray
+) -> PatternSet:
+    """Extract the unique ``(providers, silent)`` patterns of a matrix.
+
+    ``provides`` and ``coverage`` are the boolean ``(n_sources, n_triples)``
+    arrays of an observation matrix.  Columns are bit-packed (so a pattern is
+    a short tuple of ``uint64`` words rather than an ``n_sources``-long
+    vector) and deduplicated with one ``np.unique`` pass.
+    """
+    provides = np.asarray(provides, dtype=bool)
+    coverage = np.asarray(coverage, dtype=bool)
+    if provides.shape != coverage.shape or provides.ndim != 2:
+        raise ValueError(
+            f"provides {provides.shape} and coverage {coverage.shape} must be "
+            "equal-shape 2-D arrays"
+        )
+    n_triples = provides.shape[1]
+    silent = coverage & ~provides
+
+    # One packed row per *triple*: [provider words | silent words].
+    packed_providers = pack_bool_rows(provides.T)
+    packed_silent = pack_bool_rows(silent.T)
+    combined = np.concatenate([packed_providers, packed_silent], axis=1)
+    _, first_index, inverse = np.unique(
+        combined, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+
+    provider_matrix = provides.T[first_index].copy()
+    silent_matrix = silent.T[first_index].copy()
+    provider_matrix.setflags(write=False)
+    silent_matrix.setflags(write=False)
+    counts = np.bincount(inverse, minlength=first_index.shape[0])
+
+    if n_triples == 0:
+        inverse = np.zeros(0, dtype=np.int64)
+    return PatternSet(
+        provider_matrix=provider_matrix,
+        silent_matrix=silent_matrix,
+        inverse=inverse,
+        counts=counts,
+    )

@@ -10,15 +10,20 @@ and down when it stays silent (Proposition 3.2).
 
 The implementation works in log space so that hundreds of sources cannot
 overflow the ratio, and clamps each rate away from {0, 1} so a single
-degenerate estimate cannot produce an infinite log-odds swing.
+degenerate estimate cannot produce an infinite log-odds swing.  Because the
+ratio factorises, the vectorized engine evaluates *every* distinct pattern
+with two matrix-vector products (see :meth:`PrecRecFuser.pattern_mu_batch`).
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.fusion import ModelBasedFuser
+import numpy as np
+
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel
+from repro.core.patterns import PatternSet
 from repro.util.probability import clamp_probability
 
 
@@ -37,6 +42,11 @@ class PrecRecFuser(ModelBasedFuser):
     decision_prior:
         Optional override of the ``alpha`` used in the posterior formula
         (the paper's Section 5 protocol fixes it at 0.5).
+    engine:
+        ``"vectorized"`` (default) or ``"legacy"`` -- see
+        :class:`repro.core.fusion.ModelBasedFuser`.
+    max_cache_entries:
+        Cap on the per-pattern memo used by the per-pattern scoring paths.
     """
 
     name = "PrecRec"
@@ -45,10 +55,17 @@ class PrecRecFuser(ModelBasedFuser):
         self,
         model: JointQualityModel,
         decision_prior: float | None = None,
+        engine: str = "vectorized",
+        max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
     ) -> None:
-        super().__init__(model, decision_prior=decision_prior)
+        super().__init__(
+            model,
+            decision_prior=decision_prior,
+            engine=engine,
+            max_cache_entries=max_cache_entries,
+        )
         # Pre-compute each source's two log-contributions once; scoring a
-        # triple is then a sum of lookups.
+        # pattern is then a sum of lookups (or, batched, a matrix product).
         self._log_provide: list[float] = []
         self._log_silent: list[float] = []
         for i in range(model.n_sources):
@@ -56,6 +73,8 @@ class PrecRecFuser(ModelBasedFuser):
             q = clamp_probability(model.fpr(i))
             self._log_provide.append(math.log(r) - math.log(q))
             self._log_silent.append(math.log1p(-r) - math.log1p(-q))
+        self._log_provide_vec = np.asarray(self._log_provide, dtype=float)
+        self._log_silent_vec = np.asarray(self._log_silent, dtype=float)
 
     def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
         return math.exp(self.pattern_log_mu(providers, silent))
@@ -70,3 +89,12 @@ class PrecRecFuser(ModelBasedFuser):
         for i in silent:
             total += self._log_silent[i]
         return total
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """All pattern ``mu`` values via two matrix-vector products."""
+        log_mu = (
+            patterns.provider_matrix @ self._log_provide_vec
+            + patterns.silent_matrix @ self._log_silent_vec
+        )
+        with np.errstate(over="ignore"):
+            return np.exp(log_mu)

@@ -148,21 +148,27 @@ def supervised_spec(
     prior: Optional[float] = None,
     smoothing: float = 0.0,
     decision_prior: Optional[float] = 0.5,
+    engine: str = "vectorized",
     **options,
 ) -> MethodSpec:
     """Spec for a model-based fuser calibrated on the dataset's labels.
 
     ``prior=None`` estimates ``alpha`` from the labels for the quality
     model; ``decision_prior=0.5`` fixes the posterior's ``alpha`` the way
-    the paper's Section 5 protocol does ("we set alpha = 0.5").
+    the paper's Section 5 protocol does ("we set alpha = 0.5").  ``engine``
+    selects the execution engine for both model fitting and scoring.
     """
 
     def build(dataset: FusionDataset) -> TruthFuser:
         model = fit_model(
-            dataset.observations, dataset.labels, prior=prior, smoothing=smoothing
+            dataset.observations,
+            dataset.labels,
+            prior=prior,
+            smoothing=smoothing,
+            engine=engine,
         )
         fuser = make_fuser(
-            method, model, decision_prior=decision_prior, **options
+            method, model, decision_prior=decision_prior, engine=engine, **options
         )
         fuser.name = name
         return fuser
@@ -179,6 +185,7 @@ def paper_method_specs(
     ltm_seed: int = 7,
     estimates_iterations: int = 20,
     corr_options: Optional[Mapping] = None,
+    engine: str = "vectorized",
 ) -> list[MethodSpec]:
     """The seven methods of the paper's main comparison (Figure 4).
 
@@ -206,10 +213,12 @@ def paper_method_specs(
         supervised_spec(
             "PrecRec", "precrec",
             prior=prior, smoothing=smoothing, decision_prior=decision_prior,
+            engine=engine,
         ),
         supervised_spec(
             "PrecRecCorr", "precreccorr",
             prior=prior, smoothing=smoothing, decision_prior=decision_prior,
+            engine=engine,
             **corr_options,
         ),
     ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Smallest probability-like value we allow.  Estimated rates are clamped to
 #: ``[PROBABILITY_FLOOR, 1 - PROBABILITY_FLOOR]`` before entering any ratio,
 #: which bounds a single source's log-odds contribution to ~ +/- 27.6.
@@ -82,6 +84,28 @@ def probability_from_mu(mu: float, prior: float) -> float:
         return 1.0 - PROBABILITY_FLOOR
     posterior_odds = (alpha / (1.0 - alpha)) * mu
     return odds_to_probability(posterior_odds)
+
+
+def probability_from_mu_array(mu: np.ndarray, prior: float) -> np.ndarray:
+    """Vectorized :func:`probability_from_mu` over an array of ``mu`` values.
+
+    Element-wise semantics mirror the scalar transform exactly: non-positive
+    or NaN likelihood ratios map to the probability floor, infinite ones to
+    the ceiling, everything else through the posterior odds formula.
+    """
+    alpha = clamp_probability(prior)
+    mu = np.asarray(mu, dtype=float)
+    ratio = alpha / (1.0 - alpha)
+    with np.errstate(over="ignore", invalid="ignore"):
+        odds = ratio * mu
+        probabilities = odds / (1.0 + odds)
+    probabilities = np.where(np.isinf(odds), 1.0 - PROBABILITY_FLOOR, probabilities)
+    probabilities = np.clip(
+        probabilities, PROBABILITY_FLOOR, 1.0 - PROBABILITY_FLOOR
+    )
+    return np.where(
+        np.isnan(mu) | (mu <= 0.0), PROBABILITY_FLOOR, probabilities
+    )
 
 
 def log_probability_from_mu(log_mu: float, prior: float) -> float:

@@ -6,6 +6,23 @@ import math
 from typing import Any
 
 
+#: Execution engines understood by the pattern-centric execution engine:
+#: ``"vectorized"`` scores each distinct observation pattern once from
+#: bit-packed statistics; ``"legacy"`` is the original per-triple /
+#: boolean-mask path, kept for equivalence testing.
+ENGINES = ("vectorized", "legacy")
+
+
+def check_engine(value: str, name: str = "engine") -> str:
+    """Validate and normalise an execution-engine name."""
+    key = str(value).lower()
+    if key not in ENGINES:
+        raise ValueError(
+            f"unknown {name} {value!r}; expected one of {ENGINES}"
+        )
+    return key
+
+
 def check_probability(value: float, name: str) -> float:
     """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
     if not isinstance(value, (int, float)) or isinstance(value, bool):
