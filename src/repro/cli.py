@@ -48,13 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"fusion method; one of {', '.join(METHOD_NAMES)}",
     )
     fuse_cmd.add_argument(
-        "--decision-prior", type=float, default=0.5,
-        help="alpha of the posterior formula (paper protocol: 0.5); "
-             "pass -1 to use the calibrated prior",
+        "--decision-prior", type=float, default=None,
+        help="alpha of the posterior formula (default: 0.5, the paper "
+             "protocol); pass -1 to use the calibrated prior; does not "
+             "apply to --method em, whose evolving prior plays that role",
     )
     fuse_cmd.add_argument(
         "--smoothing", type=float, default=0.0,
-        help="Laplace smoothing for quality estimation",
+        help="Laplace smoothing for quality estimation (does not apply to "
+             "--method em, which has its own pseudo-count)",
     )
     fuse_cmd.add_argument(
         "--scores-csv", metavar="PATH",
@@ -115,7 +117,16 @@ def _cmd_datasets() -> int:
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
     dataset = get_dataset(args.dataset, seed=args.seed)
-    decision_prior = None if args.decision_prior < 0 else args.decision_prior
+    # Unset defaults to the paper protocol's 0.5 for model-based methods;
+    # EM has no separate decision alpha, so the default stays unset there
+    # and any *explicit* value (including -1) is passed through for fuse
+    # to reject with a clear error.
+    decision_prior = args.decision_prior
+    if args.method.lower() != "em":
+        if decision_prior is None:
+            decision_prior = 0.5
+        elif decision_prior < 0:
+            decision_prior = None
     result = fuse(
         dataset.observations,
         dataset.labels,
@@ -189,14 +200,21 @@ def _cmd_correlations(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "datasets":
-        return _cmd_datasets()
-    if args.command == "fuse":
-        return _cmd_fuse(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "correlations":
-        return _cmd_correlations(args)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "fuse":
+            return _cmd_fuse(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "correlations":
+            return _cmd_correlations(args)
+    except ValueError as error:
+        # Unsupported option combinations (e.g. --method em with
+        # --smoothing or --decision-prior) raise ValueError with an
+        # actionable message; surface it cleanly instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

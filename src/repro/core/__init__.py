@@ -7,6 +7,9 @@ The modules map one-to-one onto the paper's sections:
 - :mod:`repro.core.bitset`, :mod:`repro.core.patterns` -- the vectorized
   execution engine's base layers: bit-packed subset intersections and
   unique-observation-pattern extraction (see ``docs/architecture.md``).
+- :mod:`repro.core.plans` -- the shared union-plan layer: collect subset
+  unions once, evaluate them in bulk, re-accumulate per pattern (consumed
+  by the exact, elastic, and clustered fusers).
 - :mod:`repro.core.quality` -- precision/recall measurement and the
   Theorem 3.5 false-positive-rate derivation (Section 3.2).
 - :mod:`repro.core.joint` -- joint precision/recall and correlation factors
@@ -28,7 +31,12 @@ The modules map one-to-one onto the paper's sections:
 from repro.core.aggressive import AggressiveFuser
 from repro.core.api import EXACT_SOURCE_LIMIT, METHOD_NAMES, fit_model, fuse, make_fuser
 from repro.core.bitset import PackedMatrix, pack_bool_rows, pack_bool_vector, popcount
-from repro.core.patterns import PatternSet, extract_patterns
+from repro.core.patterns import (
+    PatternSet,
+    extract_patterns,
+    restricted_unique_patterns,
+)
+from repro.core.plans import ElasticUnionPlan, ExactUnionPlan, UnionCollector
 from repro.core.confidence import (
     ConfidenceBundle,
     confidence_threshold_sweep,
@@ -87,6 +95,8 @@ __all__ = [
     "ENGINES",
     "EXACT_SOURCE_LIMIT",
     "ElasticFuser",
+    "ElasticUnionPlan",
+    "ExactUnionPlan",
     "EmpiricalJointModel",
     "ExactCorrelationFuser",
     "ExpectationMaximizationFuser",
@@ -108,6 +118,7 @@ __all__ = [
     "Triple",
     "TripleIndex",
     "TruthFuser",
+    "UnionCollector",
     "correlation_clusters",
     "derive_false_positive_rate",
     "discovered_correlation_groups",
@@ -121,6 +132,7 @@ __all__ = [
     "pack_bool_rows",
     "pack_bool_vector",
     "popcount",
+    "restricted_unique_patterns",
     "confidence_threshold_sweep",
     "fuse_per_domain",
     "matrix_from_confidences",

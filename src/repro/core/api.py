@@ -83,6 +83,20 @@ def fit_model(
     )
 
 
+#: ``precreccorr`` options that only parameterise the clustered fallback
+#: (dropped when the exact solver runs).
+_CLUSTERED_ONLY_OPTIONS = frozenset(
+    {
+        "true_partition", "false_partition", "min_phi", "min_expected",
+        "significance", "exact_cluster_limit", "elastic_level",
+    }
+)
+
+#: ``precreccorr`` options that only parameterise the exact solver (dropped
+#: when the dataset is wide enough to route to the clustered fuser).
+_EXACT_ONLY_OPTIONS = frozenset({"max_silent_sources"})
+
+
 def make_fuser(
     method: str,
     model: Optional[JointQualityModel] = None,
@@ -92,7 +106,17 @@ def make_fuser(
 
     ``model`` is required for every method except ``"em"``.  ``options`` are
     forwarded to the fuser constructor (e.g. ``level=2`` for elastic,
-    ``deviation=0.5`` for clustered).
+    ``min_phi=0.25`` for clustered).
+
+    ``method="precreccorr"`` routes by width: the exact solver up to
+    ``EXACT_SOURCE_LIMIT`` sources, the clustered fuser beyond it (the
+    paper's BOOK treatment).  Solver-specific tuning options are filtered
+    symmetrically so one call site can pass both kinds: exact-only options
+    (``max_silent_sources``) are dropped on the clustered route, and
+    clustered-only options (partitions, ``min_phi``, ``min_expected``,
+    ``significance``, ``exact_cluster_limit``, ``elastic_level``) are
+    dropped on the exact route.  Options shared by both solvers
+    (``decision_prior``, ``engine``, ``max_cache_entries``) always apply.
     """
     key = method.lower().replace("-", "").replace("_", "")
     if key == "em":
@@ -104,16 +128,16 @@ def make_fuser(
     if key == "precrec":
         return PrecRecFuser(model, **options)
     if key == "precreccorr":
+        # Solver-specific options are tuning hints, not requirements --
+        # filter them symmetrically so one call site can configure both
+        # routes without crashing whichever solver ends up running.
         if model.n_sources > EXACT_SOURCE_LIMIT:
-            return ClusteredCorrelationFuser(model, **options)
-        # Options that only parameterise the clustered fallback are tuning
-        # hints, not requirements -- drop them when the exact solver runs.
-        clustered_only = {
-            "true_partition", "false_partition", "min_phi", "min_expected",
-            "significance", "exact_cluster_limit", "elastic_level",
-        }
+            clustered_options = {
+                k: v for k, v in options.items() if k not in _EXACT_ONLY_OPTIONS
+            }
+            return ClusteredCorrelationFuser(model, **clustered_options)
         exact_options = {
-            k: v for k, v in options.items() if k not in clustered_only
+            k: v for k, v in options.items() if k not in _CLUSTERED_ONLY_OPTIONS
         }
         return ExactCorrelationFuser(model, **exact_options)
     if key == "exact":
@@ -157,8 +181,40 @@ def fuse(
     path; ``"legacy"`` is the original per-triple reference, kept for
     equivalence testing.  The EM method manages its own scoring loop and
     ignores the switch.
+
+    ``method="precreccorr"`` routes to the exact solver or (beyond
+    ``EXACT_SOURCE_LIMIT`` sources) the clustered fuser; solver-specific
+    options are filtered symmetrically -- see :func:`make_fuser`.
+
+    ``method="em"`` fits no quality model: ``prior`` is forwarded as the EM
+    loop's initial ``alpha``, while ``smoothing``, ``train_mask``, and
+    ``decision_prior`` (which only configure a fitted model's posterior)
+    raise ``ValueError`` instead of being silently ignored.
     """
     if method.lower() == "em":
+        if train_mask is not None:
+            raise ValueError(
+                "train_mask is not supported for method='em': EM fits no "
+                "quality model to a labelled split; pin known labels with "
+                "make_fuser('em', seed_labels=...) instead"
+            )
+        if smoothing != 0.0:
+            raise ValueError(
+                "smoothing calibrates the fitted quality model and does not "
+                "apply to method='em'; configure the EM loop's own "
+                "pseudo-count with make_fuser('em', smoothing=...)"
+            )
+        # The CLI forwards decision_prior unconditionally (None when unset);
+        # EM has no separate decision alpha -- its evolving prior plays that
+        # role -- so drop the unset default and reject explicit values.
+        if options.pop("decision_prior", None) is not None:
+            raise ValueError(
+                "decision_prior is not supported for method='em': the EM "
+                "posterior uses the loop's own (evolving) prior; pass "
+                "prior=... to set the initial alpha instead"
+            )
+        if prior is not None:
+            options["prior"] = prior
         fuser: TruthFuser = make_fuser("em", **options)
     else:
         model = fit_model(

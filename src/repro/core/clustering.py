@@ -36,6 +36,7 @@ from repro.core.elastic import ElasticFuser
 from repro.core.exact import ExactCorrelationFuser
 from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel
+from repro.core.patterns import PatternSet, restricted_unique_patterns
 from repro.util.probability import PROBABILITY_FLOOR
 
 Side = Literal["true", "false"]
@@ -246,9 +247,14 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         Elastic ``lambda`` for oversized clusters (paper: level 3).
     engine, max_cache_entries:
         Execution engine switch and per-pattern memo cap -- see
-        :class:`repro.core.fusion.ModelBasedFuser`.  The per-cluster
-        evaluators are consulted through their pattern interface, so the
-        engine choice governs the outer scoring loop.
+        :class:`repro.core.fusion.ModelBasedFuser`.  The cap is also
+        forwarded to the per-cluster evaluators, bounding their joint and
+        mu caches the same way.  On the vectorized
+        engine every distinct global pattern is decomposed into per-cluster
+        sub-patterns, deduplicated within each cluster, and scored through
+        the evaluators' batched union plans (:meth:`pattern_mu_batch`); the
+        legacy engine walks triples and consults the evaluators through the
+        scalar pattern interface.
     """
 
     name = "PrecRecCorr-Clustered"
@@ -291,6 +297,8 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             )
         self._true_partition = true_partition
         self._false_partition = false_partition
+        self._shared_exact: Optional[ExactCorrelationFuser] = None
+        self._elastic_by_cluster: dict[frozenset[int], ElasticFuser] = {}
         self._true_evaluators = [
             self._make_evaluator(cluster, exact_cluster_limit, elastic_level)
             for cluster in true_partition.clusters
@@ -312,8 +320,32 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         self, cluster: frozenset[int], exact_limit: int, level: int
     ) -> ModelBasedFuser:
         if len(cluster) <= exact_limit:
-            return ExactCorrelationFuser(self.model, max_silent_sources=exact_limit)
-        return ElasticFuser(self.model, level=level, universe=sorted(cluster))
+            # One exact evaluator serves every small cluster on both sides:
+            # it is a pure function of the full model, so per-cluster
+            # instances were identical copies, each duplicating its joint
+            # cache.  Oversized clusters still get their own elastic
+            # evaluator (its aggressive factors depend on the universe).
+            if self._shared_exact is None:
+                self._shared_exact = ExactCorrelationFuser(
+                    self.model,
+                    max_silent_sources=exact_limit,
+                    max_cache_entries=self._max_cache,
+                )
+            return self._shared_exact
+        # An oversized cluster appearing in both partitions reuses one
+        # elastic evaluator (its aggressive factors depend only on the
+        # cluster universe), so the per-(evaluator, cluster) batch memo in
+        # pattern_mu_batch also hits across sides.
+        evaluator = self._elastic_by_cluster.get(cluster)
+        if evaluator is None:
+            evaluator = ElasticFuser(
+                self.model,
+                level=level,
+                universe=sorted(cluster),
+                max_cache_entries=self._max_cache,
+            )
+            self._elastic_by_cluster[cluster] = evaluator
+        return evaluator
 
     def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
         log_numerator = 0.0
@@ -333,6 +365,77 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             )
             log_denominator += math.log(max(q_side, PROBABILITY_FLOOR))
         return math.exp(log_numerator - log_denominator)
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """Every distinct pattern's ``mu`` through the batched union plans.
+
+        Each distinct global pattern is decomposed into per-cluster
+        sub-patterns (``providers & cluster``, ``silent & cluster``); the
+        sub-patterns are deduplicated *within each cluster* (many global
+        patterns collapse onto the same cluster-local restriction), each
+        cluster's distinct sub-patterns are evaluated in one shot through
+        its evaluator's :meth:`pattern_likelihoods_batch` (the shared
+        :mod:`repro.core.plans` machinery), and per-pattern ``mu`` is
+        recombined as a gather-sum of per-cluster log-likelihoods -- the
+        true-side partition in the numerator, the false-side partition in
+        the denominator.
+
+        Logs and the final exponential are taken with ``math.log`` /
+        ``math.exp`` on the deduplicated values and the per-cluster terms
+        are added in partition order, replicating :meth:`pattern_mu`'s
+        operation sequence exactly -- so scores are bit-identical to the
+        legacy per-pattern path.
+        """
+        log_numerator = np.zeros(patterns.n_patterns, dtype=float)
+        log_denominator = np.zeros(patterns.n_patterns, dtype=float)
+        sides = (
+            (self._true_partition, self._true_evaluators, log_numerator, 0),
+            (self._false_partition, self._false_evaluators, log_denominator, 1),
+        )
+        # A cluster often appears in both partitions (sources correlated on
+        # both sides); the batch entry points compute the true- and
+        # false-side arrays together, so memoise per (evaluator, cluster)
+        # and evaluate each shared cluster once per score() call.
+        evaluated: dict[
+            tuple[int, frozenset[int]],
+            tuple[np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        for partition, evaluators, accumulator, side in sides:
+            for cluster, evaluator in zip(partition.clusters, evaluators):
+                key = (id(evaluator), cluster)
+                entry = evaluated.get(key)
+                if entry is None:
+                    sub_providers, sub_silent, inverse = (
+                        restricted_unique_patterns(
+                            patterns.provider_matrix,
+                            patterns.silent_matrix,
+                            cluster,
+                        )
+                    )
+                    numerators, denominators = (
+                        evaluator.pattern_likelihoods_batch(
+                            sub_providers, sub_silent
+                        )
+                    )
+                    entry = (numerators, denominators, inverse)
+                    evaluated[key] = entry
+                likelihoods = entry[side]
+                inverse = entry[2]
+                logs = np.array(
+                    [
+                        math.log(max(value, PROBABILITY_FLOOR))
+                        for value in likelihoods.tolist()
+                    ],
+                    dtype=float,
+                )
+                accumulator += logs[inverse]
+        return np.array(
+            [
+                math.exp(value)
+                for value in (log_numerator - log_denominator).tolist()
+            ],
+            dtype=float,
+        )
 
 
 def discovered_correlation_groups(

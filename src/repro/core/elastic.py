@@ -28,9 +28,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser, UnionCollector
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel, MaskedJointCache
 from repro.core.patterns import PatternSet
+from repro.core.plans import (
+    ElasticUnionPlan,
+    model_supports_batch,
+    scalar_likelihoods,
+)
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets_of_size, subset_parity
 from repro.util.validation import check_non_negative_int
@@ -169,80 +174,39 @@ class ElasticFuser(ModelBasedFuser):
             max(denominator, PROBABILITY_FLOOR),
         )
 
+    def pattern_likelihoods_batch(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Floored ``(R, Q)`` of Algorithm 1 for many patterns at once.
+
+        The batch entry point the clustered fuser drives once per oversized
+        correlation cluster: rows of ``provider_matrix`` / ``silent_matrix``
+        (boolean, ``(n_patterns, n_sources)``; set only on this fuser's
+        universe) are evaluated through the shared
+        :class:`~repro.core.plans.ElasticUnionPlan` -- base sets and every
+        level-``1..lambda`` union collected once, evaluated in bulk via
+        :meth:`JointQualityModel.joint_params_batch`, Algorithm 1's sums
+        re-accumulated in the legacy term order -- so every value is
+        bit-identical to :meth:`pattern_likelihoods`.  Models without batch
+        support fall back to bitmask-keyed scalar queries.
+        """
+        provider_matrix = np.asarray(provider_matrix, dtype=bool)
+        silent_matrix = np.asarray(silent_matrix, dtype=bool)
+        if not model_supports_batch(self.model, provider_matrix.shape[1]):
+            return scalar_likelihoods(
+                provider_matrix, silent_matrix, self._masked_likelihoods
+            )
+        plan = ElasticUnionPlan.build(provider_matrix, silent_matrix, self._level)
+        recalls, fprs = self.model.joint_params_batch(plan.rows)
+        return plan.accumulate(recalls, fprs, self._eff_recall, self._eff_fpr)
+
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
         """Every distinct pattern's ``mu`` from one batched model evaluation.
 
-        Mirrors :meth:`ExactCorrelationFuser.pattern_mu_batch`: unions are
-        collected once (deduplicated by bitmask), evaluated in bulk via
-        :meth:`JointQualityModel.joint_params_batch`, and Algorithm 1's sums
-        re-accumulated per pattern in the legacy term order, keeping scores
-        bit-identical to the legacy path.  Models without batch support fall
-        back to bitmask-keyed scalar queries.
+        Thin wrapper over :meth:`pattern_likelihoods_batch`; scores are
+        bit-identical to the legacy path.
         """
-        probe = self.model.joint_params_batch(
-            np.zeros((0, patterns.n_sources), dtype=bool)
+        numerators, denominators = self.pattern_likelihoods_batch(
+            patterns.provider_matrix, patterns.silent_matrix
         )
-        provider_lists = [
-            np.flatnonzero(row).tolist() for row in patterns.provider_matrix
-        ]
-        silent_lists = [
-            np.flatnonzero(row).tolist() for row in patterns.silent_matrix
-        ]
-        mus = np.empty(patterns.n_patterns, dtype=float)
-        if probe is None:
-            for k in range(patterns.n_patterns):
-                numerator, denominator = self._masked_likelihoods(
-                    provider_lists[k], silent_lists[k]
-                )
-                mus[k] = numerator / denominator
-            return mus
-
-        # Pass 1: every base set and every level-1..lambda union, once each.
-        collector = UnionCollector(patterns.n_sources)
-        base_index: list[int] = []
-        term_index: list[int] = []
-        for k in range(patterns.n_patterns):
-            base_row = patterns.provider_matrix[k]
-            base_mask = collector.mask_of(provider_lists[k])
-            base_index.append(collector.add(base_mask, base_row, ()))
-            silent = silent_lists[k]
-            max_level = min(self._level, len(silent))
-            for l in range(1, max_level + 1):
-                for subset in iter_subsets_of_size(silent, l):
-                    mask = base_mask
-                    for i in subset:
-                        mask |= collector.bit(i)
-                    term_index.append(collector.add(mask, base_row, subset))
-
-        recalls, fprs = self.model.joint_params_batch(collector.rows())
-        recall_list = recalls.tolist()
-        fpr_list = fprs.tolist()
-
-        # Pass 2: Algorithm 1 per pattern, terms in the legacy order.
-        position = 0
-        for k in range(patterns.n_patterns):
-            silent = silent_lists[k]
-            r_st = recall_list[base_index[k]]
-            q_st = fpr_list[base_index[k]]
-            numerator = r_st
-            denominator = q_st
-            for i in silent:
-                numerator *= 1.0 - self._eff_recall[i]
-                denominator *= 1.0 - self._eff_fpr[i]
-            max_level = min(self._level, len(silent))
-            for l in range(1, max_level + 1):
-                sign = subset_parity(l)
-                for subset in iter_subsets_of_size(silent, l):
-                    approx_r = r_st
-                    approx_q = q_st
-                    for i in subset:
-                        approx_r *= self._eff_recall[i]
-                        approx_q *= self._eff_fpr[i]
-                    index = term_index[position]
-                    position += 1
-                    numerator += sign * (recall_list[index] - approx_r)
-                    denominator += sign * (fpr_list[index] - approx_q)
-            mus[k] = max(numerator, PROBABILITY_FLOOR) / max(
-                denominator, PROBABILITY_FLOOR
-            )
-        return mus
+        return numerators / denominators

@@ -28,9 +28,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser, UnionCollector
+from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel, MaskedJointCache
 from repro.core.patterns import PatternSet
+from repro.core.plans import (
+    ExactUnionPlan,
+    model_supports_batch,
+    scalar_likelihoods,
+)
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets, subset_parity
 
@@ -138,64 +143,40 @@ class ExactCorrelationFuser(ModelBasedFuser):
             max(denominator, PROBABILITY_FLOOR),
         )
 
-    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
-        """Every distinct pattern's ``mu`` from one batched model evaluation.
+    def pattern_likelihoods_batch(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Floored ``(Pr(Ot | t), Pr(Ot | not t))`` arrays for many patterns.
 
-        All subset unions across all patterns are collected (deduplicated by
-        bitmask), their ``(r, q)`` evaluated in one vectorized model call,
-        and the inclusion-exclusion sums re-accumulated per pattern in the
-        legacy term order -- so scores are bit-identical to the legacy path.
+        The batch entry point the clustered fuser drives once per
+        correlation cluster: rows of ``provider_matrix`` / ``silent_matrix``
+        (boolean, ``(n_patterns, n_sources)``) are evaluated through the
+        shared :class:`~repro.core.plans.ExactUnionPlan` -- all subset
+        unions collected once, ``(r, q)`` from one vectorized model call,
+        inclusion-exclusion sums re-accumulated in the legacy term order --
+        so every value is bit-identical to :meth:`pattern_likelihoods`.
         Models without batch support fall back to bitmask-keyed scalar
         queries.
         """
-        probe = self.model.joint_params_batch(
-            np.zeros((0, patterns.n_sources), dtype=bool)
-        )
-        provider_lists = [
-            np.flatnonzero(row).tolist() for row in patterns.provider_matrix
-        ]
-        silent_lists = [
-            np.flatnonzero(row).tolist() for row in patterns.silent_matrix
-        ]
-        mus = np.empty(patterns.n_patterns, dtype=float)
-        if probe is None:
-            for k in range(patterns.n_patterns):
-                numerator, denominator = self._masked_likelihoods(
-                    provider_lists[k], silent_lists[k]
-                )
-                mus[k] = numerator / denominator
-            return mus
-
-        # Pass 1: enumerate every union once, deduplicated by bitmask.
-        collector = UnionCollector(patterns.n_sources)
-        term_index: list[int] = []
-        for k in range(patterns.n_patterns):
-            silent = silent_lists[k]
-            self._check_silent_width(len(silent))
-            base_row = patterns.provider_matrix[k]
-            base_mask = collector.mask_of(provider_lists[k])
-            for subset in iter_subsets(silent):
-                mask = base_mask
-                for i in subset:
-                    mask |= collector.bit(i)
-                term_index.append(collector.add(mask, base_row, subset))
-
-        recalls, fprs = self.model.joint_params_batch(collector.rows())
-        recall_list = recalls.tolist()
-        fpr_list = fprs.tolist()
-
-        # Pass 2: re-accumulate each pattern's sums in the legacy order.
-        position = 0
-        for k in range(patterns.n_patterns):
-            numerator = 0.0
-            denominator = 0.0
-            for subset in iter_subsets(silent_lists[k]):
-                sign = subset_parity(len(subset))
-                index = term_index[position]
-                position += 1
-                numerator += sign * recall_list[index]
-                denominator += sign * fpr_list[index]
-            mus[k] = max(numerator, PROBABILITY_FLOOR) / max(
-                denominator, PROBABILITY_FLOOR
+        provider_matrix = np.asarray(provider_matrix, dtype=bool)
+        silent_matrix = np.asarray(silent_matrix, dtype=bool)
+        if not model_supports_batch(self.model, provider_matrix.shape[1]):
+            return scalar_likelihoods(
+                provider_matrix, silent_matrix, self._masked_likelihoods
             )
-        return mus
+        plan = ExactUnionPlan.build(
+            provider_matrix, silent_matrix, width_check=self._check_silent_width
+        )
+        recalls, fprs = self.model.joint_params_batch(plan.rows)
+        return plan.accumulate(recalls, fprs)
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """Every distinct pattern's ``mu`` from one batched model evaluation.
+
+        Thin wrapper over :meth:`pattern_likelihoods_batch`; scores are
+        bit-identical to the legacy path.
+        """
+        numerators, denominators = self.pattern_likelihoods_batch(
+            patterns.provider_matrix, patterns.silent_matrix
+        )
+        return numerators / denominators

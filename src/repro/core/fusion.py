@@ -126,63 +126,6 @@ class TruthFuser(ABC):
 PatternKey = tuple[frozenset[int], frozenset[int]]
 
 
-class UnionCollector:
-    """Deduplicating collector of subset-union rows for batched evaluation.
-
-    The inclusion-exclusion fusers enumerate unions ``providers + subset``
-    per pattern; most unions repeat across patterns.  The collector keys
-    each union by an int bitmask (cheap to build and hash), materialises a
-    boolean source row only on first sighting, and hands the distinct rows
-    to :meth:`JointQualityModel.joint_params_batch` in one call.
-    """
-
-    __slots__ = ("_bits", "_index", "_rows", "_n_sources")
-
-    def __init__(self, n_sources: int) -> None:
-        self._bits = [1 << i for i in range(n_sources)]
-        self._index: dict[int, int] = {}
-        self._rows: list[np.ndarray] = []
-        self._n_sources = n_sources
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    def mask_of(self, source_ids) -> int:
-        """Bitmask of a collection of source ids."""
-        mask = 0
-        bits = self._bits
-        for i in source_ids:
-            mask |= bits[i]
-        return mask
-
-    def bit(self, source_id: int) -> int:
-        return self._bits[source_id]
-
-    def add(self, mask: int, base_row: np.ndarray, extra_ids) -> int:
-        """Index of the union ``base_row | extra_ids`` identified by ``mask``.
-
-        ``mask`` must equal the bitmask of the union; ``base_row`` (a boolean
-        source row) and ``extra_ids`` are only consulted when the mask is new.
-        """
-        index = self._index.get(mask)
-        if index is None:
-            index = len(self._rows)
-            self._index[mask] = index
-            if extra_ids:
-                row = base_row.copy()
-                row[list(extra_ids)] = True
-            else:
-                row = base_row
-            self._rows.append(row)
-        return index
-
-    def rows(self) -> np.ndarray:
-        """All distinct union rows, shape ``(n_distinct, n_sources)``."""
-        if not self._rows:
-            return np.zeros((0, self._n_sources), dtype=bool)
-        return np.array(self._rows, dtype=bool)
-
-
 class ModelBasedFuser(TruthFuser):
     """Shared machinery for fusers driven by a :class:`JointQualityModel`.
 

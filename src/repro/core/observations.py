@@ -263,10 +263,12 @@ class ObservationMatrix:
     ) -> "ObservationMatrix":
         """A new matrix containing only the given source rows.
 
-        Used by the clustered fuser, which evaluates each correlation cluster
-        in isolation.  With ``prune_empty_triples`` the result also drops
-        the columns no kept source provides, so clustered sub-problems do
-        not carry dead columns (and dead patterns) through the engine.
+        A convenience for carving per-cluster or per-shard sub-problems out
+        of a wide matrix (the clustered fuser itself restricts *patterns*
+        via :func:`repro.core.patterns.restricted_unique_patterns` instead).
+        With ``prune_empty_triples`` the result also drops the columns no
+        kept source provides, so sub-problems do not carry dead columns
+        (and dead patterns) through the engine.
         """
         ids = list(source_ids)
         restricted = ObservationMatrix(

@@ -141,3 +141,71 @@ def extract_patterns(
         inverse=inverse,
         counts=counts,
     )
+
+
+def restricted_unique_patterns(
+    provider_matrix: np.ndarray,
+    silent_matrix: np.ndarray,
+    member_ids,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct sub-patterns after restricting patterns to ``member_ids``.
+
+    The clustered fuser's decomposition step: restricting global observation
+    patterns to one correlation cluster (``providers & cluster``,
+    ``silent & cluster``) collapses many global patterns onto the same
+    cluster-local sub-pattern, so each cluster's evaluator only needs to
+    score the distinct restrictions.  Deduplication hashes the bit-packed
+    member columns (one ``np.unique`` pass, same technique as
+    :func:`extract_patterns`).
+
+    Returns ``(sub_providers, sub_silent, inverse)``: read-only boolean
+    matrices of shape ``(n_subpatterns, n_sources)`` -- full source width,
+    zero outside ``member_ids`` -- plus the inverse index mapping every
+    input pattern to its sub-pattern (``values[inverse]`` scatters
+    per-sub-pattern results back to patterns).
+    """
+    provider_matrix = np.asarray(provider_matrix, dtype=bool)
+    silent_matrix = np.asarray(silent_matrix, dtype=bool)
+    if provider_matrix.shape != silent_matrix.shape or provider_matrix.ndim != 2:
+        raise ValueError(
+            f"provider {provider_matrix.shape} and silent {silent_matrix.shape} "
+            "must be equal-shape 2-D arrays"
+        )
+    n_patterns, n_sources = provider_matrix.shape
+    member_list = sorted({int(i) for i in member_ids})
+    if member_list and not 0 <= member_list[0] <= member_list[-1] < n_sources:
+        raise ValueError(
+            f"member ids {member_list} out of range for {n_sources} sources"
+        )
+    mask = np.zeros(n_sources, dtype=bool)
+    mask[member_list] = True
+    sub_providers = provider_matrix & mask
+    sub_silent = silent_matrix & mask
+    if n_patterns == 0 or not member_list:
+        # No patterns, or an empty restriction: every pattern collapses onto
+        # the all-silent-empty sub-pattern (at most one distinct row).
+        keep = min(n_patterns, 1)
+        sub_providers = sub_providers[:keep]
+        sub_silent = sub_silent[:keep]
+        sub_providers.setflags(write=False)
+        sub_silent.setflags(write=False)
+        return (
+            sub_providers,
+            sub_silent,
+            np.zeros(n_patterns, dtype=np.int64),
+        )
+    packed = np.concatenate(
+        [
+            pack_bool_rows(sub_providers[:, member_list]),
+            pack_bool_rows(sub_silent[:, member_list]),
+        ],
+        axis=1,
+    )
+    _, first_index, inverse = np.unique(
+        packed, axis=0, return_index=True, return_inverse=True
+    )
+    unique_providers = sub_providers[first_index]
+    unique_silent = sub_silent[first_index]
+    unique_providers.setflags(write=False)
+    unique_silent.setflags(write=False)
+    return unique_providers, unique_silent, inverse.reshape(-1)

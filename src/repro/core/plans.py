@@ -1,0 +1,303 @@
+"""Shared union-plan machinery for the inclusion-exclusion fusers.
+
+The exact solver (Theorem 4.2), the elastic approximation (Algorithm 1),
+and the clustered fuser built on top of both all evaluate sums whose terms
+are joint-model look-ups ``r_{S}`` / ``q_{S}`` over subset unions
+``providers + S*``.  Their batched execution paths share one pipeline:
+
+1. **collect** -- enumerate each pattern's unions exactly once,
+   deduplicated by int bitmask (:class:`UnionCollector`; most unions repeat
+   across patterns);
+2. **evaluate** -- hand the distinct union rows to
+   :meth:`~repro.core.joint.JointQualityModel.joint_params_batch` in one
+   vectorized call;
+3. **accumulate** -- re-walk each pattern's terms in the *legacy scalar
+   order*, gathering from the batched results, so every score stays
+   bit-identical to the per-pattern reference path.
+
+This module holds the pipeline; :mod:`repro.core.exact` and
+:mod:`repro.core.elastic` wrap it behind ``pattern_likelihoods_batch`` /
+``pattern_mu_batch``, and :mod:`repro.core.clustering` drives those batch
+entry points once per correlation cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.util.probability import PROBABILITY_FLOOR
+from repro.util.subsets import iter_subsets, iter_subsets_of_size, subset_parity
+
+
+class UnionCollector:
+    """Deduplicating collector of subset-union rows for batched evaluation.
+
+    The inclusion-exclusion fusers enumerate unions ``providers + subset``
+    per pattern; most unions repeat across patterns.  The collector keys
+    each union by an int bitmask (cheap to build and hash), materialises a
+    boolean source row only on first sighting, and hands the distinct rows
+    to :meth:`JointQualityModel.joint_params_batch` in one call.
+    """
+
+    __slots__ = ("_bits", "_index", "_rows", "_n_sources")
+
+    def __init__(self, n_sources: int) -> None:
+        self._bits = [1 << i for i in range(n_sources)]
+        self._index: dict[int, int] = {}
+        self._rows: list[np.ndarray] = []
+        self._n_sources = n_sources
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def mask_of(self, source_ids) -> int:
+        """Bitmask of a collection of source ids."""
+        mask = 0
+        bits = self._bits
+        for i in source_ids:
+            mask |= bits[i]
+        return mask
+
+    def bit(self, source_id: int) -> int:
+        return self._bits[source_id]
+
+    def add(self, mask: int, base_row: np.ndarray, extra_ids) -> int:
+        """Index of the union ``base_row | extra_ids`` identified by ``mask``.
+
+        ``mask`` must equal the bitmask of the union; ``base_row`` (a boolean
+        source row) and ``extra_ids`` are only consulted when the mask is new.
+        A writable ``base_row`` is copied before it is stored: keeping a live
+        view would let a later in-place mutation of the source row silently
+        corrupt the collected plan.  Read-only rows (pattern matrices are
+        frozen with ``setflags(write=False)``) are stored as-is.
+        """
+        index = self._index.get(mask)
+        if index is None:
+            index = len(self._rows)
+            self._index[mask] = index
+            if extra_ids:
+                row = base_row.copy()
+                row[list(extra_ids)] = True
+            elif base_row.flags.writeable:
+                row = base_row.copy()
+            else:
+                row = base_row
+            self._rows.append(row)
+        return index
+
+    def rows(self) -> np.ndarray:
+        """All distinct union rows, shape ``(n_distinct, n_sources)``."""
+        if not self._rows:
+            return np.zeros((0, self._n_sources), dtype=bool)
+        return np.array(self._rows, dtype=bool)
+
+
+def pattern_source_lists(
+    provider_matrix: np.ndarray, silent_matrix: np.ndarray
+) -> tuple[list[list[int]], list[list[int]]]:
+    """Sorted provider / silent id lists for each pattern row."""
+    provider_lists = [
+        np.flatnonzero(row).tolist() for row in provider_matrix
+    ]
+    silent_lists = [np.flatnonzero(row).tolist() for row in silent_matrix]
+    return provider_lists, silent_lists
+
+
+def model_supports_batch(model, n_sources: int) -> bool:
+    """Whether the model answers :meth:`joint_params_batch` (probe call)."""
+    probe = model.joint_params_batch(np.zeros((0, n_sources), dtype=bool))
+    return probe is not None
+
+
+def scalar_likelihoods(
+    provider_matrix: np.ndarray,
+    silent_matrix: np.ndarray,
+    likelihood_fn: Callable[[list[int], list[int]], tuple[float, float]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pattern ``(numerator, denominator)`` via a scalar likelihood fn.
+
+    The shared fallback for models without batch support: ``likelihood_fn``
+    receives each pattern's sorted provider and silent id lists (the
+    fusers pass their bitmask-keyed ``_masked_likelihoods``).
+    """
+    provider_lists, silent_lists = pattern_source_lists(
+        provider_matrix, silent_matrix
+    )
+    n_patterns = provider_matrix.shape[0]
+    numerators = np.empty(n_patterns, dtype=float)
+    denominators = np.empty(n_patterns, dtype=float)
+    for k in range(n_patterns):
+        numerators[k], denominators[k] = likelihood_fn(
+            provider_lists[k], silent_lists[k]
+        )
+    return numerators, denominators
+
+
+class ExactUnionPlan:
+    """Batched Eq. 10-11 plan over a set of ``(providers, silent)`` patterns.
+
+    :meth:`build` performs the collect step (every subset union of every
+    pattern, deduplicated by bitmask); :meth:`accumulate` re-runs the
+    inclusion-exclusion sums per pattern in the legacy term order over the
+    batch-evaluated ``(r, q)`` values, flooring both sides at
+    ``PROBABILITY_FLOOR`` exactly like the scalar
+    :meth:`~repro.core.exact.ExactCorrelationFuser.pattern_likelihoods`.
+    """
+
+    __slots__ = ("rows", "silent_lists", "term_index")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        silent_lists: list[list[int]],
+        term_index: list[int],
+    ) -> None:
+        self.rows = rows
+        self.silent_lists = silent_lists
+        self.term_index = term_index
+
+    @classmethod
+    def build(
+        cls,
+        provider_matrix: np.ndarray,
+        silent_matrix: np.ndarray,
+        width_check: Optional[Callable[[int], None]] = None,
+    ) -> "ExactUnionPlan":
+        """Collect every subset union of every pattern, once each.
+
+        ``width_check`` (when given) receives each pattern's silent-set size
+        before its ``2^{|silent|}`` unions are enumerated -- the exact fuser
+        passes its ``max_silent_sources`` guard.
+        """
+        provider_lists, silent_lists = pattern_source_lists(
+            provider_matrix, silent_matrix
+        )
+        collector = UnionCollector(provider_matrix.shape[1])
+        term_index: list[int] = []
+        for k, silent in enumerate(silent_lists):
+            if width_check is not None:
+                width_check(len(silent))
+            base_row = provider_matrix[k]
+            base_mask = collector.mask_of(provider_lists[k])
+            for subset in iter_subsets(silent):
+                mask = base_mask
+                for i in subset:
+                    mask |= collector.bit(i)
+                term_index.append(collector.add(mask, base_row, subset))
+        return cls(collector.rows(), silent_lists, term_index)
+
+    def accumulate(
+        self, recalls: np.ndarray, fprs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern floored ``(Pr(Ot | t), Pr(Ot | not t))`` arrays."""
+        recall_list = recalls.tolist()
+        fpr_list = fprs.tolist()
+        n_patterns = len(self.silent_lists)
+        numerators = np.empty(n_patterns, dtype=float)
+        denominators = np.empty(n_patterns, dtype=float)
+        position = 0
+        for k, silent in enumerate(self.silent_lists):
+            numerator = 0.0
+            denominator = 0.0
+            for subset in iter_subsets(silent):
+                sign = subset_parity(len(subset))
+                index = self.term_index[position]
+                position += 1
+                numerator += sign * recall_list[index]
+                denominator += sign * fpr_list[index]
+            numerators[k] = max(numerator, PROBABILITY_FLOOR)
+            denominators[k] = max(denominator, PROBABILITY_FLOOR)
+        return numerators, denominators
+
+
+class ElasticUnionPlan:
+    """Batched Algorithm 1 plan over a set of ``(providers, silent)`` patterns.
+
+    :meth:`build` collects each pattern's base provider set plus every
+    level-``1..lambda`` union; :meth:`accumulate` replays Algorithm 1 per
+    pattern in the legacy term order (level-0 aggressive product, then exact
+    swap-ins level by level) over the batch-evaluated values.
+    """
+
+    __slots__ = ("rows", "silent_lists", "base_index", "term_index", "level")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        silent_lists: list[list[int]],
+        base_index: list[int],
+        term_index: list[int],
+        level: int,
+    ) -> None:
+        self.rows = rows
+        self.silent_lists = silent_lists
+        self.base_index = base_index
+        self.term_index = term_index
+        self.level = level
+
+    @classmethod
+    def build(
+        cls,
+        provider_matrix: np.ndarray,
+        silent_matrix: np.ndarray,
+        level: int,
+    ) -> "ElasticUnionPlan":
+        provider_lists, silent_lists = pattern_source_lists(
+            provider_matrix, silent_matrix
+        )
+        collector = UnionCollector(provider_matrix.shape[1])
+        base_index: list[int] = []
+        term_index: list[int] = []
+        for k, silent in enumerate(silent_lists):
+            base_row = provider_matrix[k]
+            base_mask = collector.mask_of(provider_lists[k])
+            base_index.append(collector.add(base_mask, base_row, ()))
+            max_level = min(level, len(silent))
+            for l in range(1, max_level + 1):
+                for subset in iter_subsets_of_size(silent, l):
+                    mask = base_mask
+                    for i in subset:
+                        mask |= collector.bit(i)
+                    term_index.append(collector.add(mask, base_row, subset))
+        return cls(collector.rows(), silent_lists, base_index, term_index, level)
+
+    def accumulate(
+        self,
+        recalls: np.ndarray,
+        fprs: np.ndarray,
+        eff_recall: Mapping[int, float],
+        eff_fpr: Mapping[int, float],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern floored ``(R, Q)`` of Algorithm 1."""
+        recall_list = recalls.tolist()
+        fpr_list = fprs.tolist()
+        n_patterns = len(self.silent_lists)
+        numerators = np.empty(n_patterns, dtype=float)
+        denominators = np.empty(n_patterns, dtype=float)
+        position = 0
+        for k, silent in enumerate(self.silent_lists):
+            r_st = recall_list[self.base_index[k]]
+            q_st = fpr_list[self.base_index[k]]
+            numerator = r_st
+            denominator = q_st
+            for i in silent:
+                numerator *= 1.0 - eff_recall[i]
+                denominator *= 1.0 - eff_fpr[i]
+            max_level = min(self.level, len(silent))
+            for l in range(1, max_level + 1):
+                sign = subset_parity(l)
+                for subset in iter_subsets_of_size(silent, l):
+                    approx_r = r_st
+                    approx_q = q_st
+                    for i in subset:
+                        approx_r *= eff_recall[i]
+                        approx_q *= eff_fpr[i]
+                    index = self.term_index[position]
+                    position += 1
+                    numerator += sign * (recall_list[index] - approx_r)
+                    denominator += sign * (fpr_list[index] - approx_q)
+            numerators[k] = max(numerator, PROBABILITY_FLOOR)
+            denominators[k] = max(denominator, PROBABILITY_FLOOR)
+        return numerators, denominators

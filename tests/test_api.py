@@ -73,6 +73,137 @@ class TestMakeFuser:
         assert isinstance(fuser, ClusteredCorrelationFuser)
 
 
+def _wide_model(n_sources=18, n_triples=200, seed=0):
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, 0.8, 0.3),
+        n_triples=n_triples,
+        true_fraction=0.5,
+    )
+    dataset = generate(config, seed=seed)
+    return fit_model(dataset.observations, dataset.labels)
+
+
+class TestPrecRecCorrOptionRouting:
+    """Symmetric filtering of solver-specific ``precreccorr`` options."""
+
+    def test_exact_only_options_survive_the_clustered_route(self):
+        # Regression: exact-only options used to be forwarded unfiltered to
+        # ClusteredCorrelationFuser when n_sources > EXACT_SOURCE_LIMIT,
+        # raising TypeError the moment a dataset crossed the boundary.
+        model = _wide_model(n_sources=EXACT_SOURCE_LIMIT + 2)
+        fuser = make_fuser("precreccorr", model, max_silent_sources=12)
+        assert isinstance(fuser, ClusteredCorrelationFuser)
+
+    def test_mixed_options_work_on_both_sides_of_the_boundary(self):
+        options = dict(
+            max_silent_sources=12,  # exact-only
+            min_phi=0.3,            # clustered-only
+            exact_cluster_limit=8,  # clustered-only
+            decision_prior=0.5,     # shared
+        )
+        wide = make_fuser(
+            "precreccorr", _wide_model(EXACT_SOURCE_LIMIT + 2), **options
+        )
+        assert isinstance(wide, ClusteredCorrelationFuser)
+        assert wide.prior == 0.5
+        narrow = make_fuser("precreccorr", _wide_model(6), **options)
+        assert isinstance(narrow, ExactCorrelationFuser)
+        assert narrow.prior == 0.5
+
+    def test_fuse_crosses_the_boundary_with_exact_only_options(self):
+        config = SyntheticConfig(
+            sources=uniform_sources(EXACT_SOURCE_LIMIT + 2, 0.8, 0.3),
+            n_triples=150,
+            true_fraction=0.5,
+        )
+        dataset = generate(config, seed=4)
+        result = fuse(
+            dataset.observations,
+            dataset.labels,
+            method="precreccorr",
+            max_silent_sources=12,
+        )
+        assert result.scores.shape == (dataset.observations.n_triples,)
+
+    def test_explicit_clustered_method_still_rejects_exact_options(self):
+        # The filter is precreccorr's routing concern only: asking for the
+        # clustered fuser by name with an exact-only option stays an error.
+        model = _wide_model(EXACT_SOURCE_LIMIT + 2)
+        with pytest.raises(TypeError):
+            make_fuser("clustered", model, max_silent_sources=12)
+
+
+class TestFuseEmOptions:
+    """fuse(method='em') must not silently swallow calibration options."""
+
+    def test_train_mask_rejected(self, small_independent):
+        mask = np.zeros(small_independent.observations.n_triples, dtype=bool)
+        mask[:10] = True
+        with pytest.raises(ValueError, match="train_mask"):
+            fuse(
+                small_independent.observations,
+                small_independent.labels,
+                method="em",
+                train_mask=mask,
+            )
+
+    def test_smoothing_rejected(self, small_independent):
+        with pytest.raises(ValueError, match="smoothing"):
+            fuse(
+                small_independent.observations,
+                small_independent.labels,
+                method="em",
+                smoothing=0.5,
+            )
+
+    def test_prior_forwarded_as_initial_alpha(self, small_independent):
+        low = fuse(
+            small_independent.observations,
+            small_independent.labels,
+            method="em",
+            prior=0.05,
+            update_prior=False,
+        )
+        high = fuse(
+            small_independent.observations,
+            small_independent.labels,
+            method="em",
+            prior=0.95,
+            update_prior=False,
+        )
+        assert not np.allclose(low.scores, high.scores)
+        assert low.n_accepted <= high.n_accepted
+
+    def test_em_rejects_invalid_prior(self, small_independent):
+        with pytest.raises(ValueError, match="prior"):
+            fuse(
+                small_independent.observations,
+                small_independent.labels,
+                method="em",
+                prior=1.5,
+            )
+
+    def test_unset_decision_prior_is_dropped(self, small_independent):
+        # Regression: the CLI forwards decision_prior unconditionally (None
+        # when unset), which used to reach the EM constructor and crash.
+        result = fuse(
+            small_independent.observations,
+            small_independent.labels,
+            method="em",
+            decision_prior=None,
+        )
+        assert result.scores.shape == (small_independent.observations.n_triples,)
+
+    def test_explicit_decision_prior_rejected(self, small_independent):
+        with pytest.raises(ValueError, match="decision_prior"):
+            fuse(
+                small_independent.observations,
+                small_independent.labels,
+                method="em",
+                decision_prior=0.3,
+            )
+
+
 class TestFuse:
     def test_returns_result_with_scores(self, figure1):
         result = fuse(figure1.observations, figure1.labels, method="precrec")

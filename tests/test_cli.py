@@ -46,6 +46,23 @@ class TestCli:
         assert "PrecRecCorr" in out
         assert "F1" in out
 
+    def test_fuse_em_command(self, capsys):
+        # Regression: the CLI forwards decision_prior unconditionally, which
+        # used to reach the EM constructor and crash with TypeError.
+        assert main(["fuse", "--dataset", "figure1", "--method", "em"]) == 0
+        out = capsys.readouterr().out
+        assert "PrecRec-EM" in out
+
+    def test_fuse_em_incompatible_option_gets_clean_error(self, capsys):
+        code = main(
+            ["fuse", "--dataset", "figure1", "--method", "em",
+             "--smoothing", "0.2"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "smoothing" in captured.err
+        assert "Traceback" not in captured.err
+
     def test_fuse_scores_csv(self, tmp_path, capsys):
         target = tmp_path / "scores.csv"
         assert main(

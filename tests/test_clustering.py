@@ -194,3 +194,68 @@ class TestClusteredFuser:
             exact.score(figure1.observations),
             atol=1e-9,
         )
+
+    def test_small_clusters_share_one_exact_evaluator(self):
+        # Regression: one identical full-model ExactCorrelationFuser used to
+        # be built per small cluster, duplicating joint caches per cluster.
+        dataset = correlated_dataset()
+        model = fit_model(dataset.observations, dataset.labels)
+        fuser = ClusteredCorrelationFuser(model, min_phi=0.25)
+        exact_evaluators = [
+            e
+            for e in fuser._true_evaluators + fuser._false_evaluators
+            if isinstance(e, ExactCorrelationFuser)
+        ]
+        assert len(exact_evaluators) >= 2
+        assert len({id(e) for e in exact_evaluators}) == 1
+        # Sharing must not change scores: the evaluator is a pure function
+        # of the full model.  Compare against the per-triple legacy path.
+        legacy = ClusteredCorrelationFuser(
+            model,
+            engine="legacy",
+            true_partition=fuser.true_partition,
+            false_partition=fuser.false_partition,
+        )
+        np.testing.assert_array_equal(
+            fuser.score(dataset.observations),
+            legacy.score(dataset.observations),
+        )
+
+    def test_cache_cap_is_forwarded_to_cluster_evaluators(self, figure1_model):
+        full = SourcePartition(clusters=(frozenset(range(5)),))
+        singletons = SourcePartition(
+            clusters=tuple(frozenset({i}) for i in range(5))
+        )
+        fuser = ClusteredCorrelationFuser(
+            figure1_model,
+            true_partition=full,
+            false_partition=singletons,
+            exact_cluster_limit=2,  # the full cluster routes to elastic
+            max_cache_entries=7,
+        )
+        for evaluator in fuser._true_evaluators + fuser._false_evaluators:
+            assert evaluator._max_cache == 7
+
+    def test_batched_scoring_with_differing_partitions_is_bit_identical(self):
+        # True-side and false-side partitions that disagree: the numerator
+        # must follow the true-side clusters and the denominator the
+        # false-side clusters, in both engines.
+        dataset = correlated_dataset(seed=9)
+        model = fit_model(dataset.observations, dataset.labels)
+        true_partition = SourcePartition(
+            clusters=(frozenset({0, 1, 2}), frozenset({3}), frozenset({4, 5}))
+        )
+        false_partition = SourcePartition(
+            clusters=(frozenset({0}), frozenset({1, 3, 4}), frozenset({2, 5}))
+        )
+        kwargs = dict(
+            true_partition=true_partition, false_partition=false_partition
+        )
+        vectorized = ClusteredCorrelationFuser(
+            model, engine="vectorized", **kwargs
+        )
+        legacy = ClusteredCorrelationFuser(model, engine="legacy", **kwargs)
+        np.testing.assert_array_equal(
+            vectorized.score(dataset.observations),
+            legacy.score(dataset.observations),
+        )

@@ -248,8 +248,11 @@ class TestMetricProperties:
         metrics = binary_metrics(scores >= threshold, labels)
         assert 0.0 <= metrics.f1 <= 1.0
         if metrics.precision and metrics.recall:
-            assert min(metrics.precision, metrics.recall) <= metrics.f1
-            assert metrics.f1 <= max(metrics.precision, metrics.recall)
+            # The harmonic mean lies between min and max mathematically, but
+            # 2pr/(p+r) can land one ulp outside when p == r -- compare with
+            # a float tolerance.
+            assert min(metrics.precision, metrics.recall) <= metrics.f1 + 1e-12
+            assert metrics.f1 <= max(metrics.precision, metrics.recall) + 1e-12
 
 
 # ----------------------------------------------------------------------
