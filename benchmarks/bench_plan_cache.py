@@ -1,0 +1,378 @@
+"""Compiled plan cache: cold vs warm serving, python vs numpy accumulate.
+
+PR 2 routed the inclusion-exclusion family through batched union plans, but
+every ``score`` call still re-collected the plans (a Python subset walk) and
+re-accumulated them term by term in Python.  This benchmark measures the two
+follow-ups delivered on top of that path:
+
+- **numpy accumulate** -- the compiled plans (flat ``term_gather`` index,
+  ``+/-1`` sign vector, segmented column sweep) replace the per-term Python
+  walk while reproducing its summation order bit-for-bit;
+- **plan cache** -- the digest-keyed :class:`CompiledPlanCache` memoises
+  compiled plans together with their batch-evaluated model parameters, so a
+  serving process scoring repeated batches skips collect, compile, and model
+  evaluation entirely.
+
+Three measurements per grid cell (BOOK-like wide grids shared with
+``bench_clustered_engine``, plus exact- and elastic-family cells):
+
+- ``pr2``      -- ``accumulate="python"``, cache disabled: the PR 2 batched
+  path (best of 3 calls);
+- ``cold``     -- default configuration, first ``score`` call: collect +
+  compile + model evaluation + numpy accumulate;
+- ``warm``     -- subsequent ``score`` calls: the compiled-plan-cache path
+  (the serving case; best and mean over the repeats).
+
+All three paths must produce *bit-identical* scores (max |diff| exactly
+0.0) and the warm path must beat the PR 2 path by >= 5x on the largest
+grid cell; the run fails otherwise.  An accumulate-only microbenchmark
+isolates python-vs-numpy accumulate on prebuilt plans.  Results land in
+``benchmarks/results/BENCH_plan_cache.json``.
+
+Runnable two ways::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_plan_cache.py --benchmark-only
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py [--quick]
+
+The ``--quick`` flag (used by CI's smoke job) restricts the grid to its
+smallest cell and skips the >= 5x gate (timings on shared CI runners are
+too noisy to gate on; bit-identity is still enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow plain `python benchmarks/bench_plan_cache.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+
+from _helpers import RESULTS_DIR, emit
+from bench_clustered_engine import EXACT_CLUSTER_LIMIT, _workload
+from repro.core import (
+    ClusteredCorrelationFuser,
+    ElasticFuser,
+    ExactCorrelationFuser,
+    fit_model,
+)
+from repro.core.plans import ElasticUnionPlan, ExactUnionPlan
+from repro.data import SyntheticConfig, generate, uniform_sources
+from repro.eval import format_table
+
+JSON_PATH = RESULTS_DIR / "BENCH_plan_cache.json"
+
+#: The serving-grid cells.  ``(48, 4000)`` is the largest configuration of
+#: the existing clustered benchmark -- the acceptance gate anchors there.
+CLUSTERED_GRID = ((24, 1500), (48, 4000))
+
+#: Warm ``score`` calls measured after the cold one.
+WARM_REPEATS = 5
+
+
+def _exact_workload(n_triples: int, seed: int = 17):
+    """A 12-source grid on the exact PRECRECCORR route."""
+    config = SyntheticConfig(
+        sources=uniform_sources(12, precision=0.65, recall=0.35),
+        n_triples=n_triples,
+        true_fraction=0.5,
+    )
+    return generate(config, seed=seed)
+
+
+def _time_best(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_cell(family: str, dataset, make_fast, make_pr2) -> dict:
+    """Time the PR 2 path, the cold compiled path, and the warm cache path."""
+    observations = dataset.observations
+    observations.patterns()  # pattern extraction is shared; keep it off the clocks
+    pr2 = make_pr2()
+    fast = make_fast()
+
+    pr2_scores = pr2.score(observations)
+    pr2_seconds = _time_best(lambda: pr2.score(observations))
+
+    start = time.perf_counter()
+    cold_scores = fast.score(observations)
+    cold_seconds = time.perf_counter() - start
+
+    warm_times = []
+    max_diff = float(np.abs(pr2_scores - cold_scores).max())
+    for _ in range(WARM_REPEATS):
+        start = time.perf_counter()
+        warm_scores = fast.score(observations)
+        warm_times.append(time.perf_counter() - start)
+        max_diff = max(max_diff, float(np.abs(pr2_scores - warm_scores).max()))
+
+    warm_best = min(warm_times)
+    warm_mean = float(np.mean(warm_times))
+    return {
+        "family": family,
+        "n_sources": observations.n_sources,
+        "n_triples": observations.n_triples,
+        "n_patterns": observations.patterns().n_patterns,
+        "pr2_seconds": pr2_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_best_seconds": warm_best,
+        "warm_mean_seconds": warm_mean,
+        "warm_speedup_vs_pr2": (
+            pr2_seconds / warm_mean if warm_mean > 0 else float("inf")
+        ),
+        "cold_speedup_vs_pr2": (
+            pr2_seconds / cold_seconds if cold_seconds > 0 else float("inf")
+        ),
+        "max_abs_diff": max_diff,
+    }
+
+
+def _accumulate_micro(dataset, elastic_level: int = 3) -> list[dict]:
+    """Python vs numpy accumulate on prebuilt exact and elastic plans."""
+    observations = dataset.observations
+    patterns = observations.patterns()
+    model = fit_model(observations, dataset.labels)
+    rows: list[dict] = []
+
+    exact_plan = ExactUnionPlan.build(
+        patterns.provider_matrix, patterns.silent_matrix
+    )
+    recalls, fprs = model.joint_params_batch(exact_plan.rows)
+    compiled = exact_plan.compile()
+    python_ref = exact_plan.accumulate(recalls, fprs)
+    numpy_out = compiled.accumulate(recalls, fprs)
+    rows.append(
+        {
+            "plan": "exact",
+            "n_patterns": patterns.n_patterns,
+            "n_terms": len(exact_plan.term_index),
+            "python_seconds": _time_best(
+                lambda: exact_plan.accumulate(recalls, fprs)
+            ),
+            "numpy_seconds": _time_best(
+                lambda: compiled.accumulate(recalls, fprs)
+            ),
+            "max_abs_diff": float(
+                max(
+                    np.abs(python_ref[0] - numpy_out[0]).max(),
+                    np.abs(python_ref[1] - numpy_out[1]).max(),
+                )
+            ),
+        }
+    )
+
+    elastic = ElasticFuser(model, level=elastic_level)
+    elastic_plan = ElasticUnionPlan.build(
+        patterns.provider_matrix, patterns.silent_matrix, elastic_level
+    )
+    recalls, fprs = model.joint_params_batch(elastic_plan.rows)
+    eff_r, eff_q = elastic._eff_recall, elastic._eff_fpr
+    compiled = elastic_plan.compile(eff_r, eff_q)
+    python_ref = elastic_plan.accumulate(recalls, fprs, eff_r, eff_q)
+    numpy_out = compiled.accumulate(recalls, fprs)
+    rows.append(
+        {
+            "plan": f"elastic-{elastic_level}",
+            "n_patterns": patterns.n_patterns,
+            "n_terms": len(elastic_plan.term_index),
+            "python_seconds": _time_best(
+                lambda: elastic_plan.accumulate(recalls, fprs, eff_r, eff_q)
+            ),
+            "numpy_seconds": _time_best(
+                lambda: compiled.accumulate(recalls, fprs)
+            ),
+            "max_abs_diff": float(
+                max(
+                    np.abs(python_ref[0] - numpy_out[0]).max(),
+                    np.abs(python_ref[1] - numpy_out[1]).max(),
+                )
+            ),
+        }
+    )
+    for row in rows:
+        row["accumulate_speedup"] = (
+            row["python_seconds"] / row["numpy_seconds"]
+            if row["numpy_seconds"] > 0
+            else float("inf")
+        )
+    return rows
+
+
+def run_grid(clustered_grid=CLUSTERED_GRID, micro_triples: int = 4000):
+    """Measure every serving cell plus the accumulate microbenchmark."""
+    rows: list[dict] = []
+    for n_sources, n_triples in clustered_grid:
+        dataset = _workload(n_sources, n_triples)
+        model = fit_model(dataset.observations, dataset.labels)
+        # Discover the partitions once and share them: clustering cost is
+        # identical on every path and excluded from the scoring clocks.
+        reference = ClusteredCorrelationFuser(
+            model, exact_cluster_limit=EXACT_CLUSTER_LIMIT
+        )
+        partitions = dict(
+            true_partition=reference.true_partition,
+            false_partition=reference.false_partition,
+            exact_cluster_limit=EXACT_CLUSTER_LIMIT,
+        )
+        rows.append(
+            _measure_cell(
+                "clustered",
+                dataset,
+                make_fast=lambda: ClusteredCorrelationFuser(
+                    model, **partitions
+                ),
+                make_pr2=lambda: ClusteredCorrelationFuser(
+                    model,
+                    accumulate="python",
+                    max_plan_cache_entries=0,
+                    **partitions,
+                ),
+            )
+        )
+
+    exact_dataset = _exact_workload(micro_triples)
+    exact_model = fit_model(exact_dataset.observations, exact_dataset.labels)
+    rows.append(
+        _measure_cell(
+            "exact",
+            exact_dataset,
+            make_fast=lambda: ExactCorrelationFuser(exact_model),
+            make_pr2=lambda: ExactCorrelationFuser(
+                exact_model, accumulate="python", max_plan_cache_entries=0
+            ),
+        )
+    )
+    rows.append(
+        _measure_cell(
+            "elastic-3",
+            exact_dataset,
+            make_fast=lambda: ElasticFuser(exact_model, level=3),
+            make_pr2=lambda: ElasticFuser(
+                exact_model,
+                level=3,
+                accumulate="python",
+                max_plan_cache_entries=0,
+            ),
+        )
+    )
+    micro = _accumulate_micro(exact_dataset)
+    return rows, micro
+
+
+def _headline(rows: list[dict], micro: list[dict]) -> dict:
+    """Summary anchored on the largest clustered configuration."""
+    clustered = [r for r in rows if r["family"] == "clustered"]
+    largest = max(clustered, key=lambda r: (r["n_sources"], r["n_triples"]))
+    return {
+        "largest_config": {
+            "n_sources": largest["n_sources"],
+            "n_triples": largest["n_triples"],
+        },
+        "largest_config_warm_speedup_vs_pr2": largest["warm_speedup_vs_pr2"],
+        "min_warm_speedup": min(r["warm_speedup_vs_pr2"] for r in rows),
+        "max_warm_speedup": max(r["warm_speedup_vs_pr2"] for r in rows),
+        "max_abs_diff": max(
+            [r["max_abs_diff"] for r in rows]
+            + [m["max_abs_diff"] for m in micro]
+        ),
+        "accumulate_speedups": {
+            m["plan"]: m["accumulate_speedup"] for m in micro
+        },
+    }
+
+
+def _render(rows: list[dict], micro: list[dict], headline: dict) -> str:
+    serving = format_table(
+        ["family", "sources", "triples", "patterns", "pr2(s)", "cold(s)",
+         "warm(s)", "warm-vs-pr2", "max|diff|"],
+        [
+            [r["family"], r["n_sources"], r["n_triples"], r["n_patterns"],
+             r["pr2_seconds"], r["cold_seconds"], r["warm_mean_seconds"],
+             r["warm_speedup_vs_pr2"], r["max_abs_diff"]]
+            for r in rows
+        ],
+    )
+    accumulate = format_table(
+        ["plan", "patterns", "terms", "python(s)", "numpy(s)", "speedup",
+         "max|diff|"],
+        [
+            [m["plan"], m["n_patterns"], m["n_terms"], m["python_seconds"],
+             m["numpy_seconds"], m["accumulate_speedup"], m["max_abs_diff"]]
+            for m in micro
+        ],
+    )
+    cfg = headline["largest_config"]
+    return (
+        serving
+        + "\n\naccumulate-only (prebuilt plans, same model values):\n"
+        + accumulate
+        + f"\n\nlargest clustered config ({cfg['n_sources']} sources x "
+        f"{cfg['n_triples']} triples): "
+        f"{headline['largest_config_warm_speedup_vs_pr2']:.1f}x warm-cache "
+        f"speedup over the PR 2 batched path; "
+        f"max |score diff| {headline['max_abs_diff']:.1e}"
+    )
+
+
+def _persist(rows: list[dict], micro: list[dict], headline: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    JSON_PATH.write_text(
+        json.dumps(
+            {"headline": headline, "rows": rows, "accumulate": micro},
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def bench_plan_cache(benchmark):
+    rows, micro = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    headline = _headline(rows, micro)
+    _persist(rows, micro, headline)
+    emit("plan_cache", _render(rows, micro, headline))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest grid cell only, no speedup gate (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        rows, micro = run_grid(
+            clustered_grid=((24, 800),), micro_triples=800
+        )
+    else:
+        rows, micro = run_grid()
+    headline = _headline(rows, micro)
+    _persist(rows, micro, headline)
+    print(_render(rows, micro, headline))
+    if headline["max_abs_diff"] != 0.0:
+        print(
+            "ERROR: compiled/warm scores are not bit-identical to the "
+            "PR 2 python-accumulate path",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quick and headline["largest_config_warm_speedup_vs_pr2"] < 5.0:
+        print(
+            "ERROR: warm-cache speedup on the largest grid fell below the "
+            "5x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

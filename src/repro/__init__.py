@@ -31,6 +31,7 @@ from repro.core import (
     JointQualityModel,
     ObservationMatrix,
     PrecRecFuser,
+    ScoringSession,
     SourceQuality,
     Triple,
     TripleIndex,
@@ -64,6 +65,7 @@ __all__ = [
     "JointQualityModel",
     "ObservationMatrix",
     "PrecRecFuser",
+    "ScoringSession",
     "SourceQuality",
     "Triple",
     "TripleIndex",

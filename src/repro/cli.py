@@ -24,7 +24,7 @@ from repro.core.clustering import discovered_correlation_groups, pairwise_correl
 from repro.core.api import fit_model
 from repro.util.validation import ENGINES
 from repro.data.registry import available_datasets, get_dataset
-from repro.eval.harness import paper_method_specs, run_comparison
+from repro.eval.harness import paper_method_specs, run_comparison, run_serving
 from repro.eval.metrics import auc_pr, auc_roc, binary_metrics
 from repro.eval.report import comparison_table, format_table
 
@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuse_cmd.add_argument(
         "--scores-csv", metavar="PATH",
         help="write per-triple scores (id, score, accepted, gold) to a CSV",
+    )
+    fuse_cmd.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="score the dataset N times through one ScoringSession and "
+             "report cold vs warm timing -- the serving loop, where "
+             "repeated calls hit the compiled-plan cache (default: 1)",
     )
     _add_engine_arg(fuse_cmd)
 
@@ -116,6 +122,8 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_fuse(args: argparse.Namespace) -> int:
+    if args.repeat < 1:
+        raise ValueError(f"--repeat must be >= 1, got {args.repeat}")
     dataset = get_dataset(args.dataset, seed=args.seed)
     # Unset defaults to the paper protocol's 0.5 for model-based methods;
     # EM has no separate decision alpha, so the default stays unset there
@@ -127,14 +135,26 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             decision_prior = 0.5
         elif decision_prior < 0:
             decision_prior = None
-    result = fuse(
-        dataset.observations,
-        dataset.labels,
-        method=args.method,
-        smoothing=args.smoothing,
-        decision_prior=decision_prior,
-        engine=args.engine,
-    )
+    serving = None
+    if args.repeat > 1:
+        serving = run_serving(
+            dataset,
+            method=args.method,
+            repeats=args.repeat - 1,
+            smoothing=args.smoothing,
+            decision_prior=decision_prior,
+            engine=args.engine,
+        )
+        result = serving.result
+    else:
+        result = fuse(
+            dataset.observations,
+            dataset.labels,
+            method=args.method,
+            smoothing=args.smoothing,
+            decision_prior=decision_prior,
+            engine=args.engine,
+        )
     metrics = binary_metrics(result.accepted, dataset.labels)
     print(dataset.summary())
     print(
@@ -148,6 +168,15 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    if serving is not None:
+        print(
+            f"serving: fit {serving.fit_seconds:.4f}s, "
+            f"cold score {serving.cold_seconds:.4f}s, "
+            f"warm mean {serving.warm_mean_seconds:.4f}s over "
+            f"{serving.repeats} repeats "
+            f"({serving.cold_over_warm:.1f}x cold/warm, "
+            f"max warm drift {serving.max_warm_drift:.1e})"
+        )
     if args.scores_csv:
         with open(args.scores_csv, "w", newline="") as handle:
             writer = csv.writer(handle)

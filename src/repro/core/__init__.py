@@ -29,14 +29,30 @@ The modules map one-to-one onto the paper's sections:
 """
 
 from repro.core.aggressive import AggressiveFuser
-from repro.core.api import EXACT_SOURCE_LIMIT, METHOD_NAMES, fit_model, fuse, make_fuser
+from repro.core.api import (
+    EXACT_SOURCE_LIMIT,
+    METHOD_NAMES,
+    ScoringSession,
+    fit_model,
+    fuse,
+    make_fuser,
+)
 from repro.core.bitset import PackedMatrix, pack_bool_rows, pack_bool_vector, popcount
 from repro.core.patterns import (
     PatternSet,
     extract_patterns,
     restricted_unique_patterns,
 )
-from repro.core.plans import ElasticUnionPlan, ExactUnionPlan, UnionCollector
+from repro.core.plans import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    CompiledElasticPlan,
+    CompiledExactPlan,
+    CompiledPlanCache,
+    ElasticUnionPlan,
+    ExactUnionPlan,
+    UnionCollector,
+    pattern_digest,
+)
 from repro.core.confidence import (
     ConfidenceBundle,
     confidence_threshold_sweep,
@@ -89,7 +105,11 @@ __all__ = [
     "DomainReport",
     "SingleTruthAdapter",
     "ClusteredCorrelationFuser",
+    "CompiledElasticPlan",
+    "CompiledExactPlan",
+    "CompiledPlanCache",
     "DEFAULT_MU_CACHE_ENTRIES",
+    "DEFAULT_PLAN_CACHE_ENTRIES",
     "DEFAULT_THRESHOLD",
     "EMDiagnostics",
     "ENGINES",
@@ -113,6 +133,7 @@ __all__ = [
     "PairwiseCorrelation",
     "PatternSet",
     "PrecRecFuser",
+    "ScoringSession",
     "SourcePartition",
     "SourceQuality",
     "Triple",
@@ -131,6 +152,7 @@ __all__ = [
     "make_fuser",
     "pack_bool_rows",
     "pack_bool_vector",
+    "pattern_digest",
     "popcount",
     "restricted_unique_patterns",
     "confidence_threshold_sweep",

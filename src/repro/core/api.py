@@ -10,10 +10,19 @@ Typical use::
 The labels play the role of the paper's training set (Section 3.2): they
 calibrate source quality and correlations; scoring is then applied to every
 triple in the matrix.  Pass ``train_mask`` to calibrate on a subset only.
+
+For serving traffic -- fit rarely, score constantly -- use
+:class:`ScoringSession`, which keeps the fitted model and fuser (and
+therefore their compiled-plan caches) alive across many ``score`` calls::
+
+    session = ScoringSession(train_observations, train_labels)
+    for batch in request_batches:
+        scores = session.score(batch)
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -23,7 +32,12 @@ from repro.core.clustering import ClusteredCorrelationFuser
 from repro.core.elastic import ElasticFuser
 from repro.core.em import ExpectationMaximizationFuser
 from repro.core.exact import ExactCorrelationFuser
-from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
+from repro.core.fusion import (
+    DEFAULT_THRESHOLD,
+    FusionResult,
+    ModelBasedFuser,
+    TruthFuser,
+)
 from repro.core.joint import EmpiricalJointModel, JointQualityModel
 from repro.core.observations import ObservationMatrix
 from repro.core.precrec import PrecRecFuser
@@ -191,6 +205,33 @@ def fuse(
     ``decision_prior`` (which only configure a fitted model's posterior)
     raise ``ValueError`` instead of being silently ignored.
     """
+    fuser, _ = _build_fuser(
+        observations,
+        labels,
+        method=method,
+        prior=prior,
+        smoothing=smoothing,
+        train_mask=train_mask,
+        engine=engine,
+        options=options,
+    )
+    return fuser.fuse(observations, threshold=threshold)
+
+
+def _build_fuser(
+    observations: ObservationMatrix,
+    labels: np.ndarray,
+    method: str,
+    prior: Optional[float],
+    smoothing: float,
+    train_mask: Optional[np.ndarray],
+    engine: str,
+    options: dict,
+) -> tuple[TruthFuser, Optional[EmpiricalJointModel]]:
+    """Fit (unless EM) and instantiate -- the shared core of :func:`fuse`
+    and :class:`ScoringSession`.  Returns ``(fuser, fitted model or None)``.
+    """
+    options = dict(options)
     if method.lower() == "em":
         if train_mask is not None:
             raise ValueError(
@@ -215,15 +256,167 @@ def fuse(
             )
         if prior is not None:
             options["prior"] = prior
-        fuser: TruthFuser = make_fuser("em", **options)
-    else:
-        model = fit_model(
+        return make_fuser("em", **options), None
+    model = fit_model(
+        observations,
+        labels,
+        prior=prior,
+        smoothing=smoothing,
+        train_mask=train_mask,
+        engine=engine,
+    )
+    return make_fuser(method, model, engine=engine, **options), model
+
+
+class ScoringSession:
+    """Fit once, score many observation batches -- the serving loop.
+
+    The one-call :func:`fuse` entry point refits the quality model and
+    rebuilds the fuser on every invocation, which is the right shape for
+    experiments but wasteful under serving traffic where the model changes
+    rarely and ``score`` runs constantly.  A session performs the fit
+    exactly once (at construction) and keeps the fuser -- and therefore its
+    memoised patterns, joint look-ups, and compiled union plans -- alive
+    across calls: the first ``score`` over a new pattern set pays the
+    collect + compile + model-evaluation cost, repeated batches sharing a
+    pattern set execute from the digest-keyed
+    :class:`~repro.core.plans.CompiledPlanCache`.
+
+    Parameters mirror :func:`fuse` (``method``, ``prior``, ``smoothing``,
+    ``train_mask``, ``engine``, plus fuser ``options``); ``threshold`` is
+    the default acceptance threshold for :meth:`fuse`.
+
+    Use :meth:`refit` when fresh labels arrive: it fits a new model,
+    rebuilds the fuser, and explicitly invalidates the retired fuser's
+    caches so no holder of a stale reference can keep serving plans
+    compiled against the replaced model.
+    """
+
+    def __init__(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        method: str = "precreccorr",
+        prior: Optional[float] = None,
+        smoothing: float = 0.0,
+        train_mask: Optional[np.ndarray] = None,
+        engine: str = "vectorized",
+        threshold: float = DEFAULT_THRESHOLD,
+        **options,
+    ) -> None:
+        self._method = method
+        self._prior = prior
+        self._smoothing = smoothing
+        self._engine = engine
+        self._threshold = threshold
+        self._options = dict(options)
+        self._n_scored = 0
+        start = time.perf_counter()
+        self._fuser, self._model = _build_fuser(
             observations,
             labels,
+            method=method,
             prior=prior,
             smoothing=smoothing,
             train_mask=train_mask,
             engine=engine,
+            options=self._options,
         )
-        fuser = make_fuser(method, model, engine=engine, **options)
-    return fuser.fuse(observations, threshold=threshold)
+        self.fit_seconds = time.perf_counter() - start
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def fuser(self) -> TruthFuser:
+        """The live fuser (rebuilt by :meth:`refit`)."""
+        return self._fuser
+
+    @property
+    def model(self) -> Optional[EmpiricalJointModel]:
+        """The fitted quality model, or ``None`` for ``method="em"``."""
+        return self._model
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def n_scored(self) -> int:
+        """How many batches this session has scored since the last fit."""
+        return self._n_scored
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        """One truthfulness score per triple of ``observations``."""
+        scores = self._fuser.score(observations)
+        self._n_scored += 1
+        return scores
+
+    def fuse(
+        self,
+        observations: ObservationMatrix,
+        threshold: Optional[float] = None,
+    ) -> FusionResult:
+        """Score and package a timed :class:`FusionResult`."""
+        result = self._fuser.fuse(
+            observations,
+            threshold=self._threshold if threshold is None else threshold,
+        )
+        self._n_scored += 1
+        return result
+
+    def refit(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        train_mask: Optional[np.ndarray] = None,
+        **overrides,
+    ) -> "ScoringSession":
+        """Refit on fresh labels, rebuild the fuser, invalidate old caches.
+
+        ``overrides`` may replace ``prior`` or ``smoothing`` for the new
+        fit; everything else (method, engine, fuser options, threshold) is
+        carried over.  Returns ``self`` for chaining.
+        """
+        unknown = set(overrides) - {"prior", "smoothing"}
+        if unknown:
+            raise ValueError(
+                f"refit accepts prior/smoothing overrides, got {sorted(unknown)}"
+            )
+        # Stage the overrides and commit only after a successful build: a
+        # refit that fails validation must leave the live session able to
+        # keep serving (and to refit again) with its previous settings.
+        prior = overrides.get("prior", self._prior)
+        smoothing = overrides.get("smoothing", self._smoothing)
+        retired = self._fuser
+        start = time.perf_counter()
+        self._fuser, self._model = _build_fuser(
+            observations,
+            labels,
+            method=self._method,
+            prior=prior,
+            smoothing=smoothing,
+            train_mask=train_mask,
+            engine=self._engine,
+            options=self._options,
+        )
+        self.fit_seconds = time.perf_counter() - start
+        self._prior = prior
+        self._smoothing = smoothing
+        self._n_scored = 0
+        # The explicit invalidation hook: plans compiled against the
+        # retired model must not survive anywhere.
+        if isinstance(retired, ModelBasedFuser):
+            retired.invalidate_caches()
+        return self
+
+    def cache_stats(self) -> dict:
+        """Serving diagnostics: the live fuser's compiled-plan cache stats.
+
+        Empty for fusers without a plan cache (PrecRec, aggressive, EM).
+        """
+        plan_cache = getattr(self._fuser, "plan_cache", None)
+        if plan_cache is None:
+            return {}
+        return dict(plan_cache.stats)

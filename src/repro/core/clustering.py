@@ -37,7 +37,13 @@ from repro.core.exact import ExactCorrelationFuser
 from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel
 from repro.core.patterns import PatternSet, restricted_unique_patterns
+from repro.core.plans import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    CompiledPlanCache,
+    pattern_digest,
+)
 from repro.util.probability import PROBABILITY_FLOOR
+from repro.util.validation import check_accumulate
 
 Side = Literal["true", "false"]
 
@@ -255,6 +261,19 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         the evaluators' batched union plans (:meth:`pattern_mu_batch`); the
         legacy engine walks triples and consults the evaluators through the
         scalar pattern interface.
+    accumulate:
+        Batched-plan accumulate implementation forwarded to the per-cluster
+        evaluators: ``"numpy"`` (default) runs their compiled plans;
+        ``"python"`` is the per-term reference walk and also bypasses this
+        fuser's own decomposition cache, so every call re-runs the full
+        reference path.  Scores are bit-identical either way.
+    max_plan_cache_entries:
+        LRU cap for the compiled-plan caches: forwarded to every
+        per-cluster evaluator *and* used for this fuser's own cache of
+        per-cluster decompositions and log-likelihood tables, keyed by the
+        global pattern digest -- repeated ``score`` calls on a serving
+        process skip restriction, collect, compile, model evaluation, and
+        the log transform entirely.  ``0`` disables both layers.
     """
 
     name = "PrecRecCorr-Clustered"
@@ -272,6 +291,8 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         decision_prior: Optional[float] = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        accumulate: str = "numpy",
+        max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
     ) -> None:
         super().__init__(
             model,
@@ -283,6 +304,9 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             raise ValueError(
                 f"exact_cluster_limit must be >= 1, got {exact_cluster_limit}"
             )
+        self._accumulate = check_accumulate(accumulate)
+        self._max_plan_cache = int(max_plan_cache_entries)
+        self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
         if true_partition is None:
             true_partition = correlation_clusters(
                 model, "true",
@@ -330,6 +354,8 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                     self.model,
                     max_silent_sources=exact_limit,
                     max_cache_entries=self._max_cache,
+                    accumulate=self._accumulate,
+                    max_plan_cache_entries=self._max_plan_cache,
                 )
             return self._shared_exact
         # An oversized cluster appearing in both partitions reuses one
@@ -343,6 +369,8 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                 level=level,
                 universe=sorted(cluster),
                 max_cache_entries=self._max_cache,
+                accumulate=self._accumulate,
+                max_plan_cache_entries=self._max_plan_cache,
             )
             self._elastic_by_cluster[cluster] = evaluator
         return evaluator
@@ -366,8 +394,33 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             log_denominator += math.log(max(q_side, PROBABILITY_FLOOR))
         return math.exp(log_numerator - log_denominator)
 
-    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
-        """Every distinct pattern's ``mu`` through the batched union plans.
+    def invalidate_caches(self) -> None:
+        """Drop memoised scores and every compiled-plan layer.
+
+        The serving-process refit hook: clears this fuser's per-pattern
+        memo and decomposition cache plus each distinct per-cluster
+        evaluator's caches.
+        """
+        super().invalidate_caches()
+        self._plan_cache.invalidate()
+        seen: set[int] = set()
+        for evaluator in self._true_evaluators + self._false_evaluators:
+            if id(evaluator) not in seen:
+                seen.add(id(evaluator))
+                evaluator.invalidate_caches()
+
+    @property
+    def plan_cache(self) -> CompiledPlanCache:
+        """This fuser's decomposition/log-table cache (diagnostics)."""
+        return self._plan_cache
+
+    def _compile_side_terms(
+        self, patterns: PatternSet
+    ) -> tuple[
+        list[tuple[np.ndarray, np.ndarray]],
+        list[tuple[np.ndarray, np.ndarray]],
+    ]:
+        """Per-side ``(log-likelihood table, inverse index)`` term lists.
 
         Each distinct global pattern is decomposed into per-cluster
         sub-patterns (``providers & cluster``, ``silent & cluster``); the
@@ -375,32 +428,28 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         patterns collapse onto the same cluster-local restriction), each
         cluster's distinct sub-patterns are evaluated in one shot through
         its evaluator's :meth:`pattern_likelihoods_batch` (the shared
-        :mod:`repro.core.plans` machinery), and per-pattern ``mu`` is
-        recombined as a gather-sum of per-cluster log-likelihoods -- the
-        true-side partition in the numerator, the false-side partition in
-        the denominator.
-
-        Logs and the final exponential are taken with ``math.log`` /
-        ``math.exp`` on the deduplicated values and the per-cluster terms
-        are added in partition order, replicating :meth:`pattern_mu`'s
-        operation sequence exactly -- so scores are bit-identical to the
-        legacy per-pattern path.
+        :mod:`repro.core.plans` machinery), and the deduplicated
+        likelihoods are turned into ``math.log`` tables -- one
+        ``(logs, inverse)`` term per cluster, in partition order, the
+        true-side partition first.
         """
-        log_numerator = np.zeros(patterns.n_patterns, dtype=float)
-        log_denominator = np.zeros(patterns.n_patterns, dtype=float)
-        sides = (
-            (self._true_partition, self._true_evaluators, log_numerator, 0),
-            (self._false_partition, self._false_evaluators, log_denominator, 1),
-        )
         # A cluster often appears in both partitions (sources correlated on
         # both sides); the batch entry points compute the true- and
         # false-side arrays together, so memoise per (evaluator, cluster)
-        # and evaluate each shared cluster once per score() call.
+        # and evaluate each shared cluster once.
         evaluated: dict[
             tuple[int, frozenset[int]],
             tuple[np.ndarray, np.ndarray, np.ndarray],
         ] = {}
-        for partition, evaluators, accumulator, side in sides:
+        side_terms: tuple[
+            list[tuple[np.ndarray, np.ndarray]],
+            list[tuple[np.ndarray, np.ndarray]],
+        ] = ([], [])
+        sides = (
+            (self._true_partition, self._true_evaluators, 0),
+            (self._false_partition, self._false_evaluators, 1),
+        )
+        for partition, evaluators, side in sides:
             for cluster, evaluator in zip(partition.clusters, evaluators):
                 key = (id(evaluator), cluster)
                 entry = evaluated.get(key)
@@ -420,7 +469,6 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                     entry = (numerators, denominators, inverse)
                     evaluated[key] = entry
                 likelihoods = entry[side]
-                inverse = entry[2]
                 logs = np.array(
                     [
                         math.log(max(value, PROBABILITY_FLOOR))
@@ -428,7 +476,53 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                     ],
                     dtype=float,
                 )
-                accumulator += logs[inverse]
+                side_terms[side].append((logs, entry[2]))
+        return side_terms
+
+    def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
+        """Every distinct pattern's ``mu`` through the batched union plans.
+
+        The compile step (:meth:`_compile_side_terms`) decomposes the
+        global patterns per cluster, runs the per-cluster batched union
+        plans, and freezes the results into per-cluster log-likelihood
+        tables; it is memoised in the digest-keyed plan cache, so repeated
+        ``score`` calls over the same pattern set -- the serving case --
+        skip restriction, collection, compilation, model evaluation, and
+        the log transform.  The execute step recombines per-pattern ``mu``
+        as a gather-sum of the tables: the true-side partition in the
+        numerator, the false-side partition in the denominator.
+
+        Logs and the final exponential are taken with ``math.log`` /
+        ``math.exp`` on the deduplicated values and the per-cluster terms
+        are added in partition order, replicating :meth:`pattern_mu`'s
+        operation sequence exactly -- so scores are bit-identical to the
+        legacy per-pattern path.
+        """
+        if self._accumulate == "python":
+            # The reference configuration must re-run the full walk every
+            # call (mirroring exact/elastic, whose caches are bypassed on
+            # accumulate="python"), or benchmarks of the python path would
+            # silently measure the cached tables instead.
+            entry = self._compile_side_terms(patterns)
+        else:
+            key = (
+                "clustered",
+                pattern_digest(
+                    patterns.provider_matrix, patterns.silent_matrix
+                ),
+            )
+            entry = self._plan_cache.get(key)
+            if entry is None:
+                entry = self._plan_cache.put(
+                    key, self._compile_side_terms(patterns)
+                )
+        true_terms, false_terms = entry
+        log_numerator = np.zeros(patterns.n_patterns, dtype=float)
+        log_denominator = np.zeros(patterns.n_patterns, dtype=float)
+        for logs, inverse in true_terms:
+            log_numerator += logs[inverse]
+        for logs, inverse in false_terms:
+            log_denominator += logs[inverse]
         return np.array(
             [
                 math.exp(value)

@@ -32,13 +32,16 @@ from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel, MaskedJointCache
 from repro.core.patterns import PatternSet
 from repro.core.plans import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    CompiledPlanCache,
     ElasticUnionPlan,
     model_supports_batch,
+    pattern_digest,
     scalar_likelihoods,
 )
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets_of_size, subset_parity
-from repro.util.validation import check_non_negative_int
+from repro.util.validation import check_accumulate, check_non_negative_int
 
 
 class ElasticFuser(ModelBasedFuser):
@@ -58,6 +61,14 @@ class ElasticFuser(ModelBasedFuser):
     engine, max_cache_entries:
         Execution engine switch and per-pattern memo cap -- see
         :class:`repro.core.fusion.ModelBasedFuser`.
+    accumulate:
+        Batched-plan accumulate implementation: ``"numpy"`` (default) runs
+        the compiled gather + segmented-sweep path and enables the plan
+        cache; ``"python"`` is the per-term reference walk, kept for
+        equivalence testing and benchmarking.  Scores are bit-identical.
+    max_plan_cache_entries:
+        LRU cap on cached compiled plans (with their batch-evaluated model
+        parameters), keyed by pattern digest; ``0`` disables the cache.
     """
 
     def __init__(
@@ -68,6 +79,8 @@ class ElasticFuser(ModelBasedFuser):
         decision_prior: Optional[float] = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        accumulate: str = "numpy",
+        max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
     ) -> None:
         super().__init__(
             model,
@@ -85,6 +98,19 @@ class ElasticFuser(ModelBasedFuser):
             self._eff_recall[i] = float(c_plus[k]) * model.recall(i)
             self._eff_fpr[i] = float(c_minus[k]) * model.fpr(i)
         self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
+        self._accumulate = check_accumulate(accumulate)
+        self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
+
+    @property
+    def plan_cache(self) -> CompiledPlanCache:
+        """The compiled-plan cache (stats / eviction diagnostics)."""
+        return self._plan_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised scores, joint look-ups, and compiled plans."""
+        super().invalidate_caches()
+        self._joint_cache.clear()
+        self._plan_cache.invalidate()
 
     @property
     def level(self) -> int:
@@ -189,6 +215,12 @@ class ElasticFuser(ModelBasedFuser):
         re-accumulated in the legacy term order -- so every value is
         bit-identical to :meth:`pattern_likelihoods`.  Models without batch
         support fall back to bitmask-keyed scalar queries.
+
+        On the default ``accumulate="numpy"`` configuration the plan is
+        compiled (aggressive factors baked in) and memoised together with
+        its batch-evaluated ``(r, q)`` values in the digest-keyed plan
+        cache, so repeated calls skip collect, compile, and model
+        evaluation entirely.
         """
         provider_matrix = np.asarray(provider_matrix, dtype=bool)
         silent_matrix = np.asarray(silent_matrix, dtype=bool)
@@ -196,9 +228,27 @@ class ElasticFuser(ModelBasedFuser):
             return scalar_likelihoods(
                 provider_matrix, silent_matrix, self._masked_likelihoods
             )
-        plan = ElasticUnionPlan.build(provider_matrix, silent_matrix, self._level)
-        recalls, fprs = self.model.joint_params_batch(plan.rows)
-        return plan.accumulate(recalls, fprs, self._eff_recall, self._eff_fpr)
+        if self._accumulate == "python":
+            plan = ElasticUnionPlan.build(
+                provider_matrix, silent_matrix, self._level
+            )
+            recalls, fprs = self.model.joint_params_batch(plan.rows)
+            return plan.accumulate(
+                recalls, fprs, self._eff_recall, self._eff_fpr
+            )
+        key = (
+            "elastic", self._level,
+            pattern_digest(provider_matrix, silent_matrix),
+        )
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            compiled = ElasticUnionPlan.build(
+                provider_matrix, silent_matrix, self._level
+            ).compile(self._eff_recall, self._eff_fpr)
+            params = self.model.joint_params_batch(compiled.rows)
+            entry = self._plan_cache.put(key, (compiled, params))
+        compiled, (recalls, fprs) = entry
+        return compiled.accumulate(recalls, fprs)
 
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
         """Every distinct pattern's ``mu`` from one batched model evaluation.

@@ -32,12 +32,16 @@ from repro.core.fusion import DEFAULT_MU_CACHE_ENTRIES, ModelBasedFuser
 from repro.core.joint import JointQualityModel, MaskedJointCache
 from repro.core.patterns import PatternSet
 from repro.core.plans import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    CompiledPlanCache,
     ExactUnionPlan,
     model_supports_batch,
+    pattern_digest,
     scalar_likelihoods,
 )
 from repro.util.probability import PROBABILITY_FLOOR
 from repro.util.subsets import iter_subsets, subset_parity
+from repro.util.validation import check_accumulate
 
 
 class ExactCorrelationFuser(ModelBasedFuser):
@@ -58,6 +62,16 @@ class ExactCorrelationFuser(ModelBasedFuser):
         :class:`repro.core.fusion.ModelBasedFuser`.  The inclusion-exclusion
         sum itself is evaluated per distinct pattern either way; the
         vectorized engine visits each pattern once instead of per triple.
+    accumulate:
+        Batched-plan accumulate implementation: ``"numpy"`` (default) runs
+        the compiled gather + segmented-sweep path and enables the plan
+        cache; ``"python"`` is the per-term reference walk, kept for
+        equivalence testing and benchmarking.  Scores are bit-identical.
+    max_plan_cache_entries:
+        LRU cap on cached compiled plans (with their batch-evaluated model
+        parameters), keyed by pattern digest -- repeated ``score`` calls on
+        a serving process skip collect, compile, and model evaluation.
+        ``0`` disables the cache.
     """
 
     name = "PrecRecCorr"
@@ -69,6 +83,8 @@ class ExactCorrelationFuser(ModelBasedFuser):
         decision_prior: float | None = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        accumulate: str = "numpy",
+        max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
     ) -> None:
         super().__init__(
             model,
@@ -82,6 +98,19 @@ class ExactCorrelationFuser(ModelBasedFuser):
             )
         self._max_silent = max_silent_sources
         self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
+        self._accumulate = check_accumulate(accumulate)
+        self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
+
+    @property
+    def plan_cache(self) -> CompiledPlanCache:
+        """The compiled-plan cache (stats / eviction diagnostics)."""
+        return self._plan_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop memoised scores, joint look-ups, and compiled plans."""
+        super().invalidate_caches()
+        self._joint_cache.clear()
+        self._plan_cache.invalidate()
 
     def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
         numerator, denominator = self.pattern_likelihoods(providers, silent)
@@ -157,6 +186,12 @@ class ExactCorrelationFuser(ModelBasedFuser):
         so every value is bit-identical to :meth:`pattern_likelihoods`.
         Models without batch support fall back to bitmask-keyed scalar
         queries.
+
+        On the default ``accumulate="numpy"`` configuration the plan is
+        compiled to flat index/sign arrays and memoised -- together with
+        its batch-evaluated ``(r, q)`` values, which depend only on the
+        (fixed) model -- in the digest-keyed plan cache, so repeated calls
+        skip collect, compile, and model evaluation entirely.
         """
         provider_matrix = np.asarray(provider_matrix, dtype=bool)
         silent_matrix = np.asarray(silent_matrix, dtype=bool)
@@ -164,11 +199,27 @@ class ExactCorrelationFuser(ModelBasedFuser):
             return scalar_likelihoods(
                 provider_matrix, silent_matrix, self._masked_likelihoods
             )
-        plan = ExactUnionPlan.build(
-            provider_matrix, silent_matrix, width_check=self._check_silent_width
+        if self._accumulate == "python":
+            plan = ExactUnionPlan.build(
+                provider_matrix, silent_matrix,
+                width_check=self._check_silent_width,
+            )
+            recalls, fprs = self.model.joint_params_batch(plan.rows)
+            return plan.accumulate(recalls, fprs)
+        key = (
+            "exact", self._max_silent,
+            pattern_digest(provider_matrix, silent_matrix),
         )
-        recalls, fprs = self.model.joint_params_batch(plan.rows)
-        return plan.accumulate(recalls, fprs)
+        entry = self._plan_cache.get(key)
+        if entry is None:
+            compiled = ExactUnionPlan.build(
+                provider_matrix, silent_matrix,
+                width_check=self._check_silent_width,
+            ).compile()
+            params = self.model.joint_params_batch(compiled.rows)
+            entry = self._plan_cache.put(key, (compiled, params))
+        compiled, (recalls, fprs) = entry
+        return compiled.accumulate(recalls, fprs)
 
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
         """Every distinct pattern's ``mu`` from one batched model evaluation.

@@ -207,6 +207,17 @@ class ModelBasedFuser(TruthFuser):
                 self._mu_cache[key] = mu
         return probability_from_mu(mu, self.prior)
 
+    def invalidate_caches(self) -> None:
+        """Drop memoised per-pattern scores.
+
+        The explicit invalidation hook for long-lived serving processes:
+        call it when the state a fuser memoised against has been replaced
+        (e.g. after refitting the joint model).  Subclasses that hold
+        further caches -- the compiled-plan caches of the inclusion-exclusion
+        fusers -- extend this to clear those too.
+        """
+        self._mu_cache.clear()
+
     def pattern_mu_batch(self, patterns: PatternSet) -> Optional[np.ndarray]:
         """Vectorized ``mu`` for every distinct pattern, or ``None``.
 

@@ -212,6 +212,10 @@ class MaskedJointCache:
     def __len__(self) -> int:
         return len(self._cache)
 
+    def clear(self) -> None:
+        """Drop every memoised look-up (the model-refit hook)."""
+        self._cache.clear()
+
     def get(self, mask: int, source_ids: Sequence[int]) -> tuple[float, float]:
         """``(r_{S*}, q_{S*})`` for the subset with bitmask ``mask``.
 

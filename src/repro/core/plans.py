@@ -19,16 +19,58 @@ This module holds the pipeline; :mod:`repro.core.exact` and
 :mod:`repro.core.elastic` wrap it behind ``pattern_likelihoods_batch`` /
 ``pattern_mu_batch``, and :mod:`repro.core.clustering` drives those batch
 entry points once per correlation cluster.
+
+Compile-once, execute-many
+--------------------------
+Serving traffic repeats the *same* scoring work: the model is fitted rarely
+while ``score`` runs over and over, often on batches that share their
+pattern set.  Two layers split that cost:
+
+- :class:`CompiledExactPlan` / :class:`CompiledElasticPlan` freeze a built
+  plan into flat numpy arrays (a ``term_gather`` index into the distinct
+  union rows, a ``+/-1`` sign vector from subset parity, and per-pattern
+  segment structure), so the accumulate step becomes a handful of
+  vectorized gathers plus a segmented column sweep instead of a per-term
+  Python walk;
+- :class:`CompiledPlanCache` memoises compiled plans (and, at the fusers'
+  discretion, their batch-evaluated model parameters) under a
+  :func:`pattern_digest` key, so repeated ``score`` calls skip the collect
+  and compile steps entirely.
+
+A note on ``np.add.reduceat``: the obvious segment-sum primitive is *not*
+usable here -- numpy reduces segments with pairwise summation, whose
+rounding differs from the legacy left-to-right accumulation, breaking the
+bit-identity contract.  The compiled plans instead lay terms out
+step-major over patterns sorted by term count (stable, descending) and run
+``acc[:k] += column`` once per step: every pattern's terms are added
+strictly left-to-right in the legacy order, each step is one vectorized
+add over the patterns still active, and the result is bitwise equal to
+the reference walk.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
+from collections import OrderedDict
 from typing import Callable, Mapping, Optional
 
 import numpy as np
 
 from repro.util.probability import PROBABILITY_FLOOR
-from repro.util.subsets import iter_subsets, iter_subsets_of_size, subset_parity
+from repro.util.subsets import (
+    count_subsets,
+    iter_subsets,
+    iter_subsets_of_size,
+    subset_parity,
+)
+
+#: Default cap on cached compiled plans per fuser.  Each entry holds the
+#: plan's flat index/sign arrays plus (for the fusers that attach them) the
+#: batch-evaluated model parameters, so -- mirroring the ``max_cache_entries``
+#: memo policy -- the cache is bounded and long-lived serving processes
+#: cannot grow without limit.  Eviction is least-recently-used.
+DEFAULT_PLAN_CACHE_ENTRIES = 64
 
 
 class UnionCollector:
@@ -53,14 +95,36 @@ class UnionCollector:
         return len(self._rows)
 
     def mask_of(self, source_ids) -> int:
-        """Bitmask of a collection of source ids."""
+        """Bitmask of a collection of source ids.
+
+        Raises ``ValueError`` on ids outside ``[0, n_sources)`` (an
+        ``IndexError`` -- or, for negative ids, a silently wrapped bit --
+        would mislabel the union) and on duplicate ids (a duplicate is a
+        caller bug that the OR would silently swallow, leaving the mask
+        inconsistent with the id list the caller evaluates).
+        """
         mask = 0
-        bits = self._bits
+        n = self._n_sources
         for i in source_ids:
-            mask |= bits[i]
+            if not 0 <= i < n:
+                raise ValueError(
+                    f"source id {i} out of range for {n} sources"
+                )
+            bit = 1 << i
+            if mask & bit:
+                raise ValueError(
+                    f"duplicate source id {i} in union; ids must be distinct"
+                )
+            mask |= bit
         return mask
 
     def bit(self, source_id: int) -> int:
+        """The single-source bitmask; raises ``ValueError`` out of range."""
+        if not 0 <= source_id < self._n_sources:
+            raise ValueError(
+                f"source id {source_id} out of range for "
+                f"{self._n_sources} sources"
+            )
         return self._bits[source_id]
 
     def add(self, mask: int, base_row: np.ndarray, extra_ids) -> int:
@@ -211,6 +275,10 @@ class ExactUnionPlan:
             denominators[k] = max(denominator, PROBABILITY_FLOOR)
         return numerators, denominators
 
+    def compile(self) -> "CompiledExactPlan":
+        """Freeze this plan into flat numpy arrays (see module docstring)."""
+        return CompiledExactPlan.from_plan(self)
+
 
 class ElasticUnionPlan:
     """Batched Algorithm 1 plan over a set of ``(providers, silent)`` patterns.
@@ -301,3 +369,411 @@ class ElasticUnionPlan:
             numerators[k] = max(numerator, PROBABILITY_FLOOR)
             denominators[k] = max(denominator, PROBABILITY_FLOOR)
         return numerators, denominators
+
+    def compile(
+        self, eff_recall: Mapping[int, float], eff_fpr: Mapping[int, float]
+    ) -> "CompiledElasticPlan":
+        """Freeze this plan (with the fuser's aggressive factors baked in)."""
+        return CompiledElasticPlan.from_plan(self, eff_recall, eff_fpr)
+
+
+# ----------------------------------------------------------------------
+# Compiled plans: the execute-many half of the pipeline
+# ----------------------------------------------------------------------
+
+#: Memoised exact-plan sign sequences, keyed by silent-set size.  The
+#: sequence depends only on the size, and at most ``n_sources + 1`` distinct
+#: sizes ever occur.  (The elastic plan writes its signs while enumerating
+#: subsets for the factor matrices, so it needs no memo.)
+_EXACT_SIGN_SEQS: dict[int, np.ndarray] = {}
+
+
+def _exact_sign_sequence(n_silent: int) -> np.ndarray:
+    """``(-1)^{|subset|}`` over ``iter_subsets`` enumeration order."""
+    seq = _EXACT_SIGN_SEQS.get(n_silent)
+    if seq is None:
+        seq = np.concatenate(
+            [
+                np.full(math.comb(n_silent, size), float(subset_parity(size)))
+                for size in range(n_silent + 1)
+            ]
+        )
+        seq.setflags(write=False)
+        _EXACT_SIGN_SEQS[n_silent] = seq
+    return seq
+
+
+def _column_major_layout(
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Step-major term layout over patterns sorted by term count.
+
+    ``lengths[k]`` is pattern ``k``'s term count in the row-major term
+    arrays.  Returns ``(order, step_counts, positions)``:
+
+    - ``order``: pattern permutation, descending term count (stable);
+    - ``step_counts``: for step ``c``, how many sorted patterns still have
+      a ``c``-th term (a non-increasing prefix length);
+    - ``positions``: indices into the row-major term arrays, laid out
+      step-major -- step ``c`` holds the ``c``-th term of each active
+      pattern, so a sweep of ``acc[:k] += column`` adds every pattern's
+      terms strictly left-to-right in the legacy order.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = lengths.shape[0]
+    order = np.argsort(-lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    row_starts = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        np.cumsum(lengths[:-1], out=row_starts[1:])
+    sorted_starts = row_starts[order]
+    max_len = int(sorted_lengths[0]) if n else 0
+    if max_len == 0:
+        return order, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    # Active-prefix length per step: how many sorted lengths exceed c.
+    ascending = -sorted_lengths
+    step_counts = np.searchsorted(
+        ascending, -np.arange(max_len, dtype=np.int64), side="left"
+    )
+    positions = np.concatenate(
+        [sorted_starts[:k] + c for c, k in enumerate(step_counts.tolist())]
+    )
+    return order, step_counts, positions
+
+
+class CompiledExactPlan:
+    """An :class:`ExactUnionPlan` frozen into flat numpy arrays.
+
+    ``accumulate`` replaces the per-term Python walk with two gathers
+    (``recalls[term_gather] * term_signs``) and a segmented column sweep
+    that replays the legacy left-to-right summation per pattern (see the
+    module docstring for why ``np.add.reduceat`` cannot be used), flooring
+    at ``PROBABILITY_FLOOR`` exactly like the reference -- results are
+    bit-identical to :meth:`ExactUnionPlan.accumulate`.
+    """
+
+    __slots__ = (
+        "rows", "n_patterns", "order", "term_gather", "term_signs",
+        "step_counts", "_steps",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        n_patterns: int,
+        order: np.ndarray,
+        term_gather: np.ndarray,
+        term_signs: np.ndarray,
+        step_counts: np.ndarray,
+    ) -> None:
+        self.rows = rows
+        self.n_patterns = n_patterns
+        self.order = order
+        self.term_gather = term_gather
+        self.term_signs = term_signs
+        self.step_counts = step_counts
+        self._steps = step_counts.tolist()
+
+    @classmethod
+    def from_plan(cls, plan: ExactUnionPlan) -> "CompiledExactPlan":
+        silent_sizes = [len(silent) for silent in plan.silent_lists]
+        lengths = np.array([1 << s for s in silent_sizes], dtype=np.int64)
+        term_index = np.asarray(plan.term_index, dtype=np.int64)
+        order, step_counts, positions = _column_major_layout(lengths)
+        if silent_sizes:
+            signs = np.concatenate(
+                [_exact_sign_sequence(s) for s in silent_sizes]
+            )
+        else:
+            signs = np.zeros(0, dtype=float)
+        return cls(
+            rows=plan.rows,
+            n_patterns=len(silent_sizes),
+            order=order,
+            term_gather=term_index[positions],
+            term_signs=signs[positions],
+            step_counts=step_counts,
+        )
+
+    def accumulate(
+        self, recalls: np.ndarray, fprs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern floored ``(Pr(Ot | t), Pr(Ot | not t))`` arrays."""
+        n = self.n_patterns
+        numerators = np.empty(n, dtype=float)
+        denominators = np.empty(n, dtype=float)
+        if n == 0:
+            return numerators, denominators
+        recalls = np.asarray(recalls, dtype=float)
+        fprs = np.asarray(fprs, dtype=float)
+        signed_r = recalls[self.term_gather] * self.term_signs
+        signed_q = fprs[self.term_gather] * self.term_signs
+        acc_r = np.zeros(n, dtype=float)
+        acc_q = np.zeros(n, dtype=float)
+        position = 0
+        for k in self._steps:
+            end = position + k
+            acc_r[:k] += signed_r[position:end]
+            acc_q[:k] += signed_q[position:end]
+            position = end
+        np.maximum(acc_r, PROBABILITY_FLOOR, out=acc_r)
+        np.maximum(acc_q, PROBABILITY_FLOOR, out=acc_q)
+        numerators[self.order] = acc_r
+        denominators[self.order] = acc_q
+        return numerators, denominators
+
+
+class CompiledElasticPlan:
+    """An :class:`ElasticUnionPlan` frozen into flat numpy arrays.
+
+    The fuser's effective aggressive factors (``C+_i r_i`` / ``C-_i q_i``)
+    are baked in at compile time: the level-0 silent-side products become a
+    padded factor matrix multiplied column by column (padding with exact
+    ``1.0`` is a bitwise no-op), the per-term approximate coefficients a
+    padded ``(n_terms, level)`` factor matrix, and the level-``1..lambda``
+    adjustments the same segmented column sweep as the exact plan -- every
+    multiply and add replays the legacy operation order, so results are
+    bit-identical to :meth:`ElasticUnionPlan.accumulate`.
+    """
+
+    __slots__ = (
+        "rows", "n_patterns", "level", "order", "base_gather",
+        "silent_r_factors", "silent_q_factors", "term_gather", "term_signs",
+        "term_pattern_pos", "term_eff_r", "term_eff_q", "step_counts",
+        "_steps",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        n_patterns: int,
+        level: int,
+        order: np.ndarray,
+        base_gather: np.ndarray,
+        silent_r_factors: np.ndarray,
+        silent_q_factors: np.ndarray,
+        term_gather: np.ndarray,
+        term_signs: np.ndarray,
+        term_pattern_pos: np.ndarray,
+        term_eff_r: np.ndarray,
+        term_eff_q: np.ndarray,
+        step_counts: np.ndarray,
+    ) -> None:
+        self.rows = rows
+        self.n_patterns = n_patterns
+        self.level = level
+        self.order = order
+        self.base_gather = base_gather
+        self.silent_r_factors = silent_r_factors
+        self.silent_q_factors = silent_q_factors
+        self.term_gather = term_gather
+        self.term_signs = term_signs
+        self.term_pattern_pos = term_pattern_pos
+        self.term_eff_r = term_eff_r
+        self.term_eff_q = term_eff_q
+        self.step_counts = step_counts
+        self._steps = step_counts.tolist()
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: ElasticUnionPlan,
+        eff_recall: Mapping[int, float],
+        eff_fpr: Mapping[int, float],
+    ) -> "CompiledElasticPlan":
+        silent_lists = plan.silent_lists
+        n_patterns = len(silent_lists)
+        level = plan.level
+        lengths = np.array(
+            [
+                count_subsets(len(silent), min(level, len(silent))) - 1
+                for silent in silent_lists
+            ],
+            dtype=np.int64,
+        )
+        order, step_counts, positions = _column_major_layout(lengths)
+
+        base_gather = np.asarray(plan.base_index, dtype=np.int64)[order]
+        max_silent = max((len(s) for s in silent_lists), default=0)
+        silent_r = np.ones((n_patterns, max_silent), dtype=float)
+        silent_q = np.ones((n_patterns, max_silent), dtype=float)
+        for sorted_pos, original in enumerate(order.tolist()):
+            for column, i in enumerate(silent_lists[original]):
+                silent_r[sorted_pos, column] = 1.0 - eff_recall[i]
+                silent_q[sorted_pos, column] = 1.0 - eff_fpr[i]
+
+        n_terms = int(lengths.sum())
+        signs = np.empty(n_terms, dtype=float)
+        eff_r = np.ones((n_terms, level), dtype=float)
+        eff_q = np.ones((n_terms, level), dtype=float)
+        term = 0
+        for silent in silent_lists:
+            max_level = min(level, len(silent))
+            for size in range(1, max_level + 1):
+                sign = float(subset_parity(size))
+                for subset in iter_subsets_of_size(silent, size):
+                    signs[term] = sign
+                    for column, i in enumerate(subset):
+                        eff_r[term, column] = eff_recall[i]
+                        eff_q[term, column] = eff_fpr[i]
+                    term += 1
+
+        term_index = np.asarray(plan.term_index, dtype=np.int64)
+        if len(step_counts):
+            term_pattern_pos = np.concatenate(
+                [np.arange(k, dtype=np.int64) for k in step_counts.tolist()]
+            )
+        else:
+            term_pattern_pos = np.zeros(0, dtype=np.int64)
+        return cls(
+            rows=plan.rows,
+            n_patterns=n_patterns,
+            level=level,
+            order=order,
+            base_gather=base_gather,
+            silent_r_factors=silent_r,
+            silent_q_factors=silent_q,
+            term_gather=term_index[positions],
+            term_signs=signs[positions],
+            term_pattern_pos=term_pattern_pos,
+            term_eff_r=eff_r[positions],
+            term_eff_q=eff_q[positions],
+            step_counts=step_counts,
+        )
+
+    def accumulate(
+        self, recalls: np.ndarray, fprs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern floored ``(R, Q)`` of Algorithm 1."""
+        n = self.n_patterns
+        numerators = np.empty(n, dtype=float)
+        denominators = np.empty(n, dtype=float)
+        if n == 0:
+            return numerators, denominators
+        recalls = np.asarray(recalls, dtype=float)
+        fprs = np.asarray(fprs, dtype=float)
+        r_base = recalls[self.base_gather]
+        q_base = fprs[self.base_gather]
+
+        # Level 0: exact provider-side joint, aggressive silent-side chain.
+        num = r_base.copy()
+        den = q_base.copy()
+        for column in range(self.silent_r_factors.shape[1]):
+            num *= self.silent_r_factors[:, column]
+            den *= self.silent_q_factors[:, column]
+
+        # Levels 1..lambda: swap-in adjustments in the legacy term order.
+        if self.term_gather.shape[0]:
+            approx_r = r_base[self.term_pattern_pos]
+            approx_q = q_base[self.term_pattern_pos]
+            for column in range(self.term_eff_r.shape[1]):
+                approx_r *= self.term_eff_r[:, column]
+                approx_q *= self.term_eff_q[:, column]
+            contrib_r = self.term_signs * (recalls[self.term_gather] - approx_r)
+            contrib_q = self.term_signs * (fprs[self.term_gather] - approx_q)
+            position = 0
+            for k in self._steps:
+                end = position + k
+                num[:k] += contrib_r[position:end]
+                den[:k] += contrib_q[position:end]
+                position = end
+
+        np.maximum(num, PROBABILITY_FLOOR, out=num)
+        np.maximum(den, PROBABILITY_FLOOR, out=den)
+        numerators[self.order] = num
+        denominators[self.order] = den
+        return numerators, denominators
+
+
+# ----------------------------------------------------------------------
+# The plan cache: skip collect + compile on repeated score calls
+# ----------------------------------------------------------------------
+
+
+def pattern_digest(
+    provider_matrix: np.ndarray, silent_matrix: np.ndarray
+) -> bytes:
+    """Content digest of a pattern-matrix pair (the plan-cache key).
+
+    Pattern matrices are frozen (read-only) once extracted, so hashing
+    their bytes identifies the scoring workload: two observation batches
+    with the same distinct patterns share one compiled plan regardless of
+    how many triples map onto each pattern.
+    """
+    provider_matrix = np.ascontiguousarray(provider_matrix, dtype=bool)
+    silent_matrix = np.ascontiguousarray(silent_matrix, dtype=bool)
+    digest = hashlib.sha1()
+    digest.update(repr((provider_matrix.shape, silent_matrix.shape)).encode())
+    digest.update(provider_matrix.tobytes())
+    digest.update(silent_matrix.tobytes())
+    return digest.digest()
+
+
+class CompiledPlanCache:
+    """Bounded LRU cache of compiled plans (and attached evaluations).
+
+    Keys are caller-supplied tuples -- the fusers use
+    ``(kind, options..., pattern_digest(...))`` -- and values are opaque to
+    the cache (compiled plans, optionally bundled with their batch model
+    parameters or per-cluster log tables).  The cache is bounded by
+    ``max_entries`` with least-recently-used eviction, mirroring the
+    ``max_cache_entries`` memo policy elsewhere: a serving process cannot
+    grow without limit no matter how many distinct workloads it sees.
+    ``max_entries=0`` disables caching (every call recompiles).
+    """
+
+    __slots__ = ("_entries", "_max_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        self._entries: OrderedDict = OrderedDict()
+        self._max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def get(self, key):
+        """The cached value for ``key`` (LRU-touched), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        """Store ``value`` (evicting LRU entries beyond the cap); return it."""
+        if self._max_entries == 0:
+            return value
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (the model-refit hook); stats survive."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Counters for benchmarks and serving diagnostics."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

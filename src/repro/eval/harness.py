@@ -22,8 +22,8 @@ import numpy as np
 from repro.baselines.estimates import ThreeEstimatesFuser
 from repro.baselines.ltm import LatentTruthModel
 from repro.baselines.voting import UnionKFuser
-from repro.core.api import fit_model, make_fuser
-from repro.core.fusion import FusionResult, TruthFuser
+from repro.core.api import ScoringSession, fit_model, make_fuser
+from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
 from repro.data.model import FusionDataset
 from repro.eval.metrics import BinaryMetrics, Curve, binary_metrics, pr_curve, roc_curve
 
@@ -135,6 +135,118 @@ def run_comparison(
     for spec in specs:
         comparison.evaluations.append(run_method(dataset, spec))
     return comparison
+
+
+# ----------------------------------------------------------------------
+# Serving loop: fit once, score repeatedly
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Timing of one fit plus repeated scoring through a ScoringSession.
+
+    Attributes
+    ----------
+    method:
+        The session's method name.
+    fit_seconds:
+        Model fitting + fuser construction time.
+    cold_seconds:
+        The first ``score`` call -- pays pattern extraction, plan
+        collection, compilation, and model evaluation.
+    warm_seconds:
+        Each subsequent ``score`` call, in order -- the plan-cache path.
+    max_warm_drift:
+        Largest ``|warm score - cold score|`` over all repeats; the
+        compiled cache must make this exactly 0.0.
+    result:
+        The cold run's :class:`FusionResult`.
+    """
+
+    method: str
+    fit_seconds: float
+    cold_seconds: float
+    warm_seconds: tuple[float, ...]
+    max_warm_drift: float
+    result: FusionResult
+
+    @property
+    def repeats(self) -> int:
+        """Warm ``score`` calls after the cold one."""
+        return len(self.warm_seconds)
+
+    @property
+    def warm_mean_seconds(self) -> float:
+        if not self.warm_seconds:
+            return float("nan")
+        return float(np.mean(self.warm_seconds))
+
+    @property
+    def warm_best_seconds(self) -> float:
+        if not self.warm_seconds:
+            return float("nan")
+        return float(min(self.warm_seconds))
+
+    @property
+    def cold_over_warm(self) -> float:
+        """Cold-to-warm-mean speedup ratio (NaN with no warm repeats)."""
+        warm = self.warm_mean_seconds
+        if np.isnan(warm):
+            return warm
+        return self.cold_seconds / warm if warm > 0 else float("inf")
+
+
+def run_serving(
+    dataset: FusionDataset,
+    method: str = "precreccorr",
+    repeats: int = 5,
+    threshold: float = DEFAULT_THRESHOLD,
+    prior: Optional[float] = None,
+    smoothing: float = 0.0,
+    engine: str = "vectorized",
+    **options,
+) -> ServingReport:
+    """Fit once on ``dataset`` and score it ``1 + repeats`` times.
+
+    The serving-loop probe behind ``python -m repro fuse --repeat`` and
+    the plan-cache benchmark: one :class:`ScoringSession` is fitted on the
+    dataset's labels, the first ``score`` is timed cold, and ``repeats``
+    further calls measure the warm (compiled-plan-cache) path.  Warm
+    scores are checked against the cold run -- any drift is reported in
+    ``max_warm_drift``.
+    """
+    if repeats < 0:
+        raise ValueError(f"repeats must be non-negative, got {repeats}")
+    session = ScoringSession(
+        dataset.observations,
+        dataset.labels,
+        method=method,
+        prior=prior,
+        smoothing=smoothing,
+        engine=engine,
+        threshold=threshold,
+        **options,
+    )
+    start = time.perf_counter()
+    result = session.fuse(dataset.observations)
+    cold_seconds = time.perf_counter() - start
+    warm_seconds: list[float] = []
+    max_drift = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scores = session.score(dataset.observations)
+        warm_seconds.append(time.perf_counter() - start)
+        drift = float(np.abs(scores - result.scores).max()) if len(scores) else 0.0
+        max_drift = max(max_drift, drift)
+    return ServingReport(
+        method=result.method,
+        fit_seconds=session.fit_seconds,
+        cold_seconds=cold_seconds,
+        warm_seconds=tuple(warm_seconds),
+        max_warm_drift=max_drift,
+        result=result,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,22 @@ def check_engine(value: str, name: str = "engine") -> str:
     return key
 
 
+#: Accumulate implementations for the batched union plans: ``"numpy"`` runs
+#: the compiled gather + segmented-sweep path; ``"python"`` is the per-term
+#: reference walk, kept for equivalence testing and benchmarking.
+ACCUMULATE_MODES = ("numpy", "python")
+
+
+def check_accumulate(value: str, name: str = "accumulate") -> str:
+    """Validate and normalise a plan-accumulate implementation name."""
+    key = str(value).lower()
+    if key not in ACCUMULATE_MODES:
+        raise ValueError(
+            f"unknown {name} {value!r}; expected one of {ACCUMULATE_MODES}"
+        )
+    return key
+
+
 def check_probability(value: float, name: str) -> float:
     """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
     if not isinstance(value, (int, float)) or isinstance(value, bool):

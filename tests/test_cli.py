@@ -63,6 +63,38 @@ class TestCli:
         assert "smoothing" in captured.err
         assert "Traceback" not in captured.err
 
+    def test_fuse_em_decision_prior_gets_clean_error(self, capsys):
+        code = main(
+            ["fuse", "--dataset", "figure1", "--method", "em",
+             "--decision-prior", "0.5"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "decision_prior" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fuse_repeat_reports_serving_timings(self, capsys):
+        assert main(
+            ["fuse", "--dataset", "restaurant", "--repeat", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving:" in out
+        assert "3 repeats" in out
+        assert "max warm drift 0.0e+00" in out
+
+    def test_fuse_repeat_works_for_em(self, capsys):
+        assert main(
+            ["fuse", "--dataset", "figure1", "--method", "em",
+             "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving:" in out
+
+    def test_fuse_repeat_rejects_non_positive_counts(self, capsys):
+        code = main(["fuse", "--dataset", "figure1", "--repeat", "0"])
+        assert code == 2
+        assert "--repeat" in capsys.readouterr().err
+
     def test_fuse_scores_csv(self, tmp_path, capsys):
         target = tmp_path / "scores.csv"
         assert main(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ExpectationMaximizationFuser, ObservationMatrix
+from repro.core import ExpectationMaximizationFuser, ObservationMatrix, fuse
 from repro.data import SyntheticConfig, generate, uniform_sources
 from repro.eval import auc_roc, binary_metrics
 
@@ -82,6 +82,108 @@ class TestSeededEM:
         fuser = ExpectationMaximizationFuser(seed_labels=np.array([1.0]))
         with pytest.raises(ValueError, match="seed_labels shape"):
             fuser.score(dataset.observations)
+
+
+class _LikelihoodTracingEM(ExpectationMaximizationFuser):
+    """EM fuser recording the incomplete-data log-likelihood per iteration.
+
+    The likelihood is computed from the E-step's own inputs -- the quality
+    estimates the M-step just produced and the prior about to be applied --
+    so the trace measures exactly the quantity textbook EM guarantees to be
+    non-decreasing.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.log_likelihoods: list[float] = []
+
+    def _e_step(self, provides, silent, recall, fpr, prior):
+        log_true = np.log(recall) @ provides + np.log1p(-recall) @ silent
+        log_false = np.log(fpr) @ provides + np.log1p(-fpr) @ silent
+        likelihood = np.logaddexp(
+            np.log(prior) + log_true, np.log1p(-prior) + log_false
+        ).sum()
+        self.log_likelihoods.append(float(likelihood))
+        return super()._e_step(provides, silent, recall, fpr, prior)
+
+
+class TestConvergenceBehavior:
+    #: The implementation clips rates to valid ranges and re-estimates the
+    #: prior each sweep, so it is EM-flavoured rather than textbook EM; the
+    #: likelihood may dip by at most this much per iteration.
+    MONOTONE_TOLERANCE = 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incomplete_data_log_likelihood_is_monotone(self, seed):
+        dataset = easy_dataset(seed=seed)
+        fuser = _LikelihoodTracingEM(max_iterations=60)
+        fuser.score(dataset.observations)
+        trace = np.array(fuser.log_likelihoods)
+        assert len(trace) >= 2
+        assert np.isfinite(trace).all()
+        deltas = np.diff(trace)
+        assert deltas.min() >= -self.MONOTONE_TOLERANCE
+
+    def test_scoring_is_deterministic(self):
+        # EM draws no randomness: identical inputs give bitwise-identical
+        # scores, iteration counts, and diagnostics across runs.
+        dataset = easy_dataset(seed=9)
+        first = ExpectationMaximizationFuser(max_iterations=80)
+        second = ExpectationMaximizationFuser(max_iterations=80)
+        scores_a = first.score(dataset.observations)
+        scores_b = second.score(dataset.observations)
+        assert np.array_equal(scores_a, scores_b)
+        assert first.diagnostics == second.diagnostics
+
+    def test_seeded_dataset_determinism_through_fuse(self):
+        # The same generator seed must reproduce the same EM result through
+        # the fuse() entry point end to end.
+        runs = [
+            fuse(ds.observations, ds.labels, method="em")
+            for ds in (easy_dataset(seed=13), easy_dataset(seed=13))
+        ]
+        assert np.array_equal(runs[0].scores, runs[1].scores)
+
+    def test_converged_run_stops_before_the_iteration_cap(self):
+        dataset = easy_dataset(seed=3)
+        fuser = ExpectationMaximizationFuser(max_iterations=500, tolerance=1e-4)
+        fuser.score(dataset.observations)
+        assert fuser.diagnostics.converged
+        assert fuser.diagnostics.iterations < 500
+        assert fuser.diagnostics.final_change < 1e-4
+
+
+class TestFuseEntryPointRejections:
+    """The PR 2 error paths, exercised through ``fuse(method="em")``."""
+
+    def _dataset(self):
+        return easy_dataset(seed=17, n_sources=4)
+
+    def test_smoothing_rejected(self):
+        dataset = self._dataset()
+        with pytest.raises(ValueError, match="smoothing calibrates"):
+            fuse(dataset.observations, dataset.labels, method="em",
+                 smoothing=0.2)
+
+    def test_train_mask_rejected(self):
+        dataset = self._dataset()
+        mask = np.ones(dataset.n_triples, dtype=bool)
+        with pytest.raises(ValueError, match="train_mask is not supported"):
+            fuse(dataset.observations, dataset.labels, method="em",
+                 train_mask=mask)
+
+    def test_decision_prior_rejected(self):
+        dataset = self._dataset()
+        with pytest.raises(ValueError, match="decision_prior is not supported"):
+            fuse(dataset.observations, dataset.labels, method="em",
+                 decision_prior=0.5)
+
+    def test_prior_forwarded_as_initial_alpha(self):
+        dataset = self._dataset()
+        result = fuse(dataset.observations, dataset.labels, method="em",
+                      prior=0.3)
+        assert result.method == "PrecRec-EM"
+        assert np.all((result.scores >= 0) & (result.scores <= 1))
 
 
 class TestEMWithScopes:

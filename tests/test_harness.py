@@ -19,6 +19,7 @@ from repro.eval import (
     quality_scatter,
     run_comparison,
     run_method,
+    run_serving,
     run_sweep,
     runtime_table,
     supervised_spec,
@@ -81,6 +82,32 @@ class TestComparison:
             "Union-25", "Union-50", "Union-75",
             "3-Estimates", "LTM", "PrecRec", "PrecRecCorr",
         ]
+
+
+class TestRunServing:
+    def test_serving_report_fields_and_drift(self):
+        report = run_serving(small_dataset(), method="precreccorr", repeats=3)
+        assert report.repeats == 3
+        assert report.method == "PrecRecCorr"
+        assert report.fit_seconds >= 0.0
+        assert report.cold_seconds > 0.0
+        assert len(report.warm_seconds) == 3
+        assert report.warm_best_seconds <= report.warm_mean_seconds
+        # The warm path serves from the compiled-plan cache: scores must
+        # not drift from the cold run at all.
+        assert report.max_warm_drift == 0.0
+        assert isinstance(report.result, FusionResult)
+
+    def test_zero_repeats_allowed(self):
+        report = run_serving(small_dataset(), repeats=0)
+        assert report.repeats == 0
+        assert np.isnan(report.warm_mean_seconds)
+        # An unmeasured warm path must not claim an infinite speedup.
+        assert np.isnan(report.cold_over_warm)
+
+    def test_negative_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_serving(small_dataset(), repeats=-1)
 
 
 class TestSweeps:

@@ -69,6 +69,44 @@ class TestUnionCollectorAliasing:
         assert len(collector) == 1
 
 
+class TestUnionCollectorValidation:
+    def test_mask_of_rejects_out_of_range_ids(self):
+        collector = UnionCollector(4)
+        with pytest.raises(ValueError, match="out of range"):
+            collector.mask_of([0, 4])
+        # A negative id used to wrap around `bits[-1]` and silently label
+        # the union with the *highest* source's bit.
+        with pytest.raises(ValueError, match="out of range"):
+            collector.mask_of([-1])
+
+    def test_mask_of_rejects_duplicate_ids(self):
+        collector = UnionCollector(4)
+        # Duplicates used to be swallowed by the OR, leaving the mask
+        # inconsistent with the id list the caller evaluates.
+        with pytest.raises(ValueError, match="duplicate source id"):
+            collector.mask_of([2, 0, 2])
+
+    def test_mask_of_accepts_any_order(self):
+        collector = UnionCollector(4)
+        assert collector.mask_of([3, 0]) == 0b1001
+        assert collector.mask_of([]) == 0
+
+    def test_bit_rejects_out_of_range_ids(self):
+        collector = UnionCollector(3)
+        with pytest.raises(ValueError, match="out of range"):
+            collector.bit(3)
+        with pytest.raises(ValueError, match="out of range"):
+            collector.bit(-1)
+
+    def test_plan_build_still_accepts_valid_matrices(self):
+        dataset = _dataset(seed=33, n_sources=4, n_triples=40)
+        patterns = dataset.observations.patterns()
+        plan = ExactUnionPlan.build(
+            patterns.provider_matrix, patterns.silent_matrix
+        )
+        assert len(plan.term_index) > 0
+
+
 class TestUnionPlans:
     def test_exact_plan_matches_scalar_likelihoods(self):
         dataset = _dataset()
