@@ -32,10 +32,13 @@ from repro.core import (
     ObservationMatrix,
     PrecRecFuser,
     ScoringSession,
+    ShardedExecutor,
+    ShardPlanner,
     SourceQuality,
     Triple,
     TripleIndex,
     TruthFuser,
+    WorkerPool,
     correlation_clusters,
     derive_false_positive_rate,
     discovered_correlation_groups,
@@ -66,10 +69,13 @@ __all__ = [
     "ObservationMatrix",
     "PrecRecFuser",
     "ScoringSession",
+    "ShardPlanner",
+    "ShardedExecutor",
     "SourceQuality",
     "Triple",
     "TripleIndex",
     "TruthFuser",
+    "WorkerPool",
     "__version__",
     "correlation_clusters",
     "derive_false_positive_rate",

@@ -68,6 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
              "report cold vs warm timing -- the serving loop, where "
              "repeated calls hit the compiled-plan cache (default: 1)",
     )
+    fuse_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for sharded parallel scoring (default: "
+             "$REPRO_DEFAULT_WORKERS or 1 = serial); scores are "
+             "bit-identical at any worker count",
+    )
+    fuse_cmd.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="patterns per shard for parallel scoring (default: one "
+             "word-aligned shard per worker)",
+    )
     _add_engine_arg(fuse_cmd)
 
     compare_cmd = sub.add_parser(
@@ -144,6 +155,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             smoothing=args.smoothing,
             decision_prior=decision_prior,
             engine=args.engine,
+            workers=args.workers,
+            shard_size=args.shard_size,
         )
         result = serving.result
     else:
@@ -154,6 +167,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             smoothing=args.smoothing,
             decision_prior=decision_prior,
             engine=args.engine,
+            workers=args.workers,
+            shard_size=args.shard_size,
         )
     metrics = binary_metrics(result.accepted, dataset.labels)
     print(dataset.summary())
@@ -176,6 +191,14 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             f"{serving.repeats} repeats "
             f"({serving.cold_over_warm:.1f}x cold/warm, "
             f"max warm drift {serving.max_warm_drift:.1e})"
+        )
+        per_score = (
+            serving.cold_seconds + sum(serving.warm_seconds)
+        ) / (1 + serving.repeats)
+        print(
+            f"serving: {per_score:.4f}s wall-clock per score over "
+            f"{1 + serving.repeats} calls, effective workers "
+            f"{serving.workers}"
         )
     if args.scores_csv:
         with open(args.scores_csv, "w", newline="") as handle:

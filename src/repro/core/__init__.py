@@ -10,6 +10,9 @@ The modules map one-to-one onto the paper's sections:
 - :mod:`repro.core.plans` -- the shared union-plan layer: collect subset
   unions once, evaluate them in bulk, re-accumulate per pattern (consumed
   by the exact, elastic, and clustered fusers).
+- :mod:`repro.core.parallel` -- sharded parallel dispatch: word-aligned
+  shard planning plus reusable thread/process worker pools, merged by
+  ordered concatenation so scores stay bit-identical.
 - :mod:`repro.core.quality` -- precision/recall measurement and the
   Theorem 3.5 false-positive-rate derivation (Section 3.2).
 - :mod:`repro.core.joint` -- joint precision/recall and correlation factors
@@ -89,6 +92,16 @@ from repro.core.joint import (
     MaskedJointCache,
 )
 from repro.core.observations import ObservationMatrix
+from repro.core.parallel import (
+    PARALLEL_BACKENDS,
+    Shard,
+    ShardedExecutor,
+    ShardPlanner,
+    WorkerPool,
+    default_workers,
+    make_executor,
+    resolve_workers,
+)
 from repro.core.precrec import PrecRecFuser
 from repro.core.quality import (
     SourceQuality,
@@ -129,11 +142,16 @@ __all__ = [
     "MaskedJointCache",
     "ModelBasedFuser",
     "ObservationMatrix",
+    "PARALLEL_BACKENDS",
     "PackedMatrix",
     "PairwiseCorrelation",
     "PatternSet",
     "PrecRecFuser",
     "ScoringSession",
+    "Shard",
+    "ShardPlanner",
+    "ShardedExecutor",
+    "WorkerPool",
     "SourcePartition",
     "SourceQuality",
     "Triple",
@@ -141,6 +159,7 @@ __all__ = [
     "TruthFuser",
     "UnionCollector",
     "correlation_clusters",
+    "default_workers",
     "derive_false_positive_rate",
     "discovered_correlation_groups",
     "estimate_prior",
@@ -149,7 +168,9 @@ __all__ = [
     "fit_model",
     "fpr_validity_bound",
     "fuse",
+    "make_executor",
     "make_fuser",
+    "resolve_workers",
     "pack_bool_rows",
     "pack_bool_vector",
     "pattern_digest",

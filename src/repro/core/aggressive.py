@@ -72,12 +72,21 @@ class AggressiveFuser(ModelBasedFuser):
         decision_prior: Optional[float] = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
+        # Accepted for API uniformity (make_fuser forwards the knobs to
+        # every model-based fuser); the aggressive batch path is a handful
+        # of matrix products, so no sharded dispatch is wired here.
         super().__init__(
             model,
             decision_prior=decision_prior,
             engine=engine,
             max_cache_entries=max_cache_entries,
+            workers=workers,
+            shard_size=shard_size,
+            parallel_backend=parallel_backend,
         )
         ids = list(range(model.n_sources)) if universe is None else list(universe)
         self._covers_all_sources = sorted(ids) == list(range(model.n_sources))

@@ -22,6 +22,7 @@ therefore their compiled-plan caches) alive across many ``score`` calls::
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -40,6 +41,7 @@ from repro.core.fusion import (
 )
 from repro.core.joint import EmpiricalJointModel, JointQualityModel
 from repro.core.observations import ObservationMatrix
+from repro.core.parallel import resolve_workers
 from repro.core.precrec import PrecRecFuser
 from repro.core.quality import estimate_prior
 
@@ -66,6 +68,7 @@ def fit_model(
     smoothing: float = 0.0,
     train_mask: Optional[np.ndarray] = None,
     engine: str = "vectorized",
+    workers: Optional[int] = None,
 ) -> EmpiricalJointModel:
     """Fit an :class:`EmpiricalJointModel` from labelled observations.
 
@@ -84,6 +87,11 @@ def fit_model(
     engine:
         Subset-statistics engine for the fitted model: ``"vectorized"``
         (bit-packed popcounts, default) or ``"legacy"`` (boolean masks).
+    workers:
+        Worker threads for the model's bulk subset evaluation
+        (:meth:`EmpiricalJointModel.joint_params_batch`); ``None`` consults
+        ``REPRO_DEFAULT_WORKERS`` (default 1, serial).  Results are
+        bit-identical at any worker count.
     """
     labels = np.asarray(labels, dtype=bool)
     if train_mask is not None:
@@ -93,7 +101,12 @@ def fit_model(
     if prior is None:
         prior = estimate_prior(labels)
     return EmpiricalJointModel(
-        observations, labels, prior=prior, smoothing=smoothing, engine=engine
+        observations,
+        labels,
+        prior=prior,
+        smoothing=smoothing,
+        engine=engine,
+        workers=workers,
     )
 
 
@@ -130,12 +143,17 @@ def make_fuser(
     clustered-only options (partitions, ``min_phi``, ``min_expected``,
     ``significance``, ``exact_cluster_limit``, ``elastic_level``) are
     dropped on the exact route.  Options shared by both solvers
-    (``decision_prior``, ``engine``, ``max_cache_entries``) always apply.
+    (``decision_prior``, ``engine``, ``max_cache_entries``, ``workers``,
+    ``shard_size``, ``parallel_backend``) always apply.
     """
     key = method.lower().replace("-", "").replace("_", "")
     if key == "em":
-        # EM manages its own scoring loop; the engine switch does not apply.
+        # EM manages its own scoring loop; the engine switch and the
+        # sharded-execution knobs do not apply.
         options.pop("engine", None)
+        options.pop("workers", None)
+        options.pop("shard_size", None)
+        options.pop("parallel_backend", None)
         return ExpectationMaximizationFuser(**options)
     if model is None:
         raise ValueError(f"method {method!r} requires a fitted quality model")
@@ -176,6 +194,8 @@ def fuse(
     train_mask: Optional[np.ndarray] = None,
     threshold: float = DEFAULT_THRESHOLD,
     engine: str = "vectorized",
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
     **options,
 ) -> FusionResult:
     """Calibrate on ``labels`` and score every triple with ``method``.
@@ -204,6 +224,12 @@ def fuse(
     loop's initial ``alpha``, while ``smoothing``, ``train_mask``, and
     ``decision_prior`` (which only configure a fitted model's posterior)
     raise ``ValueError`` instead of being silently ignored.
+
+    ``workers``/``shard_size`` configure sharded parallel execution end to
+    end (model batch evaluation and fuser scoring); ``None`` consults
+    ``REPRO_DEFAULT_WORKERS`` (default 1, serial).  Scores are
+    bit-identical at any worker count or shard size.  The EM method runs
+    its own vectorised loop and ignores the knobs.
     """
     fuser, _ = _build_fuser(
         observations,
@@ -213,6 +239,8 @@ def fuse(
         smoothing=smoothing,
         train_mask=train_mask,
         engine=engine,
+        workers=workers,
+        shard_size=shard_size,
         options=options,
     )
     return fuser.fuse(observations, threshold=threshold)
@@ -227,6 +255,8 @@ def _build_fuser(
     train_mask: Optional[np.ndarray],
     engine: str,
     options: dict,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> tuple[TruthFuser, Optional[EmpiricalJointModel]]:
     """Fit (unless EM) and instantiate -- the shared core of :func:`fuse`
     and :class:`ScoringSession`.  Returns ``(fuser, fitted model or None)``.
@@ -264,8 +294,17 @@ def _build_fuser(
         smoothing=smoothing,
         train_mask=train_mask,
         engine=engine,
+        workers=workers,
     )
-    return make_fuser(method, model, engine=engine, **options), model
+    fuser = make_fuser(
+        method,
+        model,
+        engine=engine,
+        workers=workers,
+        shard_size=shard_size,
+        **options,
+    )
+    return fuser, model
 
 
 class ScoringSession:
@@ -290,6 +329,18 @@ class ScoringSession:
     rebuilds the fuser, and explicitly invalidates the retired fuser's
     caches so no holder of a stale reference can keep serving plans
     compiled against the replaced model.
+
+    Concurrency: one session may be scored from many threads at once,
+    including while :meth:`refit` runs.  Each ``score`` call binds the
+    live fuser exactly once and computes entirely against that object, so
+    a returned score vector always reflects one model generation -- never
+    a mix of pre- and post-refit parameters.  The fuser swap itself is a
+    single reference assignment (atomic under the GIL), refits are
+    serialised by an internal lock, and the fusers' caches are locked
+    single-flight (see :class:`~repro.core.plans.CompiledPlanCache`), so
+    concurrent first requests compile each plan digest once.
+    ``workers``/``shard_size`` configure sharded parallel scoring inside
+    each call -- see :func:`fuse`.
     """
 
     def __init__(
@@ -302,6 +353,8 @@ class ScoringSession:
         train_mask: Optional[np.ndarray] = None,
         engine: str = "vectorized",
         threshold: float = DEFAULT_THRESHOLD,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
         **options,
     ) -> None:
         self._method = method
@@ -309,8 +362,12 @@ class ScoringSession:
         self._smoothing = smoothing
         self._engine = engine
         self._threshold = threshold
+        self._workers = resolve_workers(workers)
+        self._shard_size = shard_size
         self._options = dict(options)
         self._n_scored = 0
+        self._refit_lock = threading.Lock()
+        self._count_lock = threading.Lock()
         start = time.perf_counter()
         self._fuser, self._model = _build_fuser(
             observations,
@@ -320,6 +377,8 @@ class ScoringSession:
             smoothing=smoothing,
             train_mask=train_mask,
             engine=engine,
+            workers=workers,
+            shard_size=shard_size,
             options=self._options,
         )
         self.fit_seconds = time.perf_counter() - start
@@ -343,14 +402,34 @@ class ScoringSession:
         return self._threshold
 
     @property
+    def workers(self) -> int:
+        """Effective worker count for sharded scoring (1 = serial).
+
+        Reported from the live fuser, not the knob: EM manages its own
+        vectorised loop and drops the knob, so an EM session is always 1
+        regardless of what was requested.
+        """
+        fuser = self._fuser
+        if isinstance(fuser, ModelBasedFuser):
+            return fuser.workers
+        return 1
+
+    @property
     def n_scored(self) -> int:
         """How many batches this session has scored since the last fit."""
         return self._n_scored
 
     def score(self, observations: ObservationMatrix) -> np.ndarray:
-        """One truthfulness score per triple of ``observations``."""
-        scores = self._fuser.score(observations)
-        self._n_scored += 1
+        """One truthfulness score per triple of ``observations``.
+
+        Safe to call from many threads at once: the live fuser is bound
+        exactly once per call, so a concurrent :meth:`refit` can never mix
+        old and new parameters inside one score vector.
+        """
+        fuser = self._fuser
+        scores = fuser.score(observations)
+        with self._count_lock:
+            self._n_scored += 1
         return scores
 
     def fuse(
@@ -359,11 +438,13 @@ class ScoringSession:
         threshold: Optional[float] = None,
     ) -> FusionResult:
         """Score and package a timed :class:`FusionResult`."""
-        result = self._fuser.fuse(
+        fuser = self._fuser
+        result = fuser.fuse(
             observations,
             threshold=self._threshold if threshold is None else threshold,
         )
-        self._n_scored += 1
+        with self._count_lock:
+            self._n_scored += 1
         return result
 
     def refit(
@@ -384,31 +465,44 @@ class ScoringSession:
             raise ValueError(
                 f"refit accepts prior/smoothing overrides, got {sorted(unknown)}"
             )
-        # Stage the overrides and commit only after a successful build: a
-        # refit that fails validation must leave the live session able to
-        # keep serving (and to refit again) with its previous settings.
-        prior = overrides.get("prior", self._prior)
-        smoothing = overrides.get("smoothing", self._smoothing)
-        retired = self._fuser
-        start = time.perf_counter()
-        self._fuser, self._model = _build_fuser(
-            observations,
-            labels,
-            method=self._method,
-            prior=prior,
-            smoothing=smoothing,
-            train_mask=train_mask,
-            engine=self._engine,
-            options=self._options,
-        )
-        self.fit_seconds = time.perf_counter() - start
-        self._prior = prior
-        self._smoothing = smoothing
-        self._n_scored = 0
-        # The explicit invalidation hook: plans compiled against the
-        # retired model must not survive anywhere.
-        if isinstance(retired, ModelBasedFuser):
-            retired.invalidate_caches()
+        # Refits are serialised; scoring threads keep running against the
+        # previous fuser until the single-assignment swap below and always
+        # see one generation end to end.
+        with self._refit_lock:
+            # Stage the overrides and commit only after a successful build:
+            # a refit that fails validation must leave the live session
+            # able to keep serving (and to refit again) with its previous
+            # settings.
+            prior = overrides.get("prior", self._prior)
+            smoothing = overrides.get("smoothing", self._smoothing)
+            retired = self._fuser
+            start = time.perf_counter()
+            fuser, model = _build_fuser(
+                observations,
+                labels,
+                method=self._method,
+                prior=prior,
+                smoothing=smoothing,
+                train_mask=train_mask,
+                engine=self._engine,
+                workers=self._workers,
+                shard_size=self._shard_size,
+                options=self._options,
+            )
+            self._fuser = fuser
+            self._model = model
+            self.fit_seconds = time.perf_counter() - start
+            self._prior = prior
+            self._smoothing = smoothing
+            with self._count_lock:
+                self._n_scored = 0
+            # The explicit invalidation hook: plans compiled against the
+            # retired model must not survive anywhere.  In-flight scores on
+            # the retired fuser stay consistent -- it still references the
+            # old model, and its caches recompute (old-generation) values
+            # on demand after this clear.
+            if isinstance(retired, ModelBasedFuser):
+                retired.invalidate_caches()
         return self
 
     def cache_stats(self) -> dict:

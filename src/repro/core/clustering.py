@@ -42,10 +42,44 @@ from repro.core.plans import (
     CompiledPlanCache,
     pattern_digest,
 )
-from repro.util.probability import PROBABILITY_FLOOR
+from repro.util.probability import PROBABILITY_FLOOR, safe_divide
 from repro.util.validation import check_accumulate
 
 Side = Literal["true", "false"]
+
+
+def _cluster_job(item):
+    """Worker-pool job: one (evaluator, cluster) decomposition + log tables.
+
+    A module-level function (not a closure) so the process backend can
+    pickle it.  ``item`` is ``(key, evaluator, cluster, patterns)``;
+    returns ``(key, (logs_true, logs_false, inverse))``.  Both sides' log
+    tables are built here (the batch entry points compute the true- and
+    false-side arrays together), with the same ``math.log`` element walk
+    as the serial path, so values are bit-identical.
+    """
+    key, evaluator, cluster, patterns = item
+    sub_providers, sub_silent, inverse = restricted_unique_patterns(
+        patterns.provider_matrix, patterns.silent_matrix, cluster
+    )
+    numerators, denominators = evaluator.pattern_likelihoods_batch(
+        sub_providers, sub_silent
+    )
+    logs_true = np.array(
+        [
+            math.log(max(value, PROBABILITY_FLOOR))
+            for value in numerators.tolist()
+        ],
+        dtype=float,
+    )
+    logs_false = np.array(
+        [
+            math.log(max(value, PROBABILITY_FLOOR))
+            for value in denominators.tolist()
+        ],
+        dtype=float,
+    )
+    return key, (logs_true, logs_false, inverse)
 
 
 @dataclass(frozen=True)
@@ -134,16 +168,37 @@ def pairwise_correlations(
     n_pairs = max(n * (n - 1) // 2, 1)
     per_pair_alpha = significance / n_pairs
 
+    # One vectorized model call answers every pair's joint parameters (the
+    # O(n^2) scalar subset queries dominated clustered-fuser fit time on
+    # wide grids); models without batch support fall back to the scalar
+    # per-pair queries below.  The factor arithmetic replays the scalar
+    # ``correlation_true``/``correlation_false`` expressions on the batched
+    # (bit-identical) joint values, so both paths agree exactly.
+    batched_joints: dict[tuple[int, int], float] = {}
+    batch = model.pair_joint_params()
+    if batch is not None:
+        pairs, r_pairs, q_pairs = batch
+        values = r_pairs if side == "true" else q_pairs
+        batched_joints = {
+            pair: float(values[k]) for k, pair in enumerate(pairs)
+        }
+
     detected: list[PairwiseCorrelation] = []
     for i in range(n):
         for j in range(i + 1, n):
             if side == "true":
-                factor = model.correlation_true([i, j])
                 rate_i, rate_j = model.recall(i), model.recall(j)
+            else:
+                rate_i, rate_j = model.fpr(i), model.fpr(j)
+            joint = batched_joints.get((i, j))
+            if joint is not None:
+                independent = float(np.prod([rate_i, rate_j]))
+                factor = safe_divide(joint, independent, default=1.0)
+            elif side == "true":
+                factor = model.correlation_true([i, j])
                 joint = model.joint_recall([i, j])
             else:
                 factor = model.correlation_false([i, j])
-                rate_i, rate_j = model.fpr(i), model.fpr(j)
                 joint = model.joint_fpr([i, j])
             phi = pairwise_phi(rate_i, rate_j, joint)
             if abs(phi) < min_phi:
@@ -274,6 +329,16 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         global pattern digest -- repeated ``score`` calls on a serving
         process skip restriction, collect, compile, model evaluation, and
         the log transform entirely.  ``0`` disables both layers.
+    workers, shard_size, parallel_backend:
+        Sharded execution -- see :class:`~repro.core.fusion.ModelBasedFuser`.
+        This fuser fans its per-cluster batch evaluations (restriction,
+        union-plan build, model evaluation, log transform) across the
+        worker pool; the per-pattern recombination then runs serially in
+        partition order, so scores stay bit-identical to the serial path.
+        The per-cluster evaluators themselves stay serial (no nested
+        sharding); the quality model may hold its own pool for batch
+        chunks, which is distinct from this fuser's and cannot deadlock
+        it.
     """
 
     name = "PrecRecCorr-Clustered"
@@ -293,12 +358,18 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
         accumulate: str = "numpy",
         max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         super().__init__(
             model,
             decision_prior=decision_prior,
             engine=engine,
             max_cache_entries=max_cache_entries,
+            workers=workers,
+            shard_size=shard_size,
+            parallel_backend=parallel_backend,
         )
         if exact_cluster_limit < 1:
             raise ValueError(
@@ -350,12 +421,17 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             # cache.  Oversized clusters still get their own elastic
             # evaluator (its aggressive factors depend on the universe).
             if self._shared_exact is None:
+                # workers=1 pins the evaluator serial: this fuser already
+                # fans per-cluster jobs, and an ambient
+                # REPRO_DEFAULT_WORKERS must not nest a second sharding
+                # layer inside them (documented: evaluators stay serial).
                 self._shared_exact = ExactCorrelationFuser(
                     self.model,
                     max_silent_sources=exact_limit,
                     max_cache_entries=self._max_cache,
                     accumulate=self._accumulate,
                     max_plan_cache_entries=self._max_plan_cache,
+                    workers=1,
                 )
             return self._shared_exact
         # An oversized cluster appearing in both partitions reuses one
@@ -371,6 +447,7 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                 max_cache_entries=self._max_cache,
                 accumulate=self._accumulate,
                 max_plan_cache_entries=self._max_plan_cache,
+                workers=1,  # serial: no nested sharding inside cluster jobs
             )
             self._elastic_by_cluster[cluster] = evaluator
         return evaluator
@@ -432,19 +509,22 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         likelihoods are turned into ``math.log`` tables -- one
         ``(logs, inverse)`` term per cluster, in partition order, the
         true-side partition first.
+
+        With a configured executor the per-(evaluator, cluster) jobs --
+        restriction, union-plan evaluation, and both log transforms -- run
+        across the worker pool; the assembly below then walks the
+        partitions in their original serial order, so the term lists (and
+        therefore the scores) are bit-identical to the serial walk.
         """
         # A cluster often appears in both partitions (sources correlated on
         # both sides); the batch entry points compute the true- and
-        # false-side arrays together, so memoise per (evaluator, cluster)
-        # and evaluate each shared cluster once.
-        evaluated: dict[
+        # false-side arrays together, so deduplicate per (evaluator,
+        # cluster) and evaluate each shared cluster once.
+        jobs: dict[
             tuple[int, frozenset[int]],
-            tuple[np.ndarray, np.ndarray, np.ndarray],
+            tuple[ModelBasedFuser, frozenset[int]],
         ] = {}
-        side_terms: tuple[
-            list[tuple[np.ndarray, np.ndarray]],
-            list[tuple[np.ndarray, np.ndarray]],
-        ] = ([], [])
+        order: list[list[tuple[int, frozenset[int]]]] = [[], []]
         sides = (
             (self._true_partition, self._true_evaluators, 0),
             (self._false_partition, self._false_evaluators, 1),
@@ -452,31 +532,27 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         for partition, evaluators, side in sides:
             for cluster, evaluator in zip(partition.clusters, evaluators):
                 key = (id(evaluator), cluster)
-                entry = evaluated.get(key)
-                if entry is None:
-                    sub_providers, sub_silent, inverse = (
-                        restricted_unique_patterns(
-                            patterns.provider_matrix,
-                            patterns.silent_matrix,
-                            cluster,
-                        )
-                    )
-                    numerators, denominators = (
-                        evaluator.pattern_likelihoods_batch(
-                            sub_providers, sub_silent
-                        )
-                    )
-                    entry = (numerators, denominators, inverse)
-                    evaluated[key] = entry
-                likelihoods = entry[side]
-                logs = np.array(
-                    [
-                        math.log(max(value, PROBABILITY_FLOOR))
-                        for value in likelihoods.tolist()
-                    ],
-                    dtype=float,
+                jobs.setdefault(key, (evaluator, cluster))
+                order[side].append(key)
+        executor = self.executor
+        job_items = [
+            (key, evaluator, cluster, patterns)
+            for key, (evaluator, cluster) in jobs.items()
+        ]
+        if executor is not None:
+            results = dict(executor.map(_cluster_job, job_items))
+        else:
+            results = dict(_cluster_job(item) for item in job_items)
+        side_terms: tuple[
+            list[tuple[np.ndarray, np.ndarray]],
+            list[tuple[np.ndarray, np.ndarray]],
+        ] = ([], [])
+        for side in (0, 1):
+            for key in order[side]:
+                logs_true, logs_false, inverse = results[key]
+                side_terms[side].append(
+                    (logs_true if side == 0 else logs_false, inverse)
                 )
-                side_terms[side].append((logs, entry[2]))
         return side_terms
 
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
@@ -511,11 +587,9 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                     patterns.provider_matrix, patterns.silent_matrix
                 ),
             )
-            entry = self._plan_cache.get(key)
-            if entry is None:
-                entry = self._plan_cache.put(
-                    key, self._compile_side_terms(patterns)
-                )
+            entry = self._plan_cache.get_or_compute(
+                key, lambda: self._compile_side_terms(patterns)
+            )
         true_terms, false_terms = entry
         log_numerator = np.zeros(patterns.n_patterns, dtype=float)
         log_denominator = np.zeros(patterns.n_patterns, dtype=float)

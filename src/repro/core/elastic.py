@@ -69,6 +69,11 @@ class ElasticFuser(ModelBasedFuser):
     max_plan_cache_entries:
         LRU cap on cached compiled plans (with their batch-evaluated model
         parameters), keyed by pattern digest; ``0`` disables the cache.
+    workers, shard_size, parallel_backend:
+        Sharded execution -- see :class:`~repro.core.fusion.ModelBasedFuser`
+        and :class:`~repro.core.exact.ExactCorrelationFuser`: pattern
+        blocks are fanned across the pool and merged by concatenation,
+        bit-identical to the serial path.
     """
 
     def __init__(
@@ -81,12 +86,18 @@ class ElasticFuser(ModelBasedFuser):
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
         accumulate: str = "numpy",
         max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         super().__init__(
             model,
             decision_prior=decision_prior,
             engine=engine,
             max_cache_entries=max_cache_entries,
+            workers=workers,
+            shard_size=shard_size,
+            parallel_backend=parallel_backend,
         )
         self._level = check_non_negative_int(level, "level")
         self.name = f"PrecRecCorr-Elastic{self._level}"
@@ -220,10 +231,25 @@ class ElasticFuser(ModelBasedFuser):
         compiled (aggressive factors baked in) and memoised together with
         its batch-evaluated ``(r, q)`` values in the digest-keyed plan
         cache, so repeated calls skip collect, compile, and model
-        evaluation entirely.
+        evaluation entirely.  A configured
+        :class:`~repro.core.parallel.ShardedExecutor` fans word-aligned
+        pattern blocks across its pool and concatenates the per-block
+        results, bit-identical to the serial sweep.
         """
         provider_matrix = np.asarray(provider_matrix, dtype=bool)
         silent_matrix = np.asarray(silent_matrix, dtype=bool)
+        fanned = self._fan_pattern_blocks(provider_matrix, silent_matrix)
+        if fanned is not None:
+            return fanned
+        return self._likelihoods_block(provider_matrix, silent_matrix)
+
+    def _likelihoods_block(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One (possibly sharded) block of :meth:`pattern_likelihoods_batch`.
+
+        Never re-shards -- the worker-pool jobs land here directly.
+        """
         if not model_supports_batch(self.model, provider_matrix.shape[1]):
             return scalar_likelihoods(
                 provider_matrix, silent_matrix, self._masked_likelihoods
@@ -240,15 +266,21 @@ class ElasticFuser(ModelBasedFuser):
             "elastic", self._level,
             pattern_digest(provider_matrix, silent_matrix),
         )
-        entry = self._plan_cache.get(key)
-        if entry is None:
-            compiled = ElasticUnionPlan.build(
-                provider_matrix, silent_matrix, self._level
-            ).compile(self._eff_recall, self._eff_fpr)
-            params = self.model.joint_params_batch(compiled.rows)
-            entry = self._plan_cache.put(key, (compiled, params))
-        compiled, (recalls, fprs) = entry
+        compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
+            key,
+            lambda: self._compile_entry(provider_matrix, silent_matrix),
+        )
         return compiled.accumulate(recalls, fprs)
+
+    def _compile_entry(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ):
+        """Collect + compile + batch-evaluate one plan-cache entry."""
+        compiled = ElasticUnionPlan.build(
+            provider_matrix, silent_matrix, self._level
+        ).compile(self._eff_recall, self._eff_fpr)
+        params = self.model.joint_params_batch(compiled.rows)
+        return compiled, params
 
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
         """Every distinct pattern's ``mu`` from one batched model evaluation.

@@ -20,6 +20,7 @@ PrecRec upper bound.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -86,13 +87,58 @@ class ExpectationMaximizationFuser(TruthFuser):
         self._tolerance = tolerance
         self._smoothing = smoothing
         self._seed = None if seed_labels is None else np.asarray(seed_labels, float)
-        self.diagnostics: Optional[EMDiagnostics] = None
+        self._last_diagnostics: Optional[EMDiagnostics] = None
+        # Per-score buffer workspace and diagnostics, thread-local so
+        # concurrent ``score`` calls on one fuser (a multi-threaded
+        # ScoringSession) never share scratch buffers and each thread
+        # reads its own run's convergence record; unset outside a scoring
+        # run (direct ``_m_step``/``_e_step`` calls then allocate fresh).
+        self._tls = threading.local()
+
+    @property
+    def diagnostics(self) -> Optional[EMDiagnostics]:
+        """Convergence record of this thread's last ``score`` run.
+
+        Falls back to the most recent run from any thread when the
+        calling thread has not scored (e.g. a monitor inspecting a
+        serving fuser).
+        """
+        local = getattr(self._tls, "diagnostics", None)
+        return local if local is not None else self._last_diagnostics
+
+    @diagnostics.setter
+    def diagnostics(self, value: Optional[EMDiagnostics]) -> None:
+        self._tls.diagnostics = value
+        self._last_diagnostics = value
+
+    @property
+    def _workspace(self) -> Optional["_Workspace"]:
+        return getattr(self._tls, "workspace", None)
+
+    @_workspace.setter
+    def _workspace(self, value: Optional["_Workspace"]) -> None:
+        self._tls.workspace = value
+
+    def __getstate__(self) -> dict:
+        # Thread-local storage is process-local; a pickled fuser starts
+        # with fresh (empty) per-thread state.
+        state = self.__dict__.copy()
+        state.pop("_tls", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tls = threading.local()
 
     def score(self, observations: ObservationMatrix) -> np.ndarray:
         provides = observations.provides.astype(float)
         coverage = observations.coverage.astype(float)
+        # Every loop invariant is computed exactly once: the silent-source
+        # matrix, the per-source provided counts, and their smoothed
+        # denominator never change across EM iterations.
         silent = coverage * (1.0 - provides)
         n_triples = observations.n_triples
+        n_sources = observations.n_sources
 
         seed_mask = None
         seed_values = None
@@ -112,19 +158,57 @@ class ExpectationMaximizationFuser(TruthFuser):
             probabilities[seed_mask] = seed_values
 
         prior = self._prior
-        change = np.inf
-        iteration = 0
-        for iteration in range(1, self._max_iterations + 1):
-            recall, fpr = self._m_step(provides, coverage, probabilities, prior)
-            updated = self._e_step(provides, silent, recall, fpr, prior)
-            if seed_mask is not None:
-                updated[seed_mask] = seed_values
-            change = float(np.max(np.abs(updated - probabilities)))
-            probabilities = updated
+        if seed_mask is not None and bool(seed_mask.all()):
+            # Every triple is pinned: the E-step assignment restores the
+            # seed values each iteration, so no update can ever change the
+            # probabilities -- return them without running the loop.  The
+            # prior still takes its one update (the loop used to apply it
+            # before detecting convergence), so diagnostics.final_prior
+            # matches the pre-exit behaviour.
             if self._update_prior:
-                prior = clamp_probability(float(probabilities.mean()), floor=1e-3)
-            if change < self._tolerance:
-                break
+                prior = clamp_probability(
+                    float(probabilities.mean()), floor=1e-3
+                )
+            self.diagnostics = EMDiagnostics(
+                iterations=0,
+                converged=True,
+                final_change=0.0,
+                final_prior=prior,
+            )
+            return probabilities
+
+        # Preallocated work buffers, reused across iterations (see
+        # :class:`_Workspace`); the per-iteration M- and E-steps replay the
+        # original numpy expressions as the same ufunc sequences with
+        # ``out=`` targets, so probabilities are bit-identical to the
+        # allocate-per-iteration reference.
+        workspace = _Workspace(n_sources, n_triples, provides, self._smoothing)
+        self._workspace = workspace
+        try:
+            change = np.inf
+            iteration = 0
+            for iteration in range(1, self._max_iterations + 1):
+                recall, fpr = self._m_step(
+                    provides, coverage, probabilities, prior
+                )
+                updated = self._e_step(provides, silent, recall, fpr, prior)
+                if seed_mask is not None:
+                    updated[seed_mask] = seed_values
+                np.subtract(updated, probabilities, out=workspace.triple_buf)
+                np.abs(workspace.triple_buf, out=workspace.triple_buf)
+                change = float(np.max(workspace.triple_buf))
+                # Ping-pong the two probability buffers: the retired one
+                # becomes the next E-step's output target.
+                workspace.out_probabilities = probabilities
+                probabilities = updated
+                if self._update_prior:
+                    prior = clamp_probability(
+                        float(probabilities.mean()), floor=1e-3
+                    )
+                if change < self._tolerance:
+                    break
+        finally:
+            self._workspace = None
         self.diagnostics = EMDiagnostics(
             iterations=iteration,
             converged=change < self._tolerance,
@@ -140,18 +224,33 @@ class ExpectationMaximizationFuser(TruthFuser):
         probabilities: np.ndarray,
         prior: float,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Fractional-count quality estimates from soft labels."""
+        """Fractional-count quality estimates from soft labels.
+
+        Inside a ``score`` run the returned arrays are the workspace's
+        reusable buffers (overwritten on the next iteration); called
+        standalone it allocates.  Either way the ufunc sequence replays
+        the original expressions, so values are bit-identical.
+        """
+        ws = self._workspace or _Workspace(
+            provides.shape[0], provides.shape[1], provides, self._smoothing
+        )
         s = self._smoothing
-        provided_true = provides @ probabilities
-        provided = provides.sum(axis=1)
-        in_scope_true = coverage @ probabilities
-        precision = (provided_true + s) / (provided + 2.0 * s)
-        recall = (provided_true + s) / (in_scope_true + 2.0 * s)
-        precision = np.clip(precision, 1e-6, 1.0 - 1e-6)
-        recall = np.clip(recall, 1e-6, 1.0 - 1e-6)
+        precision, recall, fpr = ws.precision, ws.recall, ws.fpr
+        np.dot(provides, probabilities, out=ws.provided_true)
+        np.dot(coverage, probabilities, out=ws.scope_buf)
+        np.add(ws.provided_true, s, out=precision)
+        np.divide(precision, ws.provided_den, out=precision)
+        np.add(ws.scope_buf, 2.0 * s, out=ws.scope_buf)
+        np.add(ws.provided_true, s, out=recall)
+        np.divide(recall, ws.scope_buf, out=recall)
+        np.clip(precision, 1e-6, 1.0 - 1e-6, out=precision)
+        np.clip(recall, 1e-6, 1.0 - 1e-6, out=recall)
         # Theorem 3.5, vectorised, clipped to a valid rate.
-        fpr = prior / (1.0 - prior) * (1.0 - precision) / precision * recall
-        fpr = np.clip(fpr, 1e-9, 1.0 - 1e-6)
+        np.subtract(1.0, precision, out=fpr)
+        np.multiply(prior / (1.0 - prior), fpr, out=fpr)
+        np.divide(fpr, precision, out=fpr)
+        np.multiply(fpr, recall, out=fpr)
+        np.clip(fpr, 1e-9, 1.0 - 1e-6, out=fpr)
         return recall, fpr
 
     def _e_step(
@@ -162,9 +261,69 @@ class ExpectationMaximizationFuser(TruthFuser):
         fpr: np.ndarray,
         prior: float,
     ) -> np.ndarray:
-        """Vectorised Theorem 3.1 in log space."""
-        log_provide = np.log(recall) - np.log(fpr)
-        log_silent = np.log1p(-recall) - np.log1p(-fpr)
-        log_mu = log_provide @ provides + log_silent @ silent
-        z = np.log(prior) - np.log1p(-prior) + log_mu
-        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+        """Vectorised Theorem 3.1 in log space (buffer-reusing; see above)."""
+        ws = self._workspace or _Workspace(
+            provides.shape[0], provides.shape[1], provides, self._smoothing
+        )
+        z = ws.z
+        np.log(recall, out=ws.log_provide)
+        np.log(fpr, out=ws.source_buf)
+        np.subtract(ws.log_provide, ws.source_buf, out=ws.log_provide)
+        np.negative(recall, out=ws.log_silent)
+        np.log1p(ws.log_silent, out=ws.log_silent)
+        np.negative(fpr, out=ws.source_buf)
+        np.log1p(ws.source_buf, out=ws.source_buf)
+        np.subtract(ws.log_silent, ws.source_buf, out=ws.log_silent)
+        np.dot(ws.log_provide, provides, out=z)
+        np.dot(ws.log_silent, silent, out=ws.triple_buf)
+        np.add(z, ws.triple_buf, out=z)
+        np.add(np.log(prior) - np.log1p(-prior), z, out=z)
+        np.clip(z, -500, 500, out=z)
+        np.negative(z, out=z)
+        np.exp(z, out=z)
+        np.add(1.0, z, out=z)
+        # The output buffer now belongs to the caller; score swaps the
+        # retired probability buffer back into ``out_probabilities`` after
+        # every iteration, so consecutive E-steps never alias.
+        updated = ws.out_probabilities
+        np.divide(1.0, z, out=updated)
+        return updated
+
+
+class _Workspace:
+    """Reusable EM buffers for one ``score`` run.
+
+    All loop invariants (``provided`` counts and their smoothed
+    denominator) are computed once at construction; everything else is an
+    uninitialised scratch buffer the M-/E-steps overwrite each iteration
+    with the exact ufunc sequence of the original allocate-per-iteration
+    code.
+    """
+
+    __slots__ = (
+        "provided_true", "scope_buf", "precision", "recall", "fpr",
+        "source_buf", "log_provide", "log_silent", "z", "triple_buf",
+        "out_probabilities", "provided_den",
+    )
+
+    def __init__(
+        self,
+        n_sources: int,
+        n_triples: int,
+        provides: np.ndarray,
+        smoothing: float,
+    ) -> None:
+        self.provided_den = provides.sum(axis=1) + 2.0 * smoothing
+        self.provided_true = np.empty(n_sources)
+        self.scope_buf = np.empty(n_sources)
+        self.precision = np.empty(n_sources)
+        self.recall = np.empty(n_sources)
+        self.fpr = np.empty(n_sources)
+        self.source_buf = np.empty(n_sources)
+        self.log_provide = np.empty(n_sources)
+        self.log_silent = np.empty(n_sources)
+        self.z = np.empty(n_triples)
+        self.triple_buf = np.empty(n_triples)
+        #: The E-step's output target; ``score`` ping-pongs the retired
+        #: probability buffer back in after each iteration.
+        self.out_probabilities = np.empty(n_triples)

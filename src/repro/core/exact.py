@@ -72,6 +72,14 @@ class ExactCorrelationFuser(ModelBasedFuser):
         parameters), keyed by pattern digest -- repeated ``score`` calls on
         a serving process skip collect, compile, and model evaluation.
         ``0`` disables the cache.
+    workers, shard_size, parallel_backend:
+        Sharded execution -- see :class:`~repro.core.fusion.ModelBasedFuser`.
+        With more than one shard, :meth:`pattern_likelihoods_batch`
+        partitions the pattern matrices into word-aligned blocks, runs
+        each block's collect/compile/evaluate/accumulate pipeline on the
+        worker pool (each block keyed separately in the plan cache), and
+        concatenates the per-block results -- bit-identical to the serial
+        path.
     """
 
     name = "PrecRecCorr"
@@ -85,12 +93,18 @@ class ExactCorrelationFuser(ModelBasedFuser):
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
         accumulate: str = "numpy",
         max_plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+        workers: int | None = None,
+        shard_size: int | None = None,
+        parallel_backend: str = "thread",
     ) -> None:
         super().__init__(
             model,
             decision_prior=decision_prior,
             engine=engine,
             max_cache_entries=max_cache_entries,
+            workers=workers,
+            shard_size=shard_size,
+            parallel_backend=parallel_backend,
         )
         if max_silent_sources < 0:
             raise ValueError(
@@ -191,10 +205,26 @@ class ExactCorrelationFuser(ModelBasedFuser):
         compiled to flat index/sign arrays and memoised -- together with
         its batch-evaluated ``(r, q)`` values, which depend only on the
         (fixed) model -- in the digest-keyed plan cache, so repeated calls
-        skip collect, compile, and model evaluation entirely.
+        skip collect, compile, and model evaluation entirely.  A
+        configured :class:`~repro.core.parallel.ShardedExecutor` fans
+        word-aligned pattern blocks across its pool and concatenates the
+        per-block results (each pattern's likelihoods depend only on its
+        own terms, so the merge is bit-identical to the serial sweep).
         """
         provider_matrix = np.asarray(provider_matrix, dtype=bool)
         silent_matrix = np.asarray(silent_matrix, dtype=bool)
+        fanned = self._fan_pattern_blocks(provider_matrix, silent_matrix)
+        if fanned is not None:
+            return fanned
+        return self._likelihoods_block(provider_matrix, silent_matrix)
+
+    def _likelihoods_block(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One (possibly sharded) block of :meth:`pattern_likelihoods_batch`.
+
+        Never re-shards -- the worker-pool jobs land here directly.
+        """
         if not model_supports_batch(self.model, provider_matrix.shape[1]):
             return scalar_likelihoods(
                 provider_matrix, silent_matrix, self._masked_likelihoods
@@ -210,16 +240,22 @@ class ExactCorrelationFuser(ModelBasedFuser):
             "exact", self._max_silent,
             pattern_digest(provider_matrix, silent_matrix),
         )
-        entry = self._plan_cache.get(key)
-        if entry is None:
-            compiled = ExactUnionPlan.build(
-                provider_matrix, silent_matrix,
-                width_check=self._check_silent_width,
-            ).compile()
-            params = self.model.joint_params_batch(compiled.rows)
-            entry = self._plan_cache.put(key, (compiled, params))
-        compiled, (recalls, fprs) = entry
+        compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
+            key,
+            lambda: self._compile_entry(provider_matrix, silent_matrix),
+        )
         return compiled.accumulate(recalls, fprs)
+
+    def _compile_entry(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ):
+        """Collect + compile + batch-evaluate one plan-cache entry."""
+        compiled = ExactUnionPlan.build(
+            provider_matrix, silent_matrix,
+            width_check=self._check_silent_width,
+        ).compile()
+        params = self.model.joint_params_batch(compiled.rows)
+        return compiled, params
 
     def pattern_mu_batch(self, patterns: PatternSet) -> np.ndarray:
         """Every distinct pattern's ``mu`` from one batched model evaluation.

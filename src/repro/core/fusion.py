@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.joint import JointQualityModel
 from repro.core.observations import ObservationMatrix
+from repro.core.parallel import ShardedExecutor, make_executor
 from repro.core.patterns import PatternSet
 from repro.util.probability import probability_from_mu, probability_from_mu_array
 from repro.util.validation import ENGINES, check_engine
@@ -126,6 +127,18 @@ class TruthFuser(ABC):
 PatternKey = tuple[frozenset[int], frozenset[int]]
 
 
+def _likelihoods_block_job(job):
+    """Worker-pool job: one pattern block through a fuser's block pipeline.
+
+    A module-level function (not a closure) so the process backend can
+    pickle it; ``job`` is ``(fuser, provider_block, silent_block)`` and
+    the fuser must implement ``_likelihoods_block`` (the exact and
+    elastic fusers do).
+    """
+    fuser, provider_matrix, silent_matrix = job
+    return fuser._likelihoods_block(provider_matrix, silent_matrix)
+
+
 class ModelBasedFuser(TruthFuser):
     """Shared machinery for fusers driven by a :class:`JointQualityModel`.
 
@@ -140,6 +153,16 @@ class ModelBasedFuser(TruthFuser):
     :meth:`pattern_mu_batch` when a subclass vectorises it, otherwise
     through the memoised per-pattern path), and scatters scores back;
     ``"legacy"`` is the original per-triple loop.
+
+    Sharded execution: ``workers > 1`` (or an explicit ``shard_size``)
+    equips the fuser with a :class:`~repro.core.parallel.ShardedExecutor`.
+    Subclasses with batched scoring paths shard their per-pattern work
+    across its pool and merge per-shard results by concatenation -- every
+    pattern's score depends only on its own terms, so sharded scores are
+    bit-identical to the serial path.  The per-pattern ``_mu_cache`` memo
+    is safe under that concurrency: dict reads/writes are atomic under the
+    GIL and memoised values are deterministic, so racing writers store
+    identical floats.
     """
 
     def __init__(
@@ -148,6 +171,9 @@ class ModelBasedFuser(TruthFuser):
         decision_prior: Optional[float] = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         if decision_prior is not None and not 0.0 < decision_prior < 1.0:
             raise ValueError(
@@ -162,6 +188,7 @@ class ModelBasedFuser(TruthFuser):
         self._engine = check_engine(engine)
         self._max_cache = int(max_cache_entries)
         self._mu_cache: dict[PatternKey, float] = {}
+        self._executor = make_executor(workers, shard_size, parallel_backend)
 
     @property
     def model(self) -> JointQualityModel:
@@ -171,6 +198,53 @@ class ModelBasedFuser(TruthFuser):
     def engine(self) -> str:
         """The execution engine this fuser scores with."""
         return self._engine
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (1 = serial)."""
+        return self._executor.workers if self._executor is not None else 1
+
+    @property
+    def executor(self) -> Optional[ShardedExecutor]:
+        """The sharded executor, or ``None`` on the serial configuration."""
+        return self._executor
+
+    def _fan_pattern_blocks(
+        self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Sharded ``(numerators, denominators)``, or ``None`` to run serial.
+
+        The shared fan-out of the exact and elastic batch entry points:
+        partition the pattern matrices into word-aligned blocks, run each
+        block's ``_likelihoods_block`` pipeline on the pool, and merge the
+        per-block results by concatenation -- bit-identical to the serial
+        sweep, since every pattern's likelihoods depend only on its own
+        terms.  ``None`` when no executor is configured or the plan is a
+        single shard (callers then run their unsharded path, keeping the
+        one-shard case free of dispatch overhead and byte-identical in
+        cache keying to the serial configuration).
+        """
+        executor = self._executor
+        if executor is None:
+            return None
+        shards = executor.shards(provider_matrix.shape[0])
+        if len(shards) <= 1:
+            return None
+        blocks = executor.map(
+            _likelihoods_block_job,
+            [
+                (
+                    self,
+                    provider_matrix[shard.start : shard.stop],
+                    silent_matrix[shard.start : shard.stop],
+                )
+                for shard in shards
+            ],
+        )
+        return (
+            np.concatenate([block[0] for block in blocks]),
+            np.concatenate([block[1] for block in blocks]),
+        )
 
     @property
     def prior(self) -> float:

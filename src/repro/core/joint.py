@@ -29,6 +29,7 @@ This module provides two implementations behind one interface:
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -36,6 +37,7 @@ import numpy as np
 
 from repro.core.bitset import pack_bool_vector, popcount, popcount_rows
 from repro.core.observations import ObservationMatrix
+from repro.core.parallel import make_executor
 from repro.core.quality import (
     SourceQuality,
     derive_false_positive_rate,
@@ -63,6 +65,12 @@ class JointQualityModel(ABC):
         check_fraction(prior, "prior")
         self._source_names = tuple(source_names)
         self._prior = prior
+        # Memoised pair batch (see pair_joint_params): both clustering
+        # sides and the correlation-matrix method consume the same values,
+        # and the model's parameters are fixed after construction.  A
+        # racing duplicate compute under threads is deterministic and
+        # benign (either store wins with identical arrays).
+        self._pair_params_cache = None
 
     @property
     def source_names(self) -> tuple[str, ...]:
@@ -154,10 +162,25 @@ class JointQualityModel(ABC):
         training data) the factor falls back to 1, i.e. independence.
         """
         ids = list(range(self.n_sources)) if universe is None else list(universe)
-        r_all = self.joint_recall(ids)
-        q_all = self.joint_fpr(ids)
         c_plus = np.ones(len(ids))
         c_minus = np.ones(len(ids))
+        batch = self._leave_one_out_params(ids)
+        if batch is not None:
+            # One vectorized model call answers the universe plus every
+            # leave-one-out subset; the factor arithmetic below replays the
+            # scalar expressions on those (bit-identical) values, so the
+            # fast path and the scalar path agree exactly.
+            (r_all, q_all), (r_rest, q_rest) = batch
+            for k, i in enumerate(ids):
+                c_plus[k] = safe_divide(
+                    r_all, self.recall(i) * float(r_rest[k]), default=1.0
+                )
+                c_minus[k] = safe_divide(
+                    q_all, self.fpr(i) * float(q_rest[k]), default=1.0
+                )
+            return c_plus, c_minus
+        r_all = self.joint_recall(ids)
+        q_all = self.joint_fpr(ids)
         for k, i in enumerate(ids):
             rest = [j for j in ids if j != i]
             c_plus[k] = safe_divide(
@@ -168,15 +191,99 @@ class JointQualityModel(ABC):
             )
         return c_plus, c_minus
 
+    def _leave_one_out_params(self, ids: list[int]):
+        """Universe + leave-one-out ``(r, q)`` via one batch call, or ``None``.
+
+        Returns ``((r_all, q_all), (r_rest, q_rest))`` where entry ``k`` of
+        the rest arrays is the subset ``ids`` minus ``ids[k]`` -- the shape
+        :meth:`aggressive_factors` needs.  ``None`` when the model has no
+        batch support (or the universe is empty) and callers must fall back
+        to scalar queries.
+        """
+        if not ids:
+            return None
+        n = self.n_sources
+        full = np.zeros(n, dtype=bool)
+        full[ids] = True
+        rows = np.tile(full, (len(ids) + 1, 1))
+        for k, i in enumerate(ids):
+            rows[k + 1, i] = False
+        params = self.joint_params_batch(rows)
+        if params is None:
+            return None
+        recalls, fprs = params
+        return (
+            (float(recalls[0]), float(fprs[0])),
+            (recalls[1:], fprs[1:]),
+        )
+
+    def pair_joint_params(
+        self,
+    ) -> Optional[tuple[list[tuple[int, int]], np.ndarray, np.ndarray]]:
+        """``(pairs, r, q)`` for every source pair via one batch call.
+
+        ``pairs`` lists ``(i, j)`` with ``i < j`` in row-major order and
+        entry ``k`` of the arrays is that pair's joint recall / fpr --
+        values bit-identical to the scalar ``joint_recall``/``joint_fpr``
+        queries they replace.  Returns ``None`` when the model has no
+        batch support (legacy engine, explicit models); callers fall back
+        to the O(n^2) scalar walk.  The batch is memoised: the model's
+        parameters are fixed after construction, and both clustering
+        sides consume the same values.
+        """
+        cached = self._pair_params_cache
+        if cached is not None:
+            return cached or None  # False memoises "no batch support"
+        n = self.n_sources
+        if n < 2:
+            return None
+        # Probe with a zero-row request before allocating the O(n^2) x n
+        # pair matrix: non-batch models answer None immediately, and the
+        # negative is memoised so repeated fits never rebuild the probe.
+        if self.joint_params_batch(np.zeros((0, n), dtype=bool)) is None:
+            self._pair_params_cache = False
+            return None
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rows = np.zeros((len(pairs), n), dtype=bool)
+        for k, (i, j) in enumerate(pairs):
+            rows[k, i] = True
+            rows[k, j] = True
+        params = self.joint_params_batch(rows)
+        if params is None:  # pragma: no cover - probe said otherwise
+            self._pair_params_cache = False
+            return None
+        self._pair_params_cache = (pairs, params[0], params[1])
+        return self._pair_params_cache
+
     def pairwise_correlations(self) -> tuple[np.ndarray, np.ndarray]:
         """Matrices ``(C_true, C_false)`` of pairwise correlation factors.
 
         Entry ``[i, j]`` is ``C_{ij}`` (resp. ``C!_{ij}``); the diagonal is
         left at 1.  Used for correlation-based source clustering (Section 5).
+        On models with batch support every pair's joint parameters come
+        from one :meth:`joint_params_batch` call (the O(n^2) scalar subset
+        queries dominated clustered-fuser fit time on wide grids); the
+        factor arithmetic replays the scalar expressions on those values,
+        so both paths agree bit-for-bit.
         """
         n = self.n_sources
         c_true = np.ones((n, n))
         c_false = np.ones((n, n))
+        batch = self.pair_joint_params()
+        if batch is not None:
+            pairs, r_pairs, q_pairs = batch
+            for k, (i, j) in enumerate(pairs):
+                independent_r = float(
+                    np.prod([self.recall(i), self.recall(j)])
+                )
+                independent_q = float(np.prod([self.fpr(i), self.fpr(j)]))
+                c_true[i, j] = c_true[j, i] = safe_divide(
+                    float(r_pairs[k]), independent_r, default=1.0
+                )
+                c_false[i, j] = c_false[j, i] = safe_divide(
+                    float(q_pairs[k]), independent_q, default=1.0
+                )
+            return c_true, c_false
         for i in range(n):
             for j in range(i + 1, n):
                 c_true[i, j] = c_true[j, i] = self.correlation_true([i, j])
@@ -194,9 +301,15 @@ class MaskedJointCache:
     times cheaper -- and falls through to the wrapped model only on the
     first sighting of a mask.  Values are exactly the model's own, so the
     legacy and vectorized engines stay bit-identical.
+
+    The cache is safe under concurrent scoring: a lock guards the size
+    check and store (reads are plain dict look-ups, atomic under the GIL).
+    Model values are deterministic, so two threads racing on the same
+    first-sighted mask compute the same tuple and either store wins --
+    no torn or mixed reads are possible.
     """
 
-    __slots__ = ("_model", "_cache", "_max_entries")
+    __slots__ = ("_model", "_cache", "_max_entries", "_lock")
 
     def __init__(
         self, model: "JointQualityModel", max_entries: int = 1_000_000
@@ -208,19 +321,24 @@ class MaskedJointCache:
         self._model = model
         self._cache: dict[int, tuple[float, float]] = {}
         self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._cache)
 
     def clear(self) -> None:
         """Drop every memoised look-up (the model-refit hook)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def get(self, mask: int, source_ids: Sequence[int]) -> tuple[float, float]:
         """``(r_{S*}, q_{S*})`` for the subset with bitmask ``mask``.
 
         ``source_ids`` must list exactly the bits set in ``mask``; it is
-        consulted only on a cache miss (the mask alone is the key).
+        consulted only on a cache miss (the mask alone is the key).  The
+        model query runs outside the lock -- a racing duplicate compute is
+        deterministic and benign, and holding the lock through it would
+        serialise every parallel scalar-fallback worker.
         """
         value = self._cache.get(mask)
         if value is None:
@@ -228,9 +346,21 @@ class MaskedJointCache:
                 self._model.joint_recall(source_ids),
                 self._model.joint_fpr(source_ids),
             )
-            if len(self._cache) < self._max_entries:
-                self._cache[mask] = value
+            with self._lock:
+                if len(self._cache) < self._max_entries:
+                    self._cache[mask] = value
         return value
+
+    def __getstate__(self) -> dict:
+        # The lock is process-local; a pickled cache (process-backend jobs
+        # carry their fuser) starts empty.
+        return {"model": self._model, "max_entries": self._max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self._model = state["model"]
+        self._cache = {}
+        self._max_entries = state["max_entries"]
+        self._lock = threading.Lock()
 
 
 class EmpiricalJointModel(JointQualityModel):
@@ -258,6 +388,14 @@ class EmpiricalJointModel(JointQualityModel):
         from bit-packed uint64 words with popcounts; ``"legacy"`` uses the
         seed's full-width boolean-mask reductions.  Both produce identical
         integer counts, hence identical parameters.
+    workers:
+        Worker threads for :meth:`joint_params_batch`: requests larger
+        than one chunk are fanned across a reusable pool (the popcount
+        kernels release the GIL) and reassembled in chunk order, so
+        results stay bit-identical to the serial sweep.  ``None`` consults
+        ``REPRO_DEFAULT_WORKERS`` (library default: 1, serial).  The model
+        owns its own pool, distinct from any fuser's, so nested dispatch
+        (a cluster job requesting a batch) cannot deadlock.
     """
 
     def __init__(
@@ -268,6 +406,7 @@ class EmpiricalJointModel(JointQualityModel):
         smoothing: float = 0.0,
         max_cache_entries: int = 200_000,
         engine: str = "vectorized",
+        workers: Optional[int] = None,
     ) -> None:
         super().__init__(observations.source_names, prior)
         labels = np.asarray(labels, dtype=bool)
@@ -282,6 +421,7 @@ class EmpiricalJointModel(JointQualityModel):
                 f"max_cache_entries must be non-negative, got {max_cache_entries}"
             )
         self._engine = check_engine(engine)
+        self._executor = make_executor(workers)
         self._observations = observations
         self._labels = labels
         self._smoothing = float(smoothing)
@@ -435,7 +575,23 @@ class EmpiricalJointModel(JointQualityModel):
         n_subsets = subsets.shape[0]
         recalls = np.empty(n_subsets, dtype=float)
         fprs = np.empty(n_subsets, dtype=float)
-        for start in range(0, n_subsets, _BATCH_CHUNK):
+        starts = range(0, n_subsets, _BATCH_CHUNK)
+        if self._executor is not None and len(starts) > 1:
+            # Fan the (element-wise independent) chunks across the model's
+            # pool and reassemble in chunk order -- bit-identical to the
+            # serial sweep, since chunk boundaries are unchanged.
+            chunks = self._executor.map(
+                lambda start: self._params_chunk(
+                    subsets[start : min(start + _BATCH_CHUNK, n_subsets)]
+                ),
+                list(starts),
+            )
+            for start, (chunk_r, chunk_q) in zip(starts, chunks):
+                stop = min(start + _BATCH_CHUNK, n_subsets)
+                recalls[start:stop] = chunk_r
+                fprs[start:stop] = chunk_q
+            return recalls, fprs
+        for start in starts:
             stop = min(start + _BATCH_CHUNK, n_subsets)
             recalls[start:stop], fprs[start:stop] = self._params_chunk(
                 subsets[start:stop]

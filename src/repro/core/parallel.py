@@ -1,0 +1,410 @@
+"""Sharded parallel execution: shard planning and reusable worker pools.
+
+The compile-once/execute-many engine made repeated scoring cheap, but every
+``score`` call still ran single-threaded: pattern extraction feeds one
+batched evaluation, the clustered fuser walks its clusters serially, and
+the compiled-plan column sweep owns a single core.  This module supplies
+the dispatch layer that fans that work out:
+
+- :class:`ShardPlanner` partitions ``n`` items (triples or patterns) into
+  balanced blocks whose boundaries land on packed-word multiples (64 items,
+  the ``uint64`` word width of :mod:`repro.core.bitset`), so per-shard
+  bit-packed work never splits a word;
+- :class:`WorkerPool` is a reusable pool -- threads by default (the hot
+  loops are GIL-releasing numpy popcounts, gathers, and segmented sweeps),
+  with a process backend option for CPython-bound fallbacks such as the
+  scalar-model likelihood walk;
+- :class:`ShardedExecutor` composes the two: plan shards, map a function
+  over them on the pool, and hand back per-shard results *in shard order*
+  so callers can merge by concatenation.
+
+Bit-identity contract
+---------------------
+Everything dispatched through this module is column-independent: a
+pattern's likelihood (and therefore a triple's score) depends only on its
+own terms, never on which other patterns share its batch.  Sharding a
+pattern set and concatenating per-shard results therefore reproduces the
+serial output *bit for bit* -- the property the shard-equivalence suite
+(``tests/test_parallel.py``) and ``benchmarks/bench_sharded_engine.py``
+pin down to a max |score diff| of exactly 0.0.
+
+Worker-pool lifecycle
+---------------------
+Pools are created lazily on first parallel dispatch and reused across
+calls (the serving loop dispatches thousands of times through one pool).
+``workers=1`` never creates a pool -- every map runs inline, which is also
+the deterministic reference the equivalence tests compare against.  Pools
+are owned per component (a fuser's executor and a quality model's executor
+are distinct), so a cluster job blocking on a model batch call can never
+deadlock the pool it runs on.  ``close()`` shuts a pool down explicitly;
+an unclosed idle thread pool is reclaimed when its executor is
+garbage-collected.
+
+``REPRO_DEFAULT_WORKERS`` sets the default worker count consulted when a
+caller passes ``workers=None`` (the library default stays 1 -- serial);
+CI runs the whole test suite once under ``REPRO_DEFAULT_WORKERS=2`` so the
+parallel paths are exercised by every test.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+#: Items per packed ``uint64`` word -- shard boundaries align to this so
+#: bit-packed per-shard work never splits a word.
+WORD_BITS = 64
+
+#: Worker-pool backends: ``"thread"`` (default; the hot loops release the
+#: GIL inside numpy) or ``"process"`` (for CPython-bound fallbacks; jobs and
+#: their arguments must be picklable).
+PARALLEL_BACKENDS = ("thread", "process")
+
+#: Environment variable consulted when ``workers=None``: the default worker
+#: count for every fuser / model / session built without an explicit knob.
+WORKERS_ENV_VAR = "REPRO_DEFAULT_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _range_call(job):
+    """Worker-pool adapter: ``(fn, start, stop) -> fn(start, stop)``.
+
+    Module-level (not a closure) so :meth:`ShardedExecutor.map_shards`
+    works on the process backend too -- there ``fn`` itself must still be
+    picklable (a module-level function or bound method of a picklable
+    object).
+    """
+    fn, start, stop = job
+    return fn(start, stop)
+
+
+def check_backend(value: str, name: str = "backend") -> str:
+    """Validate and normalise a worker-pool backend name."""
+    key = str(value).lower()
+    if key not in PARALLEL_BACKENDS:
+        raise ValueError(
+            f"unknown {name} {value!r}; expected one of {PARALLEL_BACKENDS}"
+        )
+    return key
+
+
+def default_workers() -> int:
+    """The ambient worker count: ``$REPRO_DEFAULT_WORKERS`` or 1 (serial)."""
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be a positive integer, got {value}"
+        )
+    return value
+
+
+def resolve_workers(workers: Optional[int], name: str = "workers") -> int:
+    """Resolve a ``workers`` knob: ``None`` consults the environment default.
+
+    Zero and negative counts raise ``ValueError`` with an actionable
+    message instead of crashing the pool (``--workers 0`` at the CLI lands
+    here).
+    """
+    if workers is None:
+        return default_workers()
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(
+            f"{name} must be an int or None, got {type(workers).__name__}"
+        )
+    if workers < 1:
+        raise ValueError(
+            f"{name} must be a positive integer (1 = serial), got {workers}"
+        )
+    return workers
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One half-open block ``[start, stop)`` of a sharded range."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"shard must satisfy 0 <= start < stop, got [{self.start}, "
+                f"{self.stop})"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class ShardPlanner:
+    """Partition ``n`` items into balanced, word-aligned blocks.
+
+    Parameters
+    ----------
+    shard_size:
+        Target items per shard.  ``None`` (default) derives one shard per
+        worker (``ceil(n / workers)``); an explicit value fixes the block
+        size (more blocks than workers is fine -- the pool load-balances).
+        Either way the size is rounded up to a multiple of ``align``.
+    align:
+        Boundary multiple, default :data:`WORD_BITS` -- triples are packed
+        64 per ``uint64`` word, so word-aligned shard starts keep per-shard
+        bit-packed work off word seams.
+    """
+
+    __slots__ = ("_shard_size", "_align")
+
+    def __init__(
+        self, shard_size: Optional[int] = None, align: int = WORD_BITS
+    ) -> None:
+        if shard_size is not None:
+            if isinstance(shard_size, bool) or not isinstance(shard_size, int):
+                raise TypeError(
+                    f"shard_size must be an int or None, got "
+                    f"{type(shard_size).__name__}"
+                )
+            if shard_size < 1:
+                raise ValueError(
+                    f"shard_size must be a positive integer, got {shard_size}"
+                )
+        if align < 1:
+            raise ValueError(f"align must be a positive integer, got {align}")
+        self._shard_size = shard_size
+        self._align = int(align)
+
+    @property
+    def shard_size(self) -> Optional[int]:
+        return self._shard_size
+
+    @property
+    def align(self) -> int:
+        return self._align
+
+    def plan(self, n_items: int, workers: int = 1) -> list[Shard]:
+        """Balanced shards covering ``[0, n_items)``, in range order.
+
+        ``n_items == 0`` yields no shards; a ``shard_size`` larger than
+        ``n_items`` (or a single worker with no explicit size) yields one
+        shard covering everything.
+        """
+        if n_items < 0:
+            raise ValueError(f"n_items must be non-negative, got {n_items}")
+        if n_items == 0:
+            return []
+        if self._shard_size is None:
+            if workers <= 1:
+                return [Shard(0, n_items)]
+            target = math.ceil(n_items / workers)
+        else:
+            target = self._shard_size
+        size = max(self._align * math.ceil(target / self._align), self._align)
+        return [
+            Shard(start, min(start + size, n_items))
+            for start in range(0, n_items, size)
+        ]
+
+
+class WorkerPool:
+    """A reusable, lazily-created worker pool behind one ``map``.
+
+    ``workers=1`` never creates an OS pool: every map runs inline on the
+    calling thread, making the single-worker configuration the bitwise
+    reference path.  The underlying executor is created on the first
+    parallel dispatch and reused until :meth:`close` (serving processes
+    dispatch through one pool for their lifetime).
+
+    The pool is picklable (for process-backend jobs whose arguments hold
+    one): the live executor is dropped and lazily recreated on first use
+    in the receiving process.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+        self._workers = resolve_workers(workers)
+        self._backend = check_backend(backend)
+        self._executor = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._closed:
+                # A map racing close() must not lazily resurrect a pool
+                # nobody will ever shut down again.
+                raise RuntimeError("worker pool is closed")
+            if self._executor is None:
+                if self._backend == "process":
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self._workers
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self._workers,
+                        thread_name_prefix="repro-shard",
+                    )
+            return self._executor
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """``[fn(x) for x in items]``, fanned across the pool, in order.
+
+        Results preserve input order regardless of completion order; the
+        first raised exception propagates to the caller.
+        """
+        items = list(items)
+        if self._workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the underlying executor down; the pool is then unusable.
+
+        Idempotent; subsequent *parallel* maps raise ``RuntimeError``
+        (inline single-worker maps keep working -- they never owned a
+        pool).
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        return {"workers": self._workers, "backend": self._backend}
+
+    def __setstate__(self, state: dict) -> None:
+        self._workers = state["workers"]
+        self._backend = state["backend"]
+        self._executor = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+
+class ShardedExecutor:
+    """Shard planning plus a reusable worker pool, merged by concatenation.
+
+    The dispatch object every parallel component holds: the fusers shard
+    their pattern matrices through :meth:`shards` and fan per-shard jobs
+    with :meth:`map`; the clustered fuser fans its per-cluster batch calls;
+    the empirical joint model fans its batch-evaluation chunks.  Results
+    always come back in submission order, so merging is a concatenation
+    and scores stay bit-identical to the serial path.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        backend: str = "thread",
+    ) -> None:
+        self._pool = WorkerPool(resolve_workers(workers), backend)
+        self._planner = ShardPlanner(shard_size)
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    @property
+    def backend(self) -> str:
+        return self._pool.backend
+
+    @property
+    def shard_size(self) -> Optional[int]:
+        return self._planner.shard_size
+
+    def shards(self, n_items: int) -> list[Shard]:
+        """The planner's balanced word-aligned blocks for ``n_items``."""
+        return self._planner.plan(n_items, self._pool.workers)
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Fan ``fn`` over ``items`` on the pool; results in input order."""
+        return self._pool.map(fn, items)
+
+    def map_shards(
+        self, fn: Callable[[int, int], _R], n_items: int
+    ) -> Optional[list[_R]]:
+        """``fn(start, stop)`` per shard, in shard order.
+
+        Returns ``None`` when the plan is a single shard (or empty) --
+        callers then run their unsharded path, keeping the one-shard case
+        free of dispatch overhead and byte-identical in cache keying to
+        the serial configuration.  On the process backend ``fn`` must be
+        picklable (module-level function or bound method of a picklable
+        object).
+        """
+        shards = self.shards(n_items)
+        if len(shards) <= 1:
+            return None
+        return self._pool.map(
+            _range_call, [(fn, shard.start, shard.stop) for shard in shards]
+        )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        return {
+            "pool": self._pool,
+            "shard_size": self._planner.shard_size,
+            "align": self._planner.align,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._pool = state["pool"]
+        self._planner = ShardPlanner(state["shard_size"], align=state["align"])
+
+
+def make_executor(
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    backend: str = "thread",
+) -> Optional[ShardedExecutor]:
+    """Build a :class:`ShardedExecutor`, or ``None`` for the serial default.
+
+    ``None`` is returned only for the fully-default configuration
+    (one worker, no explicit shard size): components then skip dispatch
+    entirely.  An explicit ``shard_size`` with ``workers=1`` still returns
+    an executor -- its maps run inline, which is how the equivalence tests
+    drive the shard path deterministically.
+    """
+    resolved = resolve_workers(workers)
+    if resolved == 1 and shard_size is None:
+        check_backend(backend)
+        return None
+    return ShardedExecutor(
+        workers=resolved, shard_size=shard_size, backend=backend
+    )

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from typing import Callable, Mapping, Optional
 
@@ -720,9 +721,25 @@ class CompiledPlanCache:
     ``max_cache_entries`` memo policy elsewhere: a serving process cannot
     grow without limit no matter how many distinct workloads it sees.
     ``max_entries=0`` disables caching (every call recompiles).
+
+    Thread-safety
+    -------------
+    Every operation is safe under concurrent scoring: a lock guards the
+    LRU structure, and :meth:`get_or_compute` is *single-flight* -- when
+    several threads miss the same key simultaneously (many sessions
+    scoring a fresh workload), exactly one runs the factory while the rest
+    wait and reuse its result, so each plan digest is compiled at most
+    once per generation (the ``computes`` stat counts factory runs).
+    :meth:`invalidate` bumps an internal generation counter; a factory
+    already in flight when the invalidation lands completes for its caller
+    but its result is *not* stored, so a refit can never resurrect plans
+    compiled against the replaced model state.
     """
 
-    __slots__ = ("_entries", "_max_entries", "hits", "misses", "evictions")
+    __slots__ = (
+        "_entries", "_max_entries", "_lock", "_inflight", "_generation",
+        "hits", "misses", "evictions", "computes",
+    )
 
     def __init__(self, max_entries: int = DEFAULT_PLAN_CACHE_ENTRIES) -> None:
         if max_entries < 0:
@@ -731,9 +748,13 @@ class CompiledPlanCache:
             )
         self._entries: OrderedDict = OrderedDict()
         self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._inflight: dict = {}
+        self._generation = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.computes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -742,38 +763,122 @@ class CompiledPlanCache:
     def max_entries(self) -> int:
         return self._max_entries
 
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`invalidate`; stale in-flight results are dropped."""
+        return self._generation
+
     def get(self, key):
         """The cached value for ``key`` (LRU-touched), or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key, value):
         """Store ``value`` (evicting LRU entries beyond the cap); return it."""
+        with self._lock:
+            self._store_locked(key, value)
+        return value
+
+    def _store_locked(self, key, value) -> None:
         if self._max_entries == 0:
-            return value
+            return
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def get_or_compute(self, key, factory: Callable[[], object]):
+        """The cached value for ``key``, computing it once on a miss.
+
+        The locked get-or-compute every fuser scores through: a hit is a
+        locked LRU touch; on a miss exactly one caller runs ``factory()``
+        (outside the lock -- compiles are expensive) while concurrent
+        missers of the same key block until the result lands, then reuse
+        it.  If the factory raises, waiters retry (one of them becomes the
+        next computer); if :meth:`invalidate` fires mid-compute, the
+        result is returned to the caller but not stored.  With
+        ``max_entries=0`` every call computes (caching disabled), matching
+        :meth:`get`/:meth:`put` semantics -- and without single-flight
+        blocking, since concurrent callers of a disabled cache should
+        compute in parallel, not queue behind each other.
+        """
+        if self._max_entries == 0:
+            with self._lock:
+                self.misses += 1
+            value = factory()
+            with self._lock:
+                self.computes += 1
+            return value
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    done = threading.Event()
+                    self._inflight[key] = done
+                    generation = self._generation
+                    self.misses += 1
+                    break
+            waiter.wait()
+        try:
+            value = factory()
+        except BaseException:
+            # Release waiters without storing; one of them recomputes.
+            with self._lock:
+                self.computes += 1
+                self._inflight.pop(key, None)
+            done.set()
+            raise
+        # Store before waking waiters, so a woken waiter either finds the
+        # entry or (post-invalidation) becomes the next computer.
+        with self._lock:
+            self.computes += 1
+            if self._generation == generation:
+                self._store_locked(key, value)
+            self._inflight.pop(key, None)
+        done.set()
         return value
 
     def invalidate(self) -> None:
-        """Drop every cached plan (the model-refit hook); stats survive."""
-        self._entries.clear()
+        """Drop every cached plan (the model-refit hook); stats survive.
+
+        Safe against in-flight scores: computes started before the
+        invalidation finish for their callers but are not stored, and the
+        next request for their key recompiles under the new generation.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
 
     @property
     def stats(self) -> dict:
         """Counters for benchmarks and serving diagnostics."""
-        return {
-            "entries": len(self._entries),
-            "max_entries": self._max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "computes": self.computes,
+                "generation": self._generation,
+            }
+
+    def __getstate__(self) -> dict:
+        # Locks and in-flight events are process-local; a pickled cache
+        # (process-backend jobs carry their fuser) starts empty.
+        return {"max_entries": self._max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_entries"])

@@ -57,12 +57,22 @@ class PrecRecFuser(ModelBasedFuser):
         decision_prior: float | None = None,
         engine: str = "vectorized",
         max_cache_entries: int = DEFAULT_MU_CACHE_ENTRIES,
+        workers: int | None = None,
+        shard_size: int | None = None,
+        parallel_backend: str = "thread",
     ) -> None:
+        # The workers/shard_size knobs are accepted for API uniformity
+        # (make_fuser forwards them to every model-based fuser); PrecRec's
+        # batch path is two matrix-vector products, which numpy already
+        # saturates, so no sharded dispatch is wired here.
         super().__init__(
             model,
             decision_prior=decision_prior,
             engine=engine,
             max_cache_entries=max_cache_entries,
+            workers=workers,
+            shard_size=shard_size,
+            parallel_backend=parallel_backend,
         )
         # Pre-compute each source's two log-contributions once; scoring a
         # pattern is then a sum of lookups (or, batched, a matrix product).

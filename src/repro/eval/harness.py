@@ -162,6 +162,8 @@ class ServingReport:
         compiled cache must make this exactly 0.0.
     result:
         The cold run's :class:`FusionResult`.
+    workers:
+        Effective worker count the session scored with (1 = serial).
     """
 
     method: str
@@ -170,6 +172,7 @@ class ServingReport:
     warm_seconds: tuple[float, ...]
     max_warm_drift: float
     result: FusionResult
+    workers: int = 1
 
     @property
     def repeats(self) -> int:
@@ -205,6 +208,8 @@ def run_serving(
     prior: Optional[float] = None,
     smoothing: float = 0.0,
     engine: str = "vectorized",
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
     **options,
 ) -> ServingReport:
     """Fit once on ``dataset`` and score it ``1 + repeats`` times.
@@ -214,7 +219,9 @@ def run_serving(
     dataset's labels, the first ``score`` is timed cold, and ``repeats``
     further calls measure the warm (compiled-plan-cache) path.  Warm
     scores are checked against the cold run -- any drift is reported in
-    ``max_warm_drift``.
+    ``max_warm_drift``.  ``workers``/``shard_size`` configure sharded
+    parallel scoring inside the session (scores are bit-identical at any
+    worker count); the effective count lands in ``ServingReport.workers``.
     """
     if repeats < 0:
         raise ValueError(f"repeats must be non-negative, got {repeats}")
@@ -226,6 +233,8 @@ def run_serving(
         smoothing=smoothing,
         engine=engine,
         threshold=threshold,
+        workers=workers,
+        shard_size=shard_size,
         **options,
     )
     start = time.perf_counter()
@@ -246,6 +255,7 @@ def run_serving(
         warm_seconds=tuple(warm_seconds),
         max_warm_drift=max_drift,
         result=result,
+        workers=session.workers,
     )
 
 
