@@ -29,6 +29,7 @@ from repro.core import (
     FusionResult,
     IndependentJointModel,
     JointQualityModel,
+    MicroBatcher,
     ObservationMatrix,
     PrecRecFuser,
     ScoringSession,
@@ -66,6 +67,7 @@ __all__ = [
     "FusionResult",
     "IndependentJointModel",
     "JointQualityModel",
+    "MicroBatcher",
     "ObservationMatrix",
     "PrecRecFuser",
     "ScoringSession",

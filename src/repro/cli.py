@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import math
 import sys
 from typing import Optional, Sequence
 
@@ -67,6 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="score the dataset N times through one ScoringSession and "
              "report cold vs warm timing -- the serving loop, where "
              "repeated calls hit the compiled-plan cache (default: 1)",
+    )
+    fuse_cmd.add_argument(
+        "--mutate-frac", type=float, default=0.0, metavar="F",
+        help="with --repeat: mutate this fraction of triple columns "
+             "between consecutive scores, replaying a streaming mutation "
+             "trace through the delta engine instead of re-scoring an "
+             "identical matrix (default: 0.0); with --delta auto every "
+             "delta score is verified bit-for-bit against an independent "
+             "plain-scoring session (with --delta off there is no delta "
+             "layer to check and the drift reads n/a)",
+    )
+    fuse_cmd.add_argument(
+        "--delta", choices=("auto", "off"), default="auto",
+        help="incremental delta scoring across --repeat requests: reuse "
+             "previous scores for unchanged triple columns and evaluate "
+             "only novel observation patterns (auto, default) or always "
+             "score cold (off); scores are bit-identical either way",
     )
     fuse_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -135,6 +153,15 @@ def _cmd_datasets() -> int:
 def _cmd_fuse(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise ValueError(f"--repeat must be >= 1, got {args.repeat}")
+    if not 0.0 <= args.mutate_frac <= 1.0:
+        raise ValueError(
+            f"--mutate-frac must be in [0, 1], got {args.mutate_frac}"
+        )
+    if args.mutate_frac > 0.0 and args.repeat < 2:
+        raise ValueError(
+            "--mutate-frac needs --repeat >= 2: mutations apply between "
+            "consecutive scores of the serving loop"
+        )
     dataset = get_dataset(args.dataset, seed=args.seed)
     # Unset defaults to the paper protocol's 0.5 for model-based methods;
     # EM has no separate decision alpha, so the default stays unset there
@@ -157,6 +184,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             shard_size=args.shard_size,
+            delta=args.delta,
+            mutate_frac=args.mutate_frac,
         )
         result = serving.result
     else:
@@ -184,13 +213,23 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         )
     )
     if serving is not None:
+        trace = (
+            f"mutation-trace steps ({serving.mutate_frac:.1%} columns/step)"
+            if serving.mutate_frac > 0.0
+            else "identical repeats"
+        )
+        drift = (
+            "n/a (no delta layer to check)"
+            if math.isnan(serving.max_warm_drift)
+            else f"{serving.max_warm_drift:.1e}"
+        )
         print(
             f"serving: fit {serving.fit_seconds:.4f}s, "
             f"cold score {serving.cold_seconds:.4f}s, "
             f"warm mean {serving.warm_mean_seconds:.4f}s over "
-            f"{serving.repeats} repeats "
+            f"{serving.repeats} {trace} "
             f"({serving.cold_over_warm:.1f}x cold/warm, "
-            f"max warm drift {serving.max_warm_drift:.1e})"
+            f"max warm drift {drift})"
         )
         per_score = (
             serving.cold_seconds + sum(serving.warm_seconds)
@@ -198,8 +237,36 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         print(
             f"serving: {per_score:.4f}s wall-clock per score over "
             f"{1 + serving.repeats} calls, effective workers "
-            f"{serving.workers}"
+            f"{serving.workers}, delta {serving.delta}"
         )
+        plan = serving.plan_cache_stats
+        if plan:
+            print(
+                "serving: plan cache "
+                f"hits={plan.get('hits', 0)} misses={plan.get('misses', 0)} "
+                f"computes={plan.get('computes', 0)} "
+                f"evictions={plan.get('evictions', 0)} "
+                f"entries={plan.get('entries', 0)}"
+            )
+        joint = serving.joint_cache_stats
+        if joint:
+            print(
+                "serving: joint cache "
+                f"hits={joint.get('hits', 0)} misses={joint.get('misses', 0)} "
+                f"evictions={joint.get('evictions', 0)} "
+                f"entries={joint.get('entries', 0)}"
+            )
+        delta_stats = serving.delta_stats
+        if delta_stats:
+            print(
+                "serving: delta paths "
+                f"identical={delta_stats.get('identical', 0)} "
+                f"delta={delta_stats.get('delta', 0)} "
+                f"cold={delta_stats.get('cold', 0)}; reused "
+                f"{delta_stats.get('reused_columns', 0)} columns / "
+                f"{delta_stats.get('reused_patterns', 0)} patterns, "
+                f"{delta_stats.get('novel_patterns', 0)} novel patterns"
+            )
     if args.scores_csv:
         with open(args.scores_csv, "w", newline="") as handle:
             writer = csv.writer(handle)

@@ -13,6 +13,9 @@ The modules map one-to-one onto the paper's sections:
 - :mod:`repro.core.parallel` -- sharded parallel dispatch: word-aligned
   shard planning plus reusable thread/process worker pools, merged by
   ordered concatenation so scores stay bit-identical.
+- :mod:`repro.core.deltas` -- incremental delta scoring for streaming
+  serving: word-level matrix diffing, per-pattern result reuse, and
+  novel-pattern sub-batches, bit-identical to cold scoring.
 - :mod:`repro.core.quality` -- precision/recall measurement and the
   Theorem 3.5 false-positive-rate derivation (Section 3.2).
 - :mod:`repro.core.joint` -- joint precision/recall and correlation factors
@@ -35,12 +38,15 @@ from repro.core.aggressive import AggressiveFuser
 from repro.core.api import (
     EXACT_SOURCE_LIMIT,
     METHOD_NAMES,
+    SERVING_MODES,
+    MicroBatcher,
     ScoringSession,
     fit_model,
     fuse,
     make_fuser,
 )
 from repro.core.bitset import PackedMatrix, pack_bool_rows, pack_bool_vector, popcount
+from repro.core.deltas import DeltaScorer, dirty_columns
 from repro.core.patterns import (
     PatternSet,
     extract_patterns,
@@ -53,8 +59,10 @@ from repro.core.plans import (
     CompiledPlanCache,
     ElasticUnionPlan,
     ExactUnionPlan,
+    PatternValueMemo,
     UnionCollector,
     pattern_digest,
+    pattern_row_keys,
 )
 from repro.core.confidence import (
     ConfidenceBundle,
@@ -124,6 +132,7 @@ __all__ = [
     "DEFAULT_MU_CACHE_ENTRIES",
     "DEFAULT_PLAN_CACHE_ENTRIES",
     "DEFAULT_THRESHOLD",
+    "DeltaScorer",
     "EMDiagnostics",
     "ENGINES",
     "EXACT_SOURCE_LIMIT",
@@ -140,13 +149,16 @@ __all__ = [
     "JointQualityModel",
     "METHOD_NAMES",
     "MaskedJointCache",
+    "MicroBatcher",
     "ModelBasedFuser",
     "ObservationMatrix",
     "PARALLEL_BACKENDS",
     "PackedMatrix",
     "PairwiseCorrelation",
     "PatternSet",
+    "PatternValueMemo",
     "PrecRecFuser",
+    "SERVING_MODES",
     "ScoringSession",
     "Shard",
     "ShardPlanner",
@@ -161,6 +173,7 @@ __all__ = [
     "correlation_clusters",
     "default_workers",
     "derive_false_positive_rate",
+    "dirty_columns",
     "discovered_correlation_groups",
     "estimate_prior",
     "estimate_source_quality",
@@ -174,6 +187,7 @@ __all__ = [
     "pack_bool_rows",
     "pack_bool_vector",
     "pattern_digest",
+    "pattern_row_keys",
     "popcount",
     "restricted_unique_patterns",
     "confidence_threshold_sweep",

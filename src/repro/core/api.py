@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.aggressive import AggressiveFuser
 from repro.core.clustering import ClusteredCorrelationFuser
+from repro.core.deltas import DeltaScorer
 from repro.core.elastic import ElasticFuser
 from repro.core.em import ExpectationMaximizationFuser
 from repro.core.exact import ExactCorrelationFuser
@@ -44,6 +45,19 @@ from repro.core.observations import ObservationMatrix
 from repro.core.parallel import resolve_workers
 from repro.core.precrec import PrecRecFuser
 from repro.core.quality import estimate_prior
+
+#: Valid values for the serving-layer opt-outs (``delta`` / ``micro_batch``).
+SERVING_MODES = ("auto", "off")
+
+
+def _check_serving_mode(value: str, name: str) -> str:
+    """Validate a ``delta`` / ``micro_batch`` knob."""
+    key = str(value).lower()
+    if key not in SERVING_MODES:
+        raise ValueError(
+            f"{name} must be one of {SERVING_MODES}, got {value!r}"
+        )
+    return key
 
 #: Canonical method names accepted by :func:`fuse`.
 METHOD_NAMES = (
@@ -307,6 +321,303 @@ def _build_fuser(
     return fuser, model
 
 
+class _PendingScore:
+    """One enqueued :meth:`MicroBatcher.submit` request."""
+
+    __slots__ = ("observations", "event", "scores", "error", "promoted")
+
+    def __init__(self, observations: ObservationMatrix) -> None:
+        self.observations = observations
+        self.event = threading.Event()
+        self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        # Set (under the batcher lock) when a retiring leader wakes this
+        # still-queued request to take over leadership.
+        self.promoted = False
+
+
+class MicroBatcher:
+    """Cross-request micro-batching for concurrent small score requests.
+
+    N threads each scoring a small matrix through one session pay N
+    pattern extractions, N digest probes, and N GIL-contended scoring
+    passes.  The batcher turns them into one wide pass: ``submit``
+    enqueues the request, one caller becomes the *leader* (no background
+    thread -- the leader is whichever submitter found no leader active),
+    waits ``wait_seconds`` for stragglers, coalesces the pending requests
+    into a single fused observation matrix (columns concatenated in
+    request order, request-boundary offsets preserved), executes **one**
+    delta-aware session score, and splits the result back per request.
+
+    Every request in a batch shares one model generation by construction:
+    the fused matrix is scored through a single ``session.score`` call,
+    which binds the live fuser exactly once.  Because each triple's score
+    depends only on its own observation pattern, per-request slices of the
+    fused score vector are bit-identical to scoring the requests
+    individually (pinned by ``tests/test_microbatch.py``).
+
+    Requests that cannot be coalesced -- an EM session (its scores depend
+    on the whole matrix), a fuser without the ``pattern_batch_invariant``
+    guarantee (PrecRec, aggressive), or mismatched source counts -- are
+    scored individually, so ``submit`` is always a drop-in for ``score``.
+
+    Note the latency floor: every batch waits ``wait_seconds`` (default
+    2ms) for stragglers, so a caller that never submits concurrently pays
+    that window per call for nothing -- use ``score`` (or
+    ``micro_batch="off"``) on single-threaded paths.
+    """
+
+    def __init__(
+        self,
+        session: "ScoringSession",
+        max_requests: int = 64,
+        wait_seconds: float = 0.002,
+    ) -> None:
+        if max_requests < 1:
+            raise ValueError(
+                f"max_requests must be >= 1, got {max_requests}"
+            )
+        if wait_seconds < 0.0:
+            raise ValueError(
+                f"wait_seconds must be non-negative, got {wait_seconds}"
+            )
+        self._session = session
+        self._max_requests = int(max_requests)
+        self._wait_seconds = float(wait_seconds)
+        self._lock = threading.Lock()
+        self._pending: list[_PendingScore] = []
+        self._leader_active = False
+        self._requests = 0
+        self._batches = 0
+        self._fused_requests = 0
+        self._largest_batch = 0
+
+    @property
+    def stats(self) -> dict:
+        """Coalescing diagnostics for ``ServingReport`` / benchmarks."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "batches": self._batches,
+                "fused_requests": self._fused_requests,
+                "largest_batch": self._largest_batch,
+                "max_requests": self._max_requests,
+                "wait_seconds": self._wait_seconds,
+            }
+
+    def submit(self, observations: ObservationMatrix) -> np.ndarray:
+        """Score ``observations``, coalescing with concurrent submitters.
+
+        Blocks until this request's scores are ready; exceptions raised by
+        the underlying scoring land on the requests that caused them.
+        Latency is bounded: a leader retires once its own request has been
+        served, handing the remaining queue to a waiting submitter, so no
+        caller serves other threads' traffic indefinitely.
+        """
+        request = _PendingScore(observations)
+        with self._lock:
+            self._pending.append(request)
+            self._requests += 1
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+        while True:
+            if leader:
+                self._drain(request)
+                break
+            try:
+                request.event.wait()
+            except BaseException:
+                # Unwinding mid-wait (KeyboardInterrupt lands on the main
+                # thread even inside Event.wait): a promotable husk left
+                # in the queue could be handed leadership nobody will
+                # ever exercise, hanging every other submitter.
+                self._abandon(request)
+                raise
+            if not request.promoted:
+                break
+            # A retiring leader handed us the queue: our own request is
+            # still pending, so lead the next batches (it gets served in
+            # our first one).
+            request.promoted = False
+            leader = True
+        if request.error is not None:
+            raise request.error
+        return request.scores
+
+    def _abandon(self, request: _PendingScore) -> None:
+        """Withdraw an unwinding waiter's request from the queue.
+
+        If a retiring leader already promoted it, pass the leadership on
+        to another waiter (or release it) so the queue can never be
+        orphaned; once removed here, the request can no longer be
+        promoted (promotion only ever picks queued entries, under the
+        same lock).
+        """
+        with self._lock:
+            try:
+                self._pending.remove(request)
+            except ValueError:
+                pass  # already taken into a batch; scoring it is harmless
+            if not request.promoted:
+                return
+            request.promoted = False
+            if self._pending:
+                successor = self._pending[0]
+                successor.promoted = True
+                successor.event.set()
+            else:
+                self._leader_active = False
+
+    def _drain(self, own: _PendingScore) -> None:
+        """Leader loop: execute batches until the queue empties or, once
+        ``own`` has been served, leadership is handed to a waiting
+        submitter (bounding every caller's time spent serving others)."""
+        try:
+            while True:
+                if self._wait_seconds > 0.0:
+                    with self._lock:
+                        queue_full = (
+                            len(self._pending) >= self._max_requests
+                        )
+                    if not queue_full:
+                        # The coalescing window: give stragglers a moment
+                        # to enqueue.  An already-full batch ships now.
+                        time.sleep(self._wait_seconds)
+                with self._lock:
+                    batch = self._pending[: self._max_requests]
+                    del self._pending[: len(batch)]
+                self._execute(batch)
+                with self._lock:
+                    if not self._pending:
+                        self._leader_active = False
+                        return
+                    if own.event.is_set():
+                        # Hand the queue to a still-waiting request;
+                        # _leader_active stays True across the transfer so
+                        # no third submitter self-elects in between.
+                        successor = self._pending[0]
+                        successor.promoted = True
+                        successor.event.set()
+                        return
+        except BaseException as error:
+            # _execute routes scoring errors to their requests; this is
+            # the backstop for leader failures outside it (e.g. a
+            # KeyboardInterrupt mid-batch).  Fail everything still queued
+            # -- their submitters are blocked and no successor was named
+            # -- and free the leadership so future submits recover.
+            with self._lock:
+                abandoned, self._pending = self._pending, []
+                self._leader_active = False
+            for request in abandoned:
+                if request.scores is None and request.error is None:
+                    request.error = RuntimeError(
+                        "micro-batch leader failed before scoring this "
+                        "request"
+                    )
+                    request.error.__cause__ = error
+                request.event.set()
+            raise
+
+    def _execute(self, batch: list[_PendingScore]) -> None:
+        """Score one batch (fused when possible) and wake its requests."""
+        session = self._session
+        with self._lock:
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
+        try:
+            if len(batch) == 1:
+                # Through the per-request router, so a scoring error keeps
+                # its original type exactly as a direct score() would --
+                # not the catch-all wrapper below.
+                self._score_individually(batch)
+                return
+            fuser = session.fuser
+            # Fused scoring needs per-pattern scores that are bitwise
+            # independent of batch composition; PrecRec/aggressive (BLAS
+            # matmuls, see pattern_batch_invariant) and EM are scored
+            # individually so submit keeps its bit-identity contract.
+            # Within an eligible batch, only requests matching the
+            # model's source count can share the fused matrix -- the rest
+            # score individually (and get their own width errors) without
+            # costing the valid traffic its coalescing.
+            expected_sources = None
+            if (
+                isinstance(fuser, ModelBasedFuser)
+                and fuser.pattern_batch_invariant
+            ):
+                expected_sources = fuser.model.n_sources
+            fusable = [
+                request
+                for request in batch
+                if request.observations.n_sources == expected_sources
+            ]
+            if len(fusable) < 2:
+                fusable = []
+            self._score_individually(
+                request for request in batch if request not in fusable
+            )
+            if not fusable:
+                return
+            provides = np.concatenate(
+                [request.observations.provides for request in fusable],
+                axis=1,
+            )
+            coverage = np.concatenate(
+                [request.observations.coverage for request in fusable],
+                axis=1,
+            )
+            fused = ObservationMatrix(
+                provides,
+                fusable[0].observations.source_names,
+                coverage=coverage,
+            )
+            try:
+                scores = session._score_coalesced(fused)
+            except Exception:
+                # A fused-pass failure (e.g. the concatenation is too wide
+                # to score) must not condemn requests that would score
+                # fine individually; retry per request so errors land only
+                # on the requests that cause them.
+                self._score_individually(fusable)
+                return
+            with self._lock:
+                self._fused_requests += len(fusable)
+            offset = 0
+            for request in fusable:
+                width = request.observations.n_triples
+                request.scores = scores[offset : offset + width].copy()
+                offset += width
+        except BaseException as error:
+            # BaseException included: a KeyboardInterrupt mid-score must
+            # still mark the batch (a woken request with neither scores
+            # nor error would silently return None), then propagate so
+            # the leader's _drain backstop fails the rest of the queue.
+            # Each request gets its own wrapper: several submitter threads
+            # re-raising one shared instance would race on its traceback.
+            for request in batch:
+                if request.scores is None and request.error is None:
+                    wrapped = RuntimeError(
+                        "micro-batch scoring failed for this request"
+                    )
+                    wrapped.__cause__ = error
+                    request.error = wrapped
+            if not isinstance(error, Exception):
+                raise
+        finally:
+            for request in batch:
+                request.event.set()
+
+    def _score_individually(self, requests) -> None:
+        """Score requests one by one, routing each error to its request."""
+        session = self._session
+        for request in requests:
+            try:
+                request.scores = session.score(request.observations)
+            except Exception as error:
+                request.error = error
+
+
 class ScoringSession:
     """Fit once, score many observation batches -- the serving loop.
 
@@ -330,17 +641,36 @@ class ScoringSession:
     caches so no holder of a stale reference can keep serving plans
     compiled against the replaced model.
 
+    Incremental serving: with ``delta="auto"`` (the default) the session
+    scores through a :class:`~repro.core.deltas.DeltaScorer` -- an
+    identical repeated matrix returns the previous scores outright, a
+    matrix differing in a few triple columns re-evaluates only the dirty
+    columns' novel patterns, and even full-churn requests reuse every
+    previously-seen pattern through a bounded memo.  Delta scores are
+    bit-identical to cold scoring; ``delta="off"`` restores the plain
+    path.  The delta state is swapped together with the fuser on
+    :meth:`refit`, so stale per-pattern memos never survive a model
+    generation bump.
+
+    Cross-request micro-batching: :meth:`submit` is a concurrency-aware
+    drop-in for :meth:`score` that coalesces simultaneous small requests
+    into one fused delta-aware scoring pass (see :class:`MicroBatcher`);
+    ``micro_batch="off"`` makes it an alias for :meth:`score`.
+
     Concurrency: one session may be scored from many threads at once,
     including while :meth:`refit` runs.  Each ``score`` call binds the
-    live fuser exactly once and computes entirely against that object, so
-    a returned score vector always reflects one model generation -- never
-    a mix of pre- and post-refit parameters.  The fuser swap itself is a
-    single reference assignment (atomic under the GIL), refits are
-    serialised by an internal lock, and the fusers' caches are locked
-    single-flight (see :class:`~repro.core.plans.CompiledPlanCache`), so
-    concurrent first requests compile each plan digest once.
-    ``workers``/``shard_size`` configure sharded parallel scoring inside
-    each call -- see :func:`fuse`.
+    live fuser (and delta scorer) exactly once and computes entirely
+    against that object, so a returned score vector always reflects one
+    model generation -- never a mix of pre- and post-refit parameters.
+    The fuser swap itself is a single reference assignment (atomic under
+    the GIL), refits are serialised by an internal lock, and the fusers'
+    caches are locked single-flight (see
+    :class:`~repro.core.plans.CompiledPlanCache`), so concurrent first
+    requests compile each plan digest once.  :meth:`refit` also closes
+    the retired fuser's and model's worker pools -- in-flight scores on
+    the retired generation degrade to inline execution rather than
+    erroring.  ``workers``/``shard_size`` configure sharded parallel
+    scoring inside each call -- see :func:`fuse`.
     """
 
     def __init__(
@@ -355,6 +685,10 @@ class ScoringSession:
         threshold: float = DEFAULT_THRESHOLD,
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        delta: str = "auto",
+        micro_batch: str = "auto",
+        micro_batch_wait_seconds: float = 0.002,
+        micro_batch_max_requests: int = 64,
         **options,
     ) -> None:
         self._method = method
@@ -364,6 +698,22 @@ class ScoringSession:
         self._threshold = threshold
         self._workers = resolve_workers(workers)
         self._shard_size = shard_size
+        self._delta = _check_serving_mode(delta, "delta")
+        self._micro_batch = _check_serving_mode(micro_batch, "micro_batch")
+        if micro_batch_wait_seconds < 0.0:
+            raise ValueError(
+                "micro_batch_wait_seconds must be non-negative, got "
+                f"{micro_batch_wait_seconds}"
+            )
+        if micro_batch_max_requests < 1:
+            raise ValueError(
+                "micro_batch_max_requests must be >= 1, got "
+                f"{micro_batch_max_requests}"
+            )
+        self._micro_batch_wait = float(micro_batch_wait_seconds)
+        self._micro_batch_max = int(micro_batch_max_requests)
+        self._batcher: Optional[MicroBatcher] = None
+        self._batcher_lock = threading.Lock()
         self._options = dict(options)
         self._n_scored = 0
         self._refit_lock = threading.Lock()
@@ -381,7 +731,26 @@ class ScoringSession:
             shard_size=shard_size,
             options=self._options,
         )
+        self._delta_scorer = self._make_delta_scorer(self._fuser)
         self.fit_seconds = time.perf_counter() - start
+
+    def _make_delta_scorer(self, fuser: TruthFuser) -> Optional[DeltaScorer]:
+        """A delta scorer for ``fuser``, or ``None`` when delta is off.
+
+        Delta scoring requires the pattern-pure vectorized path: EM (whose
+        scores depend on the whole matrix) and the legacy reference engine
+        always score cold.
+        """
+        if self._delta == "off":
+            return None
+        if not isinstance(fuser, ModelBasedFuser):
+            return None
+        if fuser.engine != "vectorized":
+            return None
+        # Likelihood-level reuse inside the inclusion-exclusion fusers
+        # (novel cluster-restrictions only) -- see enable_delta_memo.
+        fuser.enable_delta_memo()
+        return DeltaScorer(fuser)
 
     @property
     def method(self) -> str:
@@ -419,18 +788,82 @@ class ScoringSession:
         """How many batches this session has scored since the last fit."""
         return self._n_scored
 
-    def score(self, observations: ObservationMatrix) -> np.ndarray:
-        """One truthfulness score per triple of ``observations``.
+    @property
+    def delta(self) -> str:
+        """The delta-scoring mode (``"auto"`` or ``"off"``)."""
+        return self._delta
 
-        Safe to call from many threads at once: the live fuser is bound
-        exactly once per call, so a concurrent :meth:`refit` can never mix
-        old and new parameters inside one score vector.
+    @property
+    def delta_scorer(self) -> Optional[DeltaScorer]:
+        """The live delta scorer, or ``None`` (delta off / EM / legacy)."""
+        return self._delta_scorer
+
+    def _compute_scores(self, observations: ObservationMatrix) -> np.ndarray:
+        """Bind the live scorer (or fuser) once and score through it."""
+        scorer = self._delta_scorer
+        if scorer is not None:
+            return scorer.score(observations)
+        return self._fuser.score(observations)
+
+    def _score_coalesced(self, observations: ObservationMatrix) -> np.ndarray:
+        """Score a micro-batched fused matrix (internal).
+
+        Like :meth:`score`, but without installing the fused
+        concatenation as the delta engine's previous-request snapshot: a
+        fused matrix belongs to no streaming sequence, and letting it
+        replace the snapshot would knock interleaved :meth:`score`
+        traffic off its delta fast path.  The pattern memo still serves
+        and absorbs the fused patterns.
         """
-        fuser = self._fuser
-        scores = fuser.score(observations)
+        scorer = self._delta_scorer
+        if scorer is not None:
+            scores = scorer.score(observations, snapshot=False)
+        else:
+            scores = self._fuser.score(observations)
         with self._count_lock:
             self._n_scored += 1
         return scores
+
+    def score(self, observations: ObservationMatrix) -> np.ndarray:
+        """One truthfulness score per triple of ``observations``.
+
+        Safe to call from many threads at once: the live fuser (and delta
+        scorer) is bound exactly once per call, so a concurrent
+        :meth:`refit` can never mix old and new parameters inside one
+        score vector.  With ``delta="auto"`` the call runs the cheapest
+        bit-identical path -- see :class:`~repro.core.deltas.DeltaScorer`.
+        """
+        scores = self._compute_scores(observations)
+        with self._count_lock:
+            self._n_scored += 1
+        return scores
+
+    def submit(self, observations: ObservationMatrix) -> np.ndarray:
+        """Score with cross-request micro-batching (see :class:`MicroBatcher`).
+
+        Concurrent submitters sharing a model generation are coalesced
+        into one fused delta-aware scoring pass and handed back their
+        per-request slices -- bit-identical to :meth:`score`.  With
+        ``micro_batch="off"`` this is an alias for :meth:`score`.
+        """
+        if self._micro_batch == "off":
+            return self.score(observations)
+        batcher = self._batcher
+        if batcher is None:
+            with self._batcher_lock:
+                if self._batcher is None:
+                    self._batcher = MicroBatcher(
+                        self,
+                        max_requests=self._micro_batch_max,
+                        wait_seconds=self._micro_batch_wait,
+                    )
+                batcher = self._batcher
+        return batcher.submit(observations)
+
+    @property
+    def micro_batcher(self) -> Optional[MicroBatcher]:
+        """The lazily-created batcher behind :meth:`submit`, if any."""
+        return self._batcher
 
     def fuse(
         self,
@@ -438,11 +871,20 @@ class ScoringSession:
         threshold: Optional[float] = None,
     ) -> FusionResult:
         """Score and package a timed :class:`FusionResult`."""
-        fuser = self._fuser
-        result = fuser.fuse(
-            observations,
-            threshold=self._threshold if threshold is None else threshold,
-        )
+        threshold = self._threshold if threshold is None else threshold
+        scorer = self._delta_scorer
+        if scorer is None:
+            result = self._fuser.fuse(observations, threshold=threshold)
+        else:
+            start = time.perf_counter()
+            scores = scorer.score(observations)
+            elapsed = time.perf_counter() - start
+            result = FusionResult(
+                method=scorer.fuser.name,
+                scores=np.asarray(scores, dtype=float),
+                threshold=threshold,
+                elapsed_seconds=elapsed,
+            )
         with self._count_lock:
             self._n_scored += 1
         return result
@@ -476,6 +918,7 @@ class ScoringSession:
             prior = overrides.get("prior", self._prior)
             smoothing = overrides.get("smoothing", self._smoothing)
             retired = self._fuser
+            retired_model = self._model
             start = time.perf_counter()
             fuser, model = _build_fuser(
                 observations,
@@ -489,6 +932,10 @@ class ScoringSession:
                 shard_size=self._shard_size,
                 options=self._options,
             )
+            # The delta scorer is swapped together with the fuser: its
+            # previous-request snapshot and per-pattern memo belong to one
+            # model generation, so stale memos cannot survive a refit.
+            self._delta_scorer = self._make_delta_scorer(fuser)
             self._fuser = fuser
             self._model = model
             self.fit_seconds = time.perf_counter() - start
@@ -500,17 +947,63 @@ class ScoringSession:
             # retired model must not survive anywhere.  In-flight scores on
             # the retired fuser stay consistent -- it still references the
             # old model, and its caches recompute (old-generation) values
-            # on demand after this clear.
+            # on demand after this clear.  The retired worker pools are
+            # closed too (a pool leak per refit would accumulate executor
+            # threads in a long-lived serving process); in-flight scores
+            # on the retired generation degrade to inline execution.
             if isinstance(retired, ModelBasedFuser):
                 retired.invalidate_caches()
+                retired.close()
+            if retired_model is not None:
+                retired_model.close()
         return self
 
-    def cache_stats(self) -> dict:
-        """Serving diagnostics: the live fuser's compiled-plan cache stats.
+    def close(self) -> None:
+        """Shut down the live fuser's and model's worker pools (idempotent).
 
-        Empty for fusers without a plan cache (PrecRec, aggressive, EM).
+        Scoring keeps working afterwards -- sharded dispatch degrades to
+        inline execution -- so closing a session is always safe; it exists
+        so callers embedding sessions in their own lifecycles do not rely
+        on GC finalizers to reclaim executor threads.  Serialised against
+        :meth:`refit`: a close racing a refit closes the generation the
+        refit publishes, never leaking its fresh pools.
         """
-        plan_cache = getattr(self._fuser, "plan_cache", None)
-        if plan_cache is None:
+        with self._refit_lock:
+            fuser = self._fuser
+            if isinstance(fuser, ModelBasedFuser):
+                fuser.close()
+            if self._model is not None:
+                self._model.close()
+
+    def __enter__(self) -> "ScoringSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def cache_stats(self) -> dict:
+        """Serving diagnostics across every cache layer.
+
+        The flat keys are the live fuser's compiled-plan cache stats (the
+        shape PR 3/4 consumers rely on); nested dicts add the
+        bitmask-keyed joint cache (``"joint_cache"``), the delta engine
+        (``"delta"``: path counts, reuse volumes, pattern-memo counters),
+        and micro-batching (``"micro_batch"``) when those layers are
+        active.  Empty for sessions with none of them (EM).
+        """
+        fuser = self._fuser
+        scorer = self._delta_scorer
+        plan_cache = getattr(fuser, "plan_cache", None)
+        if plan_cache is None and scorer is None:
             return {}
-        return dict(plan_cache.stats)
+        stats: dict = dict(plan_cache.stats) if plan_cache is not None else {}
+        if isinstance(fuser, ModelBasedFuser):
+            joint_stats = fuser.joint_cache_stats()
+            if joint_stats:
+                stats["joint_cache"] = joint_stats
+        if scorer is not None:
+            stats["delta"] = scorer.stats
+        batcher = self._batcher
+        if batcher is not None:
+            stats["micro_batch"] = batcher.stats
+        return stats

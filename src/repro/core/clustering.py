@@ -343,6 +343,10 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
 
     name = "PrecRecCorr-Clustered"
 
+    #: Per-pattern values are computed from each pattern's own terms in a
+    #: fixed order -- sub-batches reproduce full batches bit-for-bit.
+    pattern_batch_invariant = True
+
     def __init__(
         self,
         model: JointQualityModel,
@@ -378,6 +382,7 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         self._accumulate = check_accumulate(accumulate)
         self._max_plan_cache = int(max_plan_cache_entries)
         self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
+        self._delta_serving = False
         if true_partition is None:
             true_partition = correlation_clusters(
                 model, "true",
@@ -480,16 +485,65 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         """
         super().invalidate_caches()
         self._plan_cache.invalidate()
-        seen: set[int] = set()
-        for evaluator in self._true_evaluators + self._false_evaluators:
-            if id(evaluator) not in seen:
-                seen.add(id(evaluator))
-                evaluator.invalidate_caches()
+        for evaluator in self._distinct_evaluators():
+            evaluator.invalidate_caches()
 
     @property
     def plan_cache(self) -> CompiledPlanCache:
         """This fuser's decomposition/log-table cache (diagnostics)."""
         return self._plan_cache
+
+    def _distinct_evaluators(self) -> list[ModelBasedFuser]:
+        """Each per-cluster evaluator exactly once (shared ones dedup)."""
+        seen: set[int] = set()
+        distinct: list[ModelBasedFuser] = []
+        for evaluator in self._true_evaluators + self._false_evaluators:
+            if id(evaluator) not in seen:
+                seen.add(id(evaluator))
+                distinct.append(evaluator)
+        return distinct
+
+    def enable_delta_memo(self, max_entries: int = 200_000) -> None:
+        """Opt every per-cluster evaluator into per-pattern reuse.
+
+        The clustered delta fast path lives in the evaluators: a novel
+        *global* pattern usually restricts to already-seen cluster-local
+        sub-patterns, so with the evaluators' memos attached only the
+        genuinely new restrictions pay union-plan work.  Per-pattern reuse
+        across requests is the score-level delta engine's job; this
+        fuser's own digest-keyed decomposition cache switches to
+        seed-only storage (see :meth:`pattern_mu_batch`) because delta
+        sub-batches carry never-recurring digests that would only churn
+        its LRU.
+        """
+        self._delta_serving = True
+        for evaluator in self._distinct_evaluators():
+            evaluator.enable_delta_memo(max_entries)
+
+    def joint_cache_stats(self) -> dict:
+        """Joint-cache counters summed across the distinct evaluators.
+
+        Only the volume fields (entries, hits, misses, evictions) are
+        additive; ``max_entries`` is the *per-cache* cap (identical for
+        every evaluator -- they share this fuser's ``max_cache_entries``),
+        so it is reported as-is rather than summed into a capacity no
+        single cache has.
+        """
+        merged = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+        max_entries = None
+        seen_any = False
+        for evaluator in self._distinct_evaluators():
+            stats = evaluator.joint_cache_stats()
+            if not stats:
+                continue
+            seen_any = True
+            for field_name in ("entries", "hits", "misses", "evictions"):
+                merged[field_name] += stats[field_name]
+            max_entries = stats["max_entries"]
+        if not seen_any:
+            return {}
+        merged["max_entries"] = max_entries
+        return merged
 
     def _compile_side_terms(
         self, patterns: PatternSet
@@ -587,9 +641,25 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
                     patterns.provider_matrix, patterns.silent_matrix
                 ),
             )
-            entry = self._plan_cache.get_or_compute(
-                key, lambda: self._compile_side_terms(patterns)
-            )
+            if not self._delta_serving:
+                entry = self._plan_cache.get_or_compute(
+                    key, lambda: self._compile_side_terms(patterns)
+                )
+            else:
+                # Delta serving (see enable_delta_memo): only the seeding
+                # workload is stored.  Later misses are delta-step novel
+                # sub-batches whose digests never recur -- caching them
+                # would churn the LRU out from under the seeded entries
+                # (the same rule as plans.likelihoods_with_memo), and the
+                # probe leaves the miss counters to the seeding compute.
+                entry = self._plan_cache.get(key, count_miss=False)
+                if entry is None:
+                    if len(self._plan_cache) == 0:
+                        entry = self._plan_cache.get_or_compute(
+                            key, lambda: self._compile_side_terms(patterns)
+                        )
+                    else:
+                        entry = self._compile_side_terms(patterns)
         true_terms, false_terms = entry
         log_numerator = np.zeros(patterns.n_patterns, dtype=float)
         log_denominator = np.zeros(patterns.n_patterns, dtype=float)

@@ -35,6 +35,8 @@ from repro.core.plans import (
     DEFAULT_PLAN_CACHE_ENTRIES,
     CompiledPlanCache,
     ElasticUnionPlan,
+    PatternValueMemo,
+    likelihoods_with_memo,
     model_supports_batch,
     pattern_digest,
     scalar_likelihoods,
@@ -76,6 +78,10 @@ class ElasticFuser(ModelBasedFuser):
         bit-identical to the serial path.
     """
 
+    #: Per-pattern values are computed from each pattern's own terms in a
+    #: fixed order -- sub-batches reproduce full batches bit-for-bit.
+    pattern_batch_invariant = True
+
     def __init__(
         self,
         model: JointQualityModel,
@@ -111,17 +117,45 @@ class ElasticFuser(ModelBasedFuser):
         self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
         self._accumulate = check_accumulate(accumulate)
         self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
+        self._delta_memo: Optional[PatternValueMemo] = None
 
     @property
     def plan_cache(self) -> CompiledPlanCache:
         """The compiled-plan cache (stats / eviction diagnostics)."""
         return self._plan_cache
 
+    @property
+    def joint_cache(self) -> MaskedJointCache:
+        """The bitmask-keyed joint look-up cache (stats diagnostics)."""
+        return self._joint_cache
+
+    def joint_cache_stats(self) -> dict:
+        return dict(self._joint_cache.stats)
+
+    @property
+    def delta_memo(self) -> Optional[PatternValueMemo]:
+        """The per-pattern likelihood memo, or ``None`` before opting in."""
+        return self._delta_memo
+
+    def enable_delta_memo(self, max_entries: int = 200_000) -> None:
+        """Attach the per-pattern likelihood memo (idempotent).
+
+        See :meth:`ExactCorrelationFuser.enable_delta_memo`: on plan-cache
+        digest misses, only novel pattern rows are evaluated; known rows
+        gather from the memo, bit-identically to a full-batch evaluation.
+        The memo key is the pattern row alone -- the fuser's level and
+        universe-specific aggressive factors are fixed per instance.
+        """
+        if self._delta_memo is None:
+            self._delta_memo = PatternValueMemo(max_entries)
+
     def invalidate_caches(self) -> None:
-        """Drop memoised scores, joint look-ups, and compiled plans."""
+        """Drop memoised scores, joint look-ups, plans, and delta memos."""
         super().invalidate_caches()
         self._joint_cache.clear()
         self._plan_cache.invalidate()
+        if self._delta_memo is not None:
+            self._delta_memo.invalidate()
 
     @property
     def level(self) -> int:
@@ -262,15 +296,25 @@ class ElasticFuser(ModelBasedFuser):
             return plan.accumulate(
                 recalls, fprs, self._eff_recall, self._eff_fpr
             )
-        key = (
-            "elastic", self._level,
-            pattern_digest(provider_matrix, silent_matrix),
+        memo = self._delta_memo
+        if memo is None:
+            key = (
+                "elastic", self._level,
+                pattern_digest(provider_matrix, silent_matrix),
+            )
+            compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
+                key,
+                lambda: self._compile_entry(provider_matrix, silent_matrix),
+            )
+            return compiled.accumulate(recalls, fprs)
+        return likelihoods_with_memo(
+            self._plan_cache,
+            memo,
+            ("elastic", self._level),
+            self._compile_entry,
+            provider_matrix,
+            silent_matrix,
         )
-        compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
-            key,
-            lambda: self._compile_entry(provider_matrix, silent_matrix),
-        )
-        return compiled.accumulate(recalls, fprs)
 
     def _compile_entry(
         self, provider_matrix: np.ndarray, silent_matrix: np.ndarray

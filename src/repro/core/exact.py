@@ -35,6 +35,8 @@ from repro.core.plans import (
     DEFAULT_PLAN_CACHE_ENTRIES,
     CompiledPlanCache,
     ExactUnionPlan,
+    PatternValueMemo,
+    likelihoods_with_memo,
     model_supports_batch,
     pattern_digest,
     scalar_likelihoods,
@@ -84,6 +86,10 @@ class ExactCorrelationFuser(ModelBasedFuser):
 
     name = "PrecRecCorr"
 
+    #: Per-pattern values are computed from each pattern's own terms in a
+    #: fixed order -- sub-batches reproduce full batches bit-for-bit.
+    pattern_batch_invariant = True
+
     def __init__(
         self,
         model: JointQualityModel,
@@ -114,17 +120,46 @@ class ExactCorrelationFuser(ModelBasedFuser):
         self._joint_cache = MaskedJointCache(model, max_entries=max_cache_entries)
         self._accumulate = check_accumulate(accumulate)
         self._plan_cache = CompiledPlanCache(max_plan_cache_entries)
+        self._delta_memo: PatternValueMemo | None = None
 
     @property
     def plan_cache(self) -> CompiledPlanCache:
         """The compiled-plan cache (stats / eviction diagnostics)."""
         return self._plan_cache
 
+    @property
+    def joint_cache(self) -> MaskedJointCache:
+        """The bitmask-keyed joint look-up cache (stats diagnostics)."""
+        return self._joint_cache
+
+    def joint_cache_stats(self) -> dict:
+        return dict(self._joint_cache.stats)
+
+    @property
+    def delta_memo(self) -> PatternValueMemo | None:
+        """The per-pattern likelihood memo, or ``None`` before opting in."""
+        return self._delta_memo
+
+    def enable_delta_memo(self, max_entries: int = 200_000) -> None:
+        """Attach the per-pattern likelihood memo (idempotent).
+
+        With the memo attached, :meth:`pattern_likelihoods_batch` requests
+        whose digest misses the plan cache evaluate only their *novel*
+        pattern rows (through a sub-batch compiled plan) and gather the
+        rest from the memo -- the delta fast path streaming serving relies
+        on.  Identical repeated requests still hit the plan-cache digest
+        first, so the memo adds no cost to the warm path.
+        """
+        if self._delta_memo is None:
+            self._delta_memo = PatternValueMemo(max_entries)
+
     def invalidate_caches(self) -> None:
-        """Drop memoised scores, joint look-ups, and compiled plans."""
+        """Drop memoised scores, joint look-ups, plans, and delta memos."""
         super().invalidate_caches()
         self._joint_cache.clear()
         self._plan_cache.invalidate()
+        if self._delta_memo is not None:
+            self._delta_memo.invalidate()
 
     def pattern_mu(self, providers: frozenset[int], silent: frozenset[int]) -> float:
         numerator, denominator = self.pattern_likelihoods(providers, silent)
@@ -236,15 +271,25 @@ class ExactCorrelationFuser(ModelBasedFuser):
             )
             recalls, fprs = self.model.joint_params_batch(plan.rows)
             return plan.accumulate(recalls, fprs)
-        key = (
-            "exact", self._max_silent,
-            pattern_digest(provider_matrix, silent_matrix),
+        memo = self._delta_memo
+        if memo is None:
+            key = (
+                "exact", self._max_silent,
+                pattern_digest(provider_matrix, silent_matrix),
+            )
+            compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
+                key,
+                lambda: self._compile_entry(provider_matrix, silent_matrix),
+            )
+            return compiled.accumulate(recalls, fprs)
+        return likelihoods_with_memo(
+            self._plan_cache,
+            memo,
+            ("exact", self._max_silent),
+            self._compile_entry,
+            provider_matrix,
+            silent_matrix,
         )
-        compiled, (recalls, fprs) = self._plan_cache.get_or_compute(
-            key,
-            lambda: self._compile_entry(provider_matrix, silent_matrix),
-        )
-        return compiled.accumulate(recalls, fprs)
 
     def _compile_entry(
         self, provider_matrix: np.ndarray, silent_matrix: np.ndarray

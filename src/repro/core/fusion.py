@@ -165,6 +165,17 @@ class ModelBasedFuser(TruthFuser):
     identical floats.
     """
 
+    #: Whether this fuser's per-pattern scores are *bitwise* independent of
+    #: which other patterns share their batch.  The inclusion-exclusion
+    #: family computes each pattern from its own terms in a fixed order, so
+    #: a sub-batch reproduces the full batch exactly -- the property the
+    #: delta engine's pattern-level reuse requires.  PrecRec and the
+    #: aggressive approximation score through matrix products whose BLAS
+    #: reduction may vary in the last ulp with the batch's row count, so
+    #: they leave this False and the delta engine only reuses whole
+    #: identical requests for them.
+    pattern_batch_invariant: bool = False
+
     def __init__(
         self,
         model: JointQualityModel,
@@ -292,6 +303,45 @@ class ModelBasedFuser(TruthFuser):
         """
         self._mu_cache.clear()
 
+    def close(self) -> None:
+        """Shut down this fuser's worker pool (idempotent).
+
+        Scoring keeps working after a close -- sharded dispatch degrades
+        to inline serial execution -- so retiring a fuser under concurrent
+        scorers is always safe.  ``ScoringSession.refit`` closes the
+        retired fuser; the pool's GC finalizer is the backstop for fusers
+        dropped without an explicit close.
+        """
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "ModelBasedFuser":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def enable_delta_memo(self, max_entries: int = 200_000) -> None:
+        """Opt this fuser into per-pattern result reuse across requests.
+
+        The serving-layer hook behind ``ScoringSession(delta="auto")``:
+        subclasses with a delta fast path (the inclusion-exclusion fusers)
+        attach a :class:`~repro.core.plans.PatternValueMemo` so batches
+        whose pattern sets *overlap* previously-seen ones only compute
+        their novel rows.  The default is a no-op -- fusers whose batch
+        path is already a couple of matrix products (PrecRec, aggressive)
+        gain nothing from row-level reuse.
+        """
+
+    def joint_cache_stats(self) -> dict:
+        """Diagnostics of the bitmask-keyed joint look-up cache, if any.
+
+        Empty for fusers without a :class:`~repro.core.joint.MaskedJointCache`
+        (PrecRec and the aggressive approximation consult only singleton
+        parameters).
+        """
+        return {}
+
     def pattern_mu_batch(self, patterns: PatternSet) -> Optional[np.ndarray]:
         """Vectorized ``mu`` for every distinct pattern, or ``None``.
 
@@ -324,20 +374,32 @@ class ModelBasedFuser(TruthFuser):
             scores[j] = self.pattern_probability(providers, silent)
         return scores
 
+    def pattern_probabilities(self, patterns: PatternSet) -> np.ndarray:
+        """Posterior probability for every distinct pattern of ``patterns``.
+
+        The per-pattern half of :meth:`_score_vectorized`, exposed so the
+        delta-scoring layer (:mod:`repro.core.deltas`) can evaluate *only*
+        a request's novel patterns: every value depends on its own pattern
+        alone (the property the sharded engine already relies on), so a
+        sub-batch evaluates bit-identically to the same rows inside a full
+        batch.
+        """
+        mus = self.pattern_mu_batch(patterns)
+        if mus is not None:
+            return probability_from_mu_array(
+                np.asarray(mus, dtype=float), self.prior
+            )
+        probabilities = np.empty(patterns.n_patterns, dtype=float)
+        for k in range(patterns.n_patterns):
+            probabilities[k] = self.pattern_probability(
+                patterns.provider_sets[k], patterns.silent_sets[k]
+            )
+        return probabilities
+
     def _score_vectorized(self, observations: ObservationMatrix) -> np.ndarray:
         """Pattern-centric scoring: one evaluation per distinct pattern."""
         patterns = observations.patterns()
-        mus = self.pattern_mu_batch(patterns)
-        if mus is not None:
-            probabilities = probability_from_mu_array(
-                np.asarray(mus, dtype=float), self.prior
-            )
-        else:
-            probabilities = np.empty(patterns.n_patterns, dtype=float)
-            for k in range(patterns.n_patterns):
-                probabilities[k] = self.pattern_probability(
-                    patterns.provider_sets[k], patterns.silent_sets[k]
-                )
+        probabilities = self.pattern_probabilities(patterns)
         return patterns.scatter(probabilities).astype(float, copy=False)
 
 

@@ -307,9 +307,21 @@ class MaskedJointCache:
     Model values are deterministic, so two threads racing on the same
     first-sighted mask compute the same tuple and either store wins --
     no torn or mixed reads are possible.
+
+    Diagnostics: ``hits`` / ``misses`` / ``evictions`` counters (surfaced
+    through :attr:`stats`, mirroring
+    :class:`~repro.core.plans.CompiledPlanCache`) feed ``ServingReport``
+    and ``fuse --repeat`` output.  The hit/miss increments are deliberately
+    unlocked -- the get path is the hottest loop in the scalar fallbacks,
+    and a lost increment under a thread race only nudges a diagnostic.
+    Beyond ``max_entries`` the oldest-inserted entry is evicted (values are
+    deterministic, so a re-sighted mask recomputes bit-identically).
     """
 
-    __slots__ = ("_model", "_cache", "_max_entries", "_lock")
+    __slots__ = (
+        "_model", "_cache", "_max_entries", "_lock",
+        "hits", "misses", "evictions",
+    )
 
     def __init__(
         self, model: "JointQualityModel", max_entries: int = 1_000_000
@@ -322,14 +334,33 @@ class MaskedJointCache:
         self._cache: dict[int, tuple[float, float]] = {}
         self._max_entries = int(max_entries)
         self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._cache)
 
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
     def clear(self) -> None:
-        """Drop every memoised look-up (the model-refit hook)."""
+        """Drop every memoised look-up (the model-refit hook); stats survive."""
         with self._lock:
             self._cache.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Counters for serving diagnostics (see ``ServingReport``)."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def get(self, mask: int, source_ids: Sequence[int]) -> tuple[float, float]:
         """``(r_{S*}, q_{S*})`` for the subset with bitmask ``mask``.
@@ -342,13 +373,20 @@ class MaskedJointCache:
         """
         value = self._cache.get(mask)
         if value is None:
+            self.misses += 1
             value = (
                 self._model.joint_recall(source_ids),
                 self._model.joint_fpr(source_ids),
             )
             with self._lock:
-                if len(self._cache) < self._max_entries:
-                    self._cache[mask] = value
+                cache = self._cache
+                if self._max_entries > 0:
+                    while len(cache) >= self._max_entries:
+                        del cache[next(iter(cache))]
+                        self.evictions += 1
+                    cache[mask] = value
+        else:
+            self.hits += 1
         return value
 
     def __getstate__(self) -> dict:
@@ -361,6 +399,9 @@ class MaskedJointCache:
         self._cache = {}
         self._max_entries = state["max_entries"]
         self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 class EmpiricalJointModel(JointQualityModel):
@@ -443,6 +484,23 @@ class EmpiricalJointModel(JointQualityModel):
     def engine(self) -> str:
         """The subset-statistics engine this model answers queries with."""
         return self._engine
+
+    def close(self) -> None:
+        """Shut down the model's batch-evaluation pool (idempotent).
+
+        ``ScoringSession.refit`` calls this on the retired model; the GC
+        finalizer would reclaim an unclosed pool eventually, but serving
+        processes should not carry retired executors until then.  A closed
+        model keeps answering every query -- batch chunks just run inline.
+        """
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "EmpiricalJointModel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- estimation ----------------------------------------------------
     #

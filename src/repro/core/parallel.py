@@ -36,9 +36,17 @@ calls (the serving loop dispatches thousands of times through one pool).
 the deterministic reference the equivalence tests compare against.  Pools
 are owned per component (a fuser's executor and a quality model's executor
 are distinct), so a cluster job blocking on a model batch call can never
-deadlock the pool it runs on.  ``close()`` shuts a pool down explicitly;
-an unclosed idle thread pool is reclaimed when its executor is
-garbage-collected.
+deadlock the pool it runs on.
+
+``close()`` shuts a pool down explicitly (pools are context managers, and
+``ScoringSession.refit`` closes the retired fuser's and model's pools).
+Maps issued after ``close()`` -- e.g. an in-flight score still holding the
+retired fuser -- degrade gracefully to inline serial execution instead of
+raising, so closing a pool can never break a concurrent caller, only
+de-parallelise it.  A pool that is garbage-collected without an explicit
+``close()`` shuts its executor down through a ``weakref`` finalizer, so
+dropping the last reference to a fuser cannot leak executor threads or
+processes.
 
 ``REPRO_DEFAULT_WORKERS`` sets the default worker count consulted when a
 caller passes ``workers=None`` (the library default stays 1 -- serial);
@@ -51,6 +59,7 @@ from __future__ import annotations
 import math
 import os
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
@@ -70,6 +79,15 @@ WORKERS_ENV_VAR = "REPRO_DEFAULT_WORKERS"
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def _shutdown_executor(executor) -> None:
+    """Finalizer target: shut an orphaned executor down without blocking.
+
+    A module-level function (not a bound method) so the ``weakref.finalize``
+    registration holds no reference back to the pool it guards.
+    """
+    executor.shutdown(wait=False)
 
 
 def _range_call(job):
@@ -228,6 +246,14 @@ class WorkerPool:
     parallel dispatch and reused until :meth:`close` (serving processes
     dispatch through one pool for their lifetime).
 
+    Lifecycle: the pool is a context manager, :meth:`close` is idempotent,
+    and a ``weakref`` finalizer shuts the executor down if the pool is
+    garbage-collected without an explicit close -- a fuser dropped without
+    ``close()`` cannot leak executor threads.  Maps issued after
+    :meth:`close` run inline (serial) instead of raising, so a concurrent
+    holder of a retired pool degrades to serial execution, never to an
+    error.
+
     The pool is picklable (for process-backend jobs whose arguments hold
     one): the live executor is dropped and lazily recreated on first use
     in the receiving process.
@@ -237,6 +263,7 @@ class WorkerPool:
         self._workers = resolve_workers(workers)
         self._backend = check_backend(backend)
         self._executor = None
+        self._finalizer = None
         self._closed = False
         self._lock = threading.Lock()
 
@@ -248,12 +275,21 @@ class WorkerPool:
     def backend(self) -> str:
         return self._backend
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (maps then fall back inline)."""
+        return self._closed
+
     def _ensure_executor(self):
+        """The live executor, or ``None`` when the pool is closed.
+
+        A map racing :meth:`close` must not lazily resurrect a pool nobody
+        will ever shut down again, so post-close dispatch returns ``None``
+        and the caller runs inline.
+        """
         with self._lock:
             if self._closed:
-                # A map racing close() must not lazily resurrect a pool
-                # nobody will ever shut down again.
-                raise RuntimeError("worker pool is closed")
+                return None
             if self._executor is None:
                 if self._backend == "process":
                     self._executor = ProcessPoolExecutor(
@@ -264,29 +300,49 @@ class WorkerPool:
                         max_workers=self._workers,
                         thread_name_prefix="repro-shard",
                     )
+                # GC insurance: shut the executor down when the pool is
+                # collected without an explicit close().
+                self._finalizer = weakref.finalize(
+                    self, _shutdown_executor, self._executor
+                )
             return self._executor
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
         """``[fn(x) for x in items]``, fanned across the pool, in order.
 
         Results preserve input order regardless of completion order; the
-        first raised exception propagates to the caller.
+        first raised exception propagates to the caller.  On a closed pool
+        the map runs inline (serial), so retiring a pool under a
+        concurrent caller is always safe.
         """
         items = list(items)
         if self._workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        return list(self._ensure_executor().map(fn, items))
+        executor = self._ensure_executor()
+        if executor is None:
+            return [fn(item) for item in items]
+        try:
+            return list(executor.map(fn, items))
+        except RuntimeError:
+            # close() can land between the executor handoff above and the
+            # submit ("cannot schedule new futures after shutdown"); only
+            # that race is swallowed -- degrade to inline execution.
+            if not self._closed:
+                raise
+            return [fn(item) for item in items]
 
     def close(self) -> None:
-        """Shut the underlying executor down; the pool is then unusable.
+        """Shut the underlying executor down (idempotent).
 
-        Idempotent; subsequent *parallel* maps raise ``RuntimeError``
-        (inline single-worker maps keep working -- they never owned a
-        pool).
+        Subsequent maps run inline (serial) -- they never raise -- and the
+        GC finalizer is detached because there is nothing left to reclaim.
         """
         with self._lock:
             executor, self._executor = self._executor, None
+            finalizer, self._finalizer = self._finalizer, None
             self._closed = True
+        if finalizer is not None:
+            finalizer.detach()
         if executor is not None:
             executor.shutdown(wait=True)
 
@@ -303,6 +359,7 @@ class WorkerPool:
         self._workers = state["workers"]
         self._backend = state["backend"]
         self._executor = None
+        self._finalizer = None
         self._closed = False
         self._lock = threading.Lock()
 
@@ -338,6 +395,11 @@ class ShardedExecutor:
     @property
     def shard_size(self) -> Optional[int]:
         return self._planner.shard_size
+
+    @property
+    def closed(self) -> bool:
+        """Whether the underlying pool has been closed."""
+        return self._pool.closed
 
     def shards(self, n_items: int) -> list[Shard]:
         """The planner's balanced word-aligned blocks for ``n_items``."""

@@ -98,6 +98,25 @@ class PatternSet:
         return pattern_values[self.inverse]
 
 
+def packed_pattern_rows(
+    provider_matrix: np.ndarray, silent_matrix: np.ndarray
+) -> np.ndarray:
+    """Bit-packed ``[provider words | silent words]`` row per pattern.
+
+    The single source of truth for the pattern-row layout: it backs the
+    dedup packing of :func:`extract_patterns`, the delta-memo keys
+    (:func:`repro.core.plans.pattern_row_keys`), and the delta engine's
+    dirty-column dedup -- all of which must produce byte-identical rows
+    for per-pattern reuse to line up.
+    """
+    provider_matrix = np.ascontiguousarray(provider_matrix, dtype=bool)
+    silent_matrix = np.ascontiguousarray(silent_matrix, dtype=bool)
+    return np.concatenate(
+        [pack_bool_rows(provider_matrix), pack_bool_rows(silent_matrix)],
+        axis=1,
+    )
+
+
 def extract_patterns(
     provides: np.ndarray, coverage: np.ndarray
 ) -> PatternSet:
@@ -119,9 +138,7 @@ def extract_patterns(
     silent = coverage & ~provides
 
     # One packed row per *triple*: [provider words | silent words].
-    packed_providers = pack_bool_rows(provides.T)
-    packed_silent = pack_bool_rows(silent.T)
-    combined = np.concatenate([packed_providers, packed_silent], axis=1)
+    combined = packed_pattern_rows(provides.T, silent.T)
     _, first_index, inverse = np.unique(
         combined, axis=0, return_index=True, return_inverse=True
     )

@@ -710,6 +710,222 @@ def pattern_digest(
     return digest.digest()
 
 
+def pattern_row_keys(
+    provider_matrix: np.ndarray, silent_matrix: np.ndarray
+) -> list[bytes]:
+    """One content key per pattern *row* (the delta-memo key).
+
+    Where :func:`pattern_digest` identifies a whole scoring workload, the
+    row keys identify individual patterns, so per-pattern results can be
+    reused across requests whose pattern *sets* differ (the streaming case:
+    consecutive batches share almost all of their patterns but rarely their
+    digests).  Each key is a serialised
+    :func:`repro.core.patterns.packed_pattern_rows` row -- identical to
+    hashing the full-width boolean row pair, at a fraction of the cost.
+    """
+    from repro.core.patterns import packed_pattern_rows
+
+    return [
+        row.tobytes()
+        for row in packed_pattern_rows(provider_matrix, silent_matrix)
+    ]
+
+
+def likelihoods_with_memo(
+    plan_cache: "CompiledPlanCache",
+    memo: "PatternValueMemo",
+    key_prefix: tuple,
+    compile_entry: Callable[[np.ndarray, np.ndarray], tuple],
+    provider_matrix: np.ndarray,
+    silent_matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delta fast path shared by the inclusion-exclusion fusers.
+
+    Digest first, then per-pattern memo reuse: a warm plan-cache hit on
+    ``key_prefix + (digest,)`` runs the unchanged compiled path (the memo
+    adds no cost to identical repeats); a digest *miss* -- the streaming
+    case, where consecutive requests share almost all patterns but not
+    their digest -- gathers every known row from ``memo`` and evaluates
+    only the novel rows through a sub-batch plan built by
+    ``compile_entry``, scatter-merged in input order.  Each row's
+    likelihoods depend on its own terms alone, so the result is
+    bit-identical to a full-batch evaluation.  ``key_prefix`` carries the
+    fuser's structural options (``("exact", max_silent)`` /
+    ``("elastic", level)``).  Only the *seeding* batch -- all rows novel
+    against an empty memo, i.e. the fuser's first workload -- compiles
+    through the cache's single-flight path under the full digest,
+    byte-identical in keying to the memo-less path.  Every later novel
+    set (a delta step's handful of new patterns) is compiled directly
+    *without* caching: its digest is unique to that step, and storing it
+    would only churn the LRU out from under the warm entries identical
+    repeats rely on.  The probe above it does not count a miss, so the
+    cache diagnostics record each workload once (the seeding compute or
+    a warm hit) rather than double-counting delta steps.
+    """
+    key = key_prefix + (pattern_digest(provider_matrix, silent_matrix),)
+    entry = plan_cache.get(key, count_miss=False)
+    if entry is not None:
+        compiled, (recalls, fprs) = entry
+        return compiled.accumulate(recalls, fprs)
+    keys = pattern_row_keys(provider_matrix, silent_matrix)
+    values, novel = memo.lookup(keys)
+    n_patterns = provider_matrix.shape[0]
+    numerators = np.empty(n_patterns, dtype=float)
+    denominators = np.empty(n_patterns, dtype=float)
+    for position, value in enumerate(values):
+        if value is not None:
+            numerators[position], denominators[position] = value
+    if novel.size:
+        generation = memo.generation
+        if novel.size == n_patterns and len(memo) == 0:
+            compiled, (recalls, fprs) = plan_cache.get_or_compute(
+                key, lambda: compile_entry(provider_matrix, silent_matrix)
+            )
+        else:
+            compiled, (recalls, fprs) = compile_entry(
+                provider_matrix[novel], silent_matrix[novel]
+            )
+        sub_nums, sub_dens = compiled.accumulate(recalls, fprs)
+        numerators[novel] = sub_nums
+        denominators[novel] = sub_dens
+        memo.store(
+            [keys[i] for i in novel.tolist()],
+            list(zip(sub_nums.tolist(), sub_dens.tolist())),
+            generation=generation,
+        )
+    return numerators, denominators
+
+
+class PatternValueMemo:
+    """Bounded memo of deterministic per-pattern values, keyed by row bytes.
+
+    The delta-scoring layer's companion to :class:`CompiledPlanCache`:
+    where the plan cache memoises whole workloads under one digest, this
+    memo holds one entry per distinct pattern (keys from
+    :func:`pattern_row_keys`), so a request whose pattern set is *almost*
+    a previously-seen one only computes its novel rows.  Values are opaque
+    to the memo -- the inclusion-exclusion fusers store ``(numerator,
+    denominator)`` likelihood pairs, the score-level delta engine stores
+    posterior probabilities.
+
+    Entries are evicted oldest-first beyond ``max_entries`` (every stored
+    value is a pure function of the owning component's fixed state, so an
+    evicted entry is recomputed bit-identically on demand).
+    ``max_entries=0`` disables storage.
+
+    Thread-safety follows :class:`~repro.core.joint.MaskedJointCache`'s
+    discipline: :meth:`lookup` reads the dict *without* the lock (reads
+    are GIL-atomic, stored values are deterministic pure functions of the
+    owner's fixed state, and a racing clear only turns a hit into a
+    benign recompute), so concurrent scorers never serialise on the memo;
+    the lock guards :meth:`store` and :meth:`invalidate`, whose
+    ``generation`` token drops writes that predate the latest
+    invalidation, so a refit can never resurrect values computed against
+    replaced state.  The hit/miss counters are unlocked diagnostics --
+    approximate by at most the thread count.
+    """
+
+    __slots__ = (
+        "_entries", "_max_entries", "_lock", "_generation",
+        "hits", "misses", "evictions",
+    )
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        self._entries: OrderedDict = OrderedDict()
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`invalidate`; stale stores are dropped."""
+        return self._generation
+
+    def lookup(self, keys: list[bytes]) -> tuple[list, np.ndarray]:
+        """``(values, novel_idx)`` for a batch of row keys.
+
+        ``values[i]`` is the memoised value for ``keys[i]`` or ``None``;
+        ``novel_idx`` lists the positions with no entry, in input order
+        (the rows the caller must compute and :meth:`store`).  Lock-free:
+        see the class docstring.
+        """
+        novel: list[int] = []
+        values: list = []
+        hits = 0
+        entries = self._entries
+        for position, key in enumerate(keys):
+            value = entries.get(key)
+            if value is None:
+                novel.append(position)
+            else:
+                hits += 1
+            values.append(value)
+        self.hits += hits
+        self.misses += len(novel)
+        return values, np.asarray(novel, dtype=np.int64)
+
+    def store(
+        self, keys: list[bytes], values, generation: Optional[int] = None
+    ) -> None:
+        """Store ``keys[i] -> values[i]``, evicting oldest beyond the cap.
+
+        ``generation`` (from :attr:`generation`, snapshotted before the
+        values were computed) guards against a concurrent
+        :meth:`invalidate`: a stale batch is silently dropped.
+        """
+        if self._max_entries == 0:
+            return
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            entries = self._entries
+            for key, value in zip(keys, values):
+                entries[key] = value
+            while len(entries) > self._max_entries:
+                entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (the refit hook); stats survive."""
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
+
+    @property
+    def stats(self) -> dict:
+        """Counters for benchmarks and serving diagnostics."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "generation": self._generation,
+            }
+
+    def __getstate__(self) -> dict:
+        # The lock is process-local; a pickled memo starts empty.
+        return {"max_entries": self._max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_entries"])
+
+
 class CompiledPlanCache:
     """Bounded LRU cache of compiled plans (and attached evaluations).
 
@@ -768,12 +984,19 @@ class CompiledPlanCache:
         """Bumped by :meth:`invalidate`; stale in-flight results are dropped."""
         return self._generation
 
-    def get(self, key):
-        """The cached value for ``key`` (LRU-touched), or ``None``."""
+    def get(self, key, count_miss: bool = True):
+        """The cached value for ``key`` (LRU-touched), or ``None``.
+
+        ``count_miss=False`` probes without recording a miss -- for
+        callers that will either follow up with :meth:`get_or_compute`
+        (which counts the authoritative miss) or bypass the cache
+        entirely, so serving diagnostics count each workload once.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                if count_miss:
+                    self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1

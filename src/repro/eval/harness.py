@@ -24,6 +24,7 @@ from repro.baselines.ltm import LatentTruthModel
 from repro.baselines.voting import UnionKFuser
 from repro.core.api import ScoringSession, fit_model, make_fuser
 from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
+from repro.core.observations import ObservationMatrix
 from repro.data.model import FusionDataset
 from repro.eval.metrics import BinaryMetrics, Curve, binary_metrics, pr_curve, roc_curve
 
@@ -156,14 +157,29 @@ class ServingReport:
         The first ``score`` call -- pays pattern extraction, plan
         collection, compilation, and model evaluation.
     warm_seconds:
-        Each subsequent ``score`` call, in order -- the plan-cache path.
+        Each subsequent ``score`` call, in order -- the plan-cache path
+        (with ``mutate_frac > 0``, the delta path over a mutation trace).
     max_warm_drift:
-        Largest ``|warm score - cold score|`` over all repeats; the
-        compiled cache must make this exactly 0.0.
+        Largest ``|warm score - reference score|`` over all repeats.  With
+        an unmutated trace the reference is the cold run; with mutation,
+        each step's reference is an independent delta-off session scoring
+        the same mutated matrix.  Both must be exactly 0.0.  NaN when a
+        mutated trace had no delta layer to check (``delta="off"``, EM,
+        legacy engine): the session already scores through the plain
+        path, so no independent reference exists.
     result:
         The cold run's :class:`FusionResult`.
     workers:
         Effective worker count the session scored with (1 = serial).
+    delta:
+        The session's delta-scoring mode (``"auto"`` / ``"off"``).
+    mutate_frac:
+        Fraction of triple columns mutated between consecutive repeats
+        (0.0 reproduces the identical-matrix serving loop).
+    plan_cache_stats, joint_cache_stats, delta_stats:
+        Final counters of the compiled-plan cache, the bitmask-keyed
+        joint cache, and the delta engine (empty when the layer is
+        absent) -- see ``ScoringSession.cache_stats``.
     """
 
     method: str
@@ -173,6 +189,11 @@ class ServingReport:
     max_warm_drift: float
     result: FusionResult
     workers: int = 1
+    delta: str = "off"
+    mutate_frac: float = 0.0
+    plan_cache_stats: Mapping = field(default_factory=dict)
+    joint_cache_stats: Mapping = field(default_factory=dict)
+    delta_stats: Mapping = field(default_factory=dict)
 
     @property
     def repeats(self) -> int:
@@ -200,6 +221,61 @@ class ServingReport:
         return self.cold_seconds / warm if warm > 0 else float("inf")
 
 
+def mutate_observations(
+    observations: ObservationMatrix,
+    frac: float,
+    rng: np.random.Generator,
+) -> ObservationMatrix:
+    """Flip provider bits in ``~frac`` of the triple columns.
+
+    The streaming-trace step: for each selected column one random source's
+    provide bit is toggled (only where that source covers the triple, so
+    the matrix stays valid).  Coverage is untouched -- the shape of real
+    update streams, where claims arrive and retract but scopes are stable.
+    """
+    if not 0.0 <= frac <= 1.0:
+        raise ValueError(f"mutate fraction must be in [0, 1], got {frac}")
+    n_triples = observations.n_triples
+    n_sources = observations.n_sources
+    if n_triples == 0 or n_sources == 0 or frac == 0.0:
+        return observations
+    count = min(max(1, int(round(frac * n_triples))), n_triples)
+    columns = rng.choice(n_triples, size=count, replace=False)
+    rows = rng.integers(0, n_sources, size=count)
+    covered = observations.coverage[rows, columns]
+    provides = observations.provides.copy()
+    provides[rows[covered], columns[covered]] ^= True
+    return ObservationMatrix(
+        provides,
+        observations.source_names,
+        triple_index=observations.triple_index,
+        coverage=observations.coverage,
+    )
+
+
+def mutation_trace(
+    observations: ObservationMatrix,
+    steps: int,
+    frac: float,
+    seed: int = 0,
+) -> list[ObservationMatrix]:
+    """``steps`` successive mutations of ``observations`` (cumulative).
+
+    Each step mutates the previous step's matrix, so consecutive entries
+    differ by ``~frac`` of their columns -- the replay input for
+    ``run_serving(mutate_frac=...)`` and the delta-serving benchmark.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    rng = np.random.default_rng(seed)
+    trace: list[ObservationMatrix] = []
+    current = observations
+    for _ in range(steps):
+        current = mutate_observations(current, frac, rng)
+        trace.append(current)
+    return trace
+
+
 def run_serving(
     dataset: FusionDataset,
     method: str = "precreccorr",
@@ -210,21 +286,38 @@ def run_serving(
     engine: str = "vectorized",
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
+    delta: str = "auto",
+    mutate_frac: float = 0.0,
+    mutate_seed: int = 0,
     **options,
 ) -> ServingReport:
     """Fit once on ``dataset`` and score it ``1 + repeats`` times.
 
     The serving-loop probe behind ``python -m repro fuse --repeat`` and
-    the plan-cache benchmark: one :class:`ScoringSession` is fitted on the
-    dataset's labels, the first ``score`` is timed cold, and ``repeats``
-    further calls measure the warm (compiled-plan-cache) path.  Warm
-    scores are checked against the cold run -- any drift is reported in
-    ``max_warm_drift``.  ``workers``/``shard_size`` configure sharded
-    parallel scoring inside the session (scores are bit-identical at any
-    worker count); the effective count lands in ``ServingReport.workers``.
+    the plan-cache / delta benchmarks: one :class:`ScoringSession` is
+    fitted on the dataset's labels, the first ``score`` is timed cold,
+    and ``repeats`` further calls measure the warm path.
+
+    With ``mutate_frac == 0`` every repeat re-scores the identical matrix
+    (the compiled-plan-cache loop; with ``delta="auto"`` the delta engine
+    short-circuits it outright) and drift is measured against the cold
+    run.  With ``mutate_frac > 0`` the repeats replay a *mutation trace*:
+    each repeat scores a matrix differing from the previous one in
+    ``~mutate_frac`` of its columns -- the streaming-serving shape the
+    delta engine exists for -- and every delta-scored step is checked
+    bit-for-bit against a plain (non-delta) scoring of the same matrix.
+
+    ``workers``/``shard_size`` configure sharded parallel scoring inside
+    the session (scores are bit-identical at any worker count); the
+    effective count lands in ``ServingReport.workers``, and the final
+    cache/delta counters land in the report's stats fields.
     """
     if repeats < 0:
         raise ValueError(f"repeats must be non-negative, got {repeats}")
+    if not 0.0 <= mutate_frac <= 1.0:
+        raise ValueError(
+            f"mutate_frac must be in [0, 1], got {mutate_frac}"
+        )
     session = ScoringSession(
         dataset.observations,
         dataset.labels,
@@ -235,19 +328,65 @@ def run_serving(
         threshold=threshold,
         workers=workers,
         shard_size=shard_size,
+        delta=delta,
         **options,
     )
     start = time.perf_counter()
     result = session.fuse(dataset.observations)
     cold_seconds = time.perf_counter() - start
+    if mutate_frac > 0.0:
+        trace = mutation_trace(
+            dataset.observations, repeats, mutate_frac, seed=mutate_seed
+        )
+    else:
+        trace = [dataset.observations] * repeats
+    reference_session: Optional[ScoringSession] = None
+    if mutate_frac > 0.0 and session.delta_scorer is not None:
+        # The per-step drift reference must be *independent* of the delta
+        # machinery -- the primary session's own fuser shares the pattern
+        # memos the delta path populates, so scoring through it could
+        # never expose a corrupted memo entry.  A second, delta-off
+        # session fits the same model state and scores every mutated
+        # matrix through the plain PR 3/4 path.
+        reference_session = ScoringSession(
+            dataset.observations,
+            dataset.labels,
+            method=method,
+            prior=prior,
+            smoothing=smoothing,
+            engine=engine,
+            threshold=threshold,
+            workers=workers,
+            shard_size=shard_size,
+            delta="off",
+            **options,
+        )
     warm_seconds: list[float] = []
     max_drift = 0.0
-    for _ in range(repeats):
+    # With mutation but no delta layer (delta="off", EM, legacy engine)
+    # session.score *is* the plain path: there is nothing independent to
+    # check a mutated step against, and the report says so with NaN
+    # instead of a vacuous 0.0.
+    drift_checked = mutate_frac == 0.0 or reference_session is not None
+    for observations in trace:
         start = time.perf_counter()
-        scores = session.score(dataset.observations)
+        scores = session.score(observations)
         warm_seconds.append(time.perf_counter() - start)
-        drift = float(np.abs(scores - result.scores).max()) if len(scores) else 0.0
+        if reference_session is not None:
+            # Off the clock: the delta path must be bit-identical to
+            # plain cold scoring at every step.
+            reference = reference_session.score(observations)
+        elif drift_checked:
+            reference = result.scores
+        else:
+            continue
+        drift = (
+            float(np.abs(scores - reference).max()) if len(scores) else 0.0
+        )
         max_drift = max(max_drift, drift)
+    if not drift_checked:
+        max_drift = float("nan")
+    stats = session.cache_stats()
     return ServingReport(
         method=result.method,
         fit_seconds=session.fit_seconds,
@@ -256,6 +395,15 @@ def run_serving(
         max_warm_drift=max_drift,
         result=result,
         workers=session.workers,
+        delta=session.delta,
+        mutate_frac=mutate_frac,
+        plan_cache_stats={
+            key: value
+            for key, value in stats.items()
+            if not isinstance(value, Mapping)
+        },
+        joint_cache_stats=dict(stats.get("joint_cache", {})),
+        delta_stats=dict(stats.get("delta", {})),
     )
 
 

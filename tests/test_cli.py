@@ -79,8 +79,26 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "serving:" in out
-        assert "3 repeats" in out
+        assert "3 identical repeats" in out
         assert "max warm drift 0.0e+00" in out
+        assert "delta paths" in out
+
+    def test_fuse_repeat_replays_a_mutation_trace(self, capsys):
+        assert main(
+            ["fuse", "--dataset", "restaurant", "--repeat", "4",
+             "--mutate-frac", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mutation-trace steps (5.0% columns/step)" in out
+        assert "max warm drift 0.0e+00" in out
+        assert "plan cache" in out and "joint cache" in out
+
+    def test_fuse_mutate_frac_requires_repeats(self, capsys):
+        code = main(
+            ["fuse", "--dataset", "figure1", "--mutate-frac", "0.1"]
+        )
+        assert code == 2
+        assert "--mutate-frac" in capsys.readouterr().err
 
     def test_fuse_repeat_works_for_em(self, capsys):
         assert main(

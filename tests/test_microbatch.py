@@ -1,0 +1,471 @@
+"""Cross-request micro-batching and the worker-pool lifecycle.
+
+- **coalescing** -- concurrent ``submit`` calls share one fused scoring
+  pass and get back per-request slices bit-identical to individual
+  ``score`` calls; non-coalescable requests (EM, mismatched widths)
+  degrade to individual scoring with per-request error routing;
+- **lifecycle** -- ``WorkerPool`` closes idempotently, degrades post-close
+  maps to inline execution, reclaims orphaned executors through its GC
+  finalizer, and ``ScoringSession.refit``/``close`` shut retired pools
+  down without breaking in-flight scorers.
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MicroBatcher,
+    ObservationMatrix,
+    ScoringSession,
+    WorkerPool,
+    fit_model,
+    make_fuser,
+)
+from repro.data import (
+    CorrelationGroup,
+    SyntheticConfig,
+    generate,
+    uniform_sources,
+)
+
+
+def _dataset(seed=7, n_sources=8, n_triples=240, correlated=True):
+    groups = []
+    if correlated and n_sources >= 6:
+        groups = [
+            CorrelationGroup(
+                members=(0, 1, 2), mode="overlap_true", strength=0.85
+            ),
+        ]
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision=0.65, recall=0.45),
+        n_triples=n_triples,
+        true_fraction=0.5,
+        groups=tuple(groups),
+    )
+    return generate(config, seed=seed)
+
+
+def _request_slices(observations, n_requests, width):
+    requests = []
+    for k in range(n_requests):
+        mask = np.zeros(observations.n_triples, dtype=bool)
+        mask[k * width : (k + 1) * width] = True
+        requests.append(observations.restricted_to_triples(mask))
+    return requests
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+
+
+class TestMicroBatching:
+    def test_single_submit_equals_score(self):
+        dataset = _dataset(seed=3)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact"
+        )
+        reference = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            delta="off",
+        )
+        assert np.array_equal(
+            session.submit(dataset.observations),
+            reference.score(dataset.observations),
+        )
+        assert session.micro_batcher.stats["requests"] == 1
+
+    def test_concurrent_submits_coalesce_and_match_individual_scores(self):
+        dataset = _dataset(seed=5)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact",
+            micro_batch_wait_seconds=0.01,
+        )
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        requests = _request_slices(observations, 6, 40)
+        expected = [reference.score(request) for request in requests]
+        results: list = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def submit(k):
+            barrier.wait()
+            results[k] = session.submit(requests[k])
+
+        threads = [
+            threading.Thread(target=submit, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        for k in range(len(requests)):
+            assert np.array_equal(results[k], expected[k])
+        stats = session.micro_batcher.stats
+        assert stats["requests"] == len(requests)
+        # Coalescing happened: fewer scoring batches than requests.
+        assert stats["batches"] < stats["requests"]
+        assert stats["fused_requests"] >= 2
+
+    def test_micro_batch_off_is_a_plain_score(self):
+        dataset = _dataset(seed=9)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            micro_batch="off",
+        )
+        scores = session.submit(dataset.observations)
+        assert session.micro_batcher is None
+        assert np.array_equal(scores, session.score(dataset.observations))
+
+    def test_em_sessions_submit_without_coalescing(self):
+        dataset = _dataset(seed=11, n_sources=5, correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="em",
+            micro_batch_wait_seconds=0.005,
+        )
+        requests = _request_slices(dataset.observations, 3, 60)
+        expected = [session.score(request) for request in requests]
+        results: list = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def submit(k):
+            barrier.wait()
+            results[k] = session.submit(requests[k])
+
+        threads = [
+            threading.Thread(target=submit, args=(k,)) for k in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        for k in range(3):
+            assert np.array_equal(results[k], expected[k])
+        # EM is matrix-global: requests were scored individually.
+        assert session.micro_batcher.stats["fused_requests"] == 0
+
+    def test_non_batch_invariant_fusers_submit_without_coalescing(self):
+        # PrecRec's matmul scores are not bitwise batch-invariant, so
+        # submit must score its requests individually to keep the
+        # bit-identity contract with score().
+        dataset = _dataset(seed=21)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="precrec",
+            micro_batch_wait_seconds=0.005,
+        )
+        requests = _request_slices(dataset.observations, 3, 60)
+        expected = [session.score(request) for request in requests]
+        results: list = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def submit(k):
+            barrier.wait()
+            results[k] = session.submit(requests[k])
+
+        threads = [
+            threading.Thread(target=submit, args=(k,)) for k in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        for k in range(3):
+            assert np.array_equal(results[k], expected[k])
+        assert session.micro_batcher.stats["fused_requests"] == 0
+
+    def test_bad_request_errors_do_not_poison_the_batch(self):
+        dataset = _dataset(seed=13)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            micro_batch_wait_seconds=0.01,
+        )
+        good = dataset.observations
+        bad = ObservationMatrix(
+            np.zeros((3, 10), dtype=bool), ["a", "b", "c"]
+        )
+        results: dict = {}
+        errors: dict = {}
+        barrier = threading.Barrier(2)
+
+        def submit(name, matrix):
+            barrier.wait()
+            try:
+                results[name] = session.submit(matrix)
+            except ValueError as error:
+                errors[name] = error
+
+        threads = [
+            threading.Thread(target=submit, args=("good", good)),
+            threading.Thread(target=submit, args=("bad", bad)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert "good" in results and "bad" in errors
+        assert "sources" in str(errors["bad"])
+        reference = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            delta="off",
+        )
+        assert np.array_equal(results["good"], reference.score(good))
+
+    def test_sustained_traffic_completes_with_leadership_handoff(self):
+        # Several threads submitting in a loop: leadership must rotate (a
+        # leader retires once its own request is served), every request
+        # must complete, and every result must match plain scoring.
+        dataset = _dataset(seed=15)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact",
+            micro_batch_wait_seconds=0.001,
+        )
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        requests = _request_slices(observations, 4, 50)
+        expected = [reference.score(request) for request in requests]
+        rounds = 5
+        failures: list[str] = []
+        barrier = threading.Barrier(len(requests))
+
+        def hammer(k):
+            barrier.wait()
+            for _ in range(rounds):
+                scores = session.submit(requests[k])
+                if not np.array_equal(scores, expected[k]):
+                    failures.append(f"thread {k} got wrong scores")
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "starved micro-batch submitter"
+        assert failures == []
+        assert session.micro_batcher.stats["requests"] == rounds * len(
+            requests
+        )
+
+    def test_partial_batch_fuses_valid_requests_around_a_bad_one(self):
+        # One mismatched request must not cost the valid traffic its
+        # coalescing: the fusable subset still shares one fused pass.
+        from repro.core.api import _PendingScore
+
+        dataset = _dataset(seed=27)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact"
+        )
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        requests = _request_slices(observations, 3, 40)
+        good = [_PendingScore(request) for request in requests]
+        bad = _PendingScore(
+            ObservationMatrix(np.zeros((3, 10), dtype=bool), ["a", "b", "c"])
+        )
+        batcher = MicroBatcher(session, wait_seconds=0.0)
+        batcher._execute([good[0], bad, good[1], good[2]])
+        assert bad.error is not None and "sources" in str(bad.error)
+        assert batcher.stats["fused_requests"] == 3
+        for pending, request in zip(good, requests):
+            assert np.array_equal(pending.scores, reference.score(request))
+
+    def test_solo_bad_submit_raises_the_original_error_type(self):
+        # submit is a drop-in for score: a lone bad request must raise
+        # the same exception score would, not a batching wrapper.
+        dataset = _dataset(seed=25, n_sources=4, n_triples=40,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            micro_batch_wait_seconds=0.0,
+        )
+        bad = ObservationMatrix(np.zeros((3, 10), dtype=bool),
+                                ["a", "b", "c"])
+        with pytest.raises(ValueError, match="sources"):
+            session.submit(bad)
+
+    def test_abandoned_promoted_waiter_rehands_leadership(self):
+        # A waiter unwinding mid-wait (KeyboardInterrupt) that was just
+        # handed leadership must pass it on (or release it) -- otherwise
+        # every other submitter hangs forever behind an orphaned queue.
+        from repro.core.api import _PendingScore
+
+        dataset = _dataset(seed=33, n_sources=4, n_triples=60,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact"
+        )
+        batcher = MicroBatcher(session, wait_seconds=0.0)
+        orphan = _PendingScore(dataset.observations)
+        other = _PendingScore(dataset.observations)
+        with batcher._lock:
+            batcher._pending.extend([orphan, other])
+            batcher._leader_active = True
+        orphan.promoted = True  # a retiring leader handed it the queue
+        orphan.event.set()
+        batcher._abandon(orphan)
+        assert orphan not in batcher._pending
+        assert other.promoted and other.event.is_set()
+
+        # With no other waiter, leadership is released outright and a
+        # fresh submit can self-elect and complete.
+        with batcher._lock:
+            batcher._pending.remove(other)
+        other.promoted = True
+        batcher._abandon(other)
+        assert not batcher._leader_active
+        scores = batcher.submit(dataset.observations)
+        assert scores.shape == (dataset.observations.n_triples,)
+
+    def test_batcher_validation(self):
+        dataset = _dataset(seed=17, n_sources=4, n_triples=40,
+                           correlated=False)
+        session = ScoringSession(dataset.observations, dataset.labels)
+        with pytest.raises(ValueError, match="max_requests"):
+            MicroBatcher(session, max_requests=0)
+        with pytest.raises(ValueError, match="wait_seconds"):
+            MicroBatcher(session, wait_seconds=-0.1)
+        with pytest.raises(ValueError, match="micro_batch"):
+            ScoringSession(
+                dataset.observations, dataset.labels, micro_batch="yes"
+            )
+
+
+# ----------------------------------------------------------------------
+# Worker-pool lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPoolLifecycle:
+    def test_close_is_idempotent_and_degrades_maps_inline(self):
+        pool = WorkerPool(workers=2)
+        assert pool.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+        assert not pool.closed
+        pool.close()
+        pool.close()
+        assert pool.closed
+        # Post-close maps run inline instead of raising.
+        assert pool.map(lambda x: x * 2, range(3)) == [0, 2, 4]
+
+    def test_gc_finalizer_shuts_down_orphaned_executors(self):
+        pool = WorkerPool(workers=2)
+        pool.map(lambda x: x, range(4))  # force executor creation
+        executor = pool._executor
+        assert executor is not None and not executor._shutdown
+        del pool
+        gc.collect()
+        assert executor._shutdown
+
+    def test_context_manager_closes_the_pool(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(lambda x: x, range(4)) == [0, 1, 2, 3]
+        assert pool.closed
+
+    def test_fuser_close_shuts_its_executor_down(self):
+        dataset = _dataset(seed=19, n_sources=6, n_triples=120)
+        model = fit_model(dataset.observations, dataset.labels)
+        with make_fuser("exact", model, workers=2) as fuser:
+            executor = fuser.executor
+            assert executor is not None and not executor.closed
+            before = fuser.score(dataset.observations)
+        assert executor.closed
+        # Scoring still works after close -- inline execution.
+        assert np.array_equal(before, fuser.score(dataset.observations))
+
+    def test_refit_closes_retired_pools_but_not_the_live_ones(self):
+        dataset = _dataset(seed=23, n_sources=6, n_triples=120)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact", workers=2
+        )
+        retired_fuser = session.fuser
+        retired_model = session.model
+        session.score(dataset.observations)
+        session.refit(dataset.observations, dataset.labels, smoothing=1.0)
+        assert retired_fuser.executor.closed
+        assert retired_model._executor is None or retired_model._executor.closed
+        live = session.fuser
+        assert live.executor is not None and not live.executor.closed
+        # The retired fuser still scores (inline) -- in-flight holders of
+        # the old generation degrade, they do not break.
+        scores = retired_fuser.score(dataset.observations)
+        assert scores.shape == (dataset.observations.n_triples,)
+
+    def test_session_close_is_idempotent_and_keeps_scoring(self):
+        dataset = _dataset(seed=29, n_sources=6, n_triples=120)
+        with ScoringSession(
+            dataset.observations, dataset.labels, method="exact", workers=2
+        ) as session:
+            before = session.score(dataset.observations)
+        session.close()
+        assert np.array_equal(before, session.score(dataset.observations))
+
+    def test_close_after_refit_closes_the_live_generation(self):
+        dataset = _dataset(seed=31, n_sources=6, n_triples=120)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact", workers=2
+        )
+        session.refit(dataset.observations, dataset.labels, smoothing=1.0)
+        live = session.fuser
+        session.close()
+        assert live.executor.closed
+
+    def test_fused_passes_preserve_streaming_delta_continuity(self):
+        # A micro-batched fused matrix must not replace the delta
+        # snapshot: an interleaved streaming score() sequence keeps its
+        # delta fast path across submit() traffic.
+        from repro.core.api import _PendingScore
+
+        dataset = _dataset(seed=35)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact"
+        )
+        session.score(observations)  # streaming snapshot installed
+        batcher = MicroBatcher(session, wait_seconds=0.0)
+        fused_batch = [
+            _PendingScore(request)
+            for request in _request_slices(observations, 2, 40)
+        ]
+        batcher._execute(fused_batch)
+        assert batcher.stats["fused_requests"] == 2
+        # A one-column mutation of the *streaming* matrix still diffs
+        # against the full streaming snapshot (reusing all but one of its
+        # columns) -- the fused concatenation did not become "prev".
+        before = session.cache_stats()["delta"]
+        provides = observations.provides.copy()
+        provides[0, 3] = ~provides[0, 3]
+        mutated = ObservationMatrix(
+            provides, observations.source_names,
+            coverage=observations.coverage,
+        )
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        assert np.array_equal(
+            session.score(mutated), reference.score(mutated)
+        )
+        after = session.cache_stats()["delta"]
+        assert after["delta"] == before["delta"] + 1
+        assert (
+            after["reused_columns"] - before["reused_columns"]
+            == observations.n_triples - 1
+        )

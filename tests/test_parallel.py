@@ -378,8 +378,12 @@ class TestConcurrentServing:
         # workers=1 pins the whole pattern set to a single plan digest, so
         # "at most one compile" has an exact expectation even when the
         # ambient REPRO_DEFAULT_WORKERS would otherwise shard it.
+        # delta="off" pins every thread to the plan-cache path: with the
+        # delta engine on, a straggler thread could legitimately reuse an
+        # earlier thread's finished scores and never touch the cache.
         session = ScoringSession(
-            observations, dataset.labels, method="exact", workers=1
+            observations, dataset.labels, method="exact", workers=1,
+            delta="off",
         )
         barrier = threading.Barrier(6)
         results: list[np.ndarray] = []

@@ -257,15 +257,36 @@ class TestScoringSessionLifecycle:
         assert session.n_scored == 1
 
     def test_warm_session_hits_the_plan_cache(self):
+        # delta="off" pins the PR 3/4 serving path: a repeated identical
+        # request must re-execute through the compiled-plan cache (with
+        # the default delta engine it would short-circuit before ever
+        # touching the cache -- covered by the test below).
         dataset = _grid(22, 6, 100)
         session = ScoringSession(
-            dataset.observations, dataset.labels, method="precreccorr"
+            dataset.observations, dataset.labels, method="precreccorr",
+            delta="off",
         )
         cold = session.score(dataset.observations)
         warm = session.score(dataset.observations)
         assert np.array_equal(cold, warm)
         stats = session.cache_stats()
         assert stats["hits"] >= 1 and stats["entries"] >= 1
+
+    def test_warm_delta_session_short_circuits_identical_requests(self):
+        dataset = _grid(22, 6, 100)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="precreccorr"
+        )
+        cold = session.score(dataset.observations)
+        computes_after_cold = session.cache_stats()["computes"]
+        warm = session.score(dataset.observations)
+        assert np.array_equal(cold, warm)
+        stats = session.cache_stats()
+        # The identical repeat ran zero plan executions: same compute
+        # count, and the delta layer recorded the short-circuit.
+        assert stats["computes"] == computes_after_cold
+        assert stats["delta"]["identical"] == 1
+        assert stats["delta"]["cold"] == 1
 
     def test_refit_invalidates_the_retired_fusers_caches(self):
         dataset = _grid(23, 6, 100)
