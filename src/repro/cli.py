@@ -87,6 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
              "score cold (off); scores are bit-identical either way",
     )
     fuse_cmd.add_argument(
+        "--refit-every", type=int, default=0, metavar="N",
+        help="with --repeat: refit the model from the mutated matrix every "
+             "N serving steps (0 = never, default); every refit is "
+             "verified bit-for-bit against an independent cold-refit "
+             "session",
+    )
+    fuse_cmd.add_argument(
+        "--refit-mode", choices=("delta", "cold"), default="delta",
+        help="how --refit-every refits: 'delta' updates the joint-count "
+             "statistics for dirty uint64 words only (and warm-starts EM "
+             "from the previous posteriors), 'cold' refits from scratch; "
+             "count-based methods are bit-identical either way "
+             "(default: delta)",
+    )
+    fuse_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker threads for sharded parallel scoring (default: "
              "$REPRO_DEFAULT_WORKERS or 1 = serial); scores are "
@@ -162,6 +177,15 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             "--mutate-frac needs --repeat >= 2: mutations apply between "
             "consecutive scores of the serving loop"
         )
+    if args.refit_every < 0:
+        raise ValueError(
+            f"--refit-every must be >= 0, got {args.refit_every}"
+        )
+    if args.refit_every > 0 and args.repeat < 2:
+        raise ValueError(
+            "--refit-every needs --repeat >= 2: refits happen between "
+            "consecutive scores of the serving loop"
+        )
     dataset = get_dataset(args.dataset, seed=args.seed)
     # Unset defaults to the paper protocol's 0.5 for model-based methods;
     # EM has no separate decision alpha, so the default stays unset there
@@ -186,6 +210,8 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             shard_size=args.shard_size,
             delta=args.delta,
             mutate_frac=args.mutate_frac,
+            refit_every=args.refit_every,
+            refit_mode=args.refit_mode,
         )
         result = serving.result
     else:
@@ -267,6 +293,35 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
                 f"{delta_stats.get('reused_patterns', 0)} patterns, "
                 f"{delta_stats.get('novel_patterns', 0)} novel patterns"
             )
+        if serving.refit_count:
+            refit = serving.refit_stats
+            refit_drift = (
+                "n/a"
+                if math.isnan(serving.refit_max_score_diff)
+                else f"{serving.refit_max_score_diff:.1e}"
+            )
+            print(
+                f"serving: refits every {serving.refit_every} steps "
+                f"({serving.refit_mode} mode): "
+                f"{refit.get('delta_refits', 0)} delta + "
+                f"{refit.get('cold_refits', 0)} cold, mean "
+                f"{serving.refit_mean_seconds:.4f}s, max score diff vs "
+                f"cold refit {refit_drift}"
+            )
+            fractions = refit.get("dirty_word_fractions") or ()
+            if fractions:
+                print(
+                    "serving: refit dirty-word fraction mean "
+                    f"{sum(fractions) / len(fractions):.1%} over "
+                    f"{len(fractions)} diffed refits"
+                )
+            warm = refit.get("em_warm_start") or {}
+            if warm.get("warm_scores", 0):
+                print(
+                    "serving: EM warm starts "
+                    f"{warm.get('warm_scores', 0)}, iterations saved "
+                    f"{warm.get('iterations_saved', 0)}"
+                )
     if args.scores_csv:
         with open(args.scores_csv, "w", newline="") as handle:
             writer = csv.writer(handle)

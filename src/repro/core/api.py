@@ -29,7 +29,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.aggressive import AggressiveFuser
-from repro.core.clustering import ClusteredCorrelationFuser
+from repro.core.clustering import (
+    ClusteredCorrelationFuser,
+    PartitionDetectionState,
+    SignificanceMemo,
+    detect_partition_state,
+    refresh_partition_state,
+)
 from repro.core.deltas import DeltaScorer
 from repro.core.elastic import ElasticFuser
 from repro.core.em import ExpectationMaximizationFuser
@@ -40,7 +46,12 @@ from repro.core.fusion import (
     ModelBasedFuser,
     TruthFuser,
 )
-from repro.core.joint import EmpiricalJointModel, JointQualityModel
+from repro.core.joint import (
+    DEFAULT_REFIT_CHURN_FRACTION,
+    EmpiricalJointModel,
+    JointQualityModel,
+    ModelRefitStats,
+)
 from repro.core.observations import ObservationMatrix
 from repro.core.parallel import resolve_workers
 from repro.core.precrec import PrecRecFuser
@@ -48,6 +59,19 @@ from repro.core.quality import estimate_prior
 
 #: Valid values for the serving-layer opt-outs (``delta`` / ``micro_batch``).
 SERVING_MODES = ("auto", "off")
+
+#: Valid values for the streaming refit strategy (``refit_mode`` knobs).
+REFIT_MODES = ("cold", "delta")
+
+
+def check_refit_mode(value: str) -> str:
+    """Validate a ``refit_mode`` knob (shared by harness and CLI)."""
+    key = str(value).lower()
+    if key not in REFIT_MODES:
+        raise ValueError(
+            f"refit_mode must be one of {REFIT_MODES}, got {value!r}"
+        )
+    return key
 
 
 def _check_serving_mode(value: str, name: str) -> str:
@@ -130,6 +154,7 @@ _CLUSTERED_ONLY_OPTIONS = frozenset(
     {
         "true_partition", "false_partition", "min_phi", "min_expected",
         "significance", "exact_cluster_limit", "elastic_level",
+        "significance_memo", "carried_elastic",
     }
 )
 
@@ -718,6 +743,26 @@ class ScoringSession:
         self._n_scored = 0
         self._refit_lock = threading.Lock()
         self._count_lock = threading.Lock()
+        # Streaming-refit diagnostics (see refit_delta / cache_stats):
+        # counts of delta vs cold refits, per-refit dirty-word fractions
+        # and wall-clock, and the last refit's full ModelRefitStats.
+        self._refit_delta_count = 0
+        self._refit_cold_count = 0
+        self._refit_dirty_fractions: list[float] = []
+        self._refit_seconds: list[float] = []
+        self._last_refit_stats: Optional[ModelRefitStats] = None
+        # Exact significance-decision memo shared across delta refits on
+        # the clustered route (decisions are keyed by the exact integer
+        # contingency table, so reuse across generations is bit-safe).
+        # Created lazily on the first delta refit -- plain refit() stays
+        # memo-free so cold-vs-delta comparisons measure the cold path
+        # honestly.
+        self._significance_memo: Optional[SignificanceMemo] = None
+        # The live generation's correlation-detection state (edges +
+        # partitions), kept so the next delta refit re-decides only pairs
+        # touching dirty sources.  Reset by plain refit(): its state would
+        # belong to a generation the next delta diff is not against.
+        self._partition_state: Optional[PartitionDetectionState] = None
         start = time.perf_counter()
         self._fuser, self._model = _build_fuser(
             observations,
@@ -932,31 +977,316 @@ class ScoringSession:
                 shard_size=self._shard_size,
                 options=self._options,
             )
-            # The delta scorer is swapped together with the fuser: its
-            # previous-request snapshot and per-pattern memo belong to one
-            # model generation, so stale memos cannot survive a refit.
-            self._delta_scorer = self._make_delta_scorer(fuser)
-            self._fuser = fuser
-            self._model = model
-            self.fit_seconds = time.perf_counter() - start
-            self._prior = prior
-            self._smoothing = smoothing
-            with self._count_lock:
-                self._n_scored = 0
-            # The explicit invalidation hook: plans compiled against the
-            # retired model must not survive anywhere.  In-flight scores on
-            # the retired fuser stay consistent -- it still references the
-            # old model, and its caches recompute (old-generation) values
-            # on demand after this clear.  The retired worker pools are
-            # closed too (a pool leak per refit would accumulate executor
-            # threads in a long-lived serving process); in-flight scores
-            # on the retired generation degrade to inline execution.
-            if isinstance(retired, ModelBasedFuser):
-                retired.invalidate_caches()
-                retired.close()
-            if retired_model is not None:
-                retired_model.close()
+            self._publish_generation(
+                fuser, model, prior, smoothing, start, retired, retired_model
+            )
+            self._partition_state = None
+            self._note_refit(None, self.fit_seconds)
         return self
+
+    def refit_delta(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        train_mask: Optional[np.ndarray] = None,
+        max_churn_fraction: float = DEFAULT_REFIT_CHURN_FRACTION,
+        **overrides,
+    ) -> "ScoringSession":
+        """Refit incrementally: delta-update counts, warm-start EM.
+
+        The streaming counterpart of :meth:`refit`.  For model-based
+        methods the retired :class:`EmpiricalJointModel` transports its
+        integer sufficient statistics through
+        :meth:`EmpiricalJointModel.refit_delta` -- popcount deltas over
+        only the dirty packed words -- and the resulting model (and hence
+        every score served from it) is **bit-identical** to a cold refit,
+        at a cost proportional to churn rather than dataset size.  The
+        exact-recount fallback fires automatically when the diff is
+        unavailable, the engine is legacy, or churn exceeds
+        ``max_churn_fraction``; either way the generation swap, cache
+        invalidation, and retired-pool shutdown are exactly :meth:`refit`'s.
+
+        On the clustered route the rebuilt fuser shares the session's
+        :class:`~repro.core.clustering.SignificanceMemo`, so correlation
+        significance decisions (keyed by exact integer contingency tables)
+        are reused across generations without affecting results.
+
+        For ``method="em"`` there are no counts to transport; instead the
+        new fuser is warm-started from the retired generation's posteriors
+        (:meth:`~repro.core.em.ExpectationMaximizationFuser.warm_start_from`),
+        which converges to the same fixed point in fewer iterations but is
+        *not* bitwise identical to a cold EM run.
+
+        ``overrides`` may replace ``prior`` or ``smoothing``; returns
+        ``self`` for chaining.  Inspect :attr:`last_refit_stats` or
+        ``cache_stats()["refit"]`` for what the refit actually did.
+        """
+        unknown = set(overrides) - {"prior", "smoothing"}
+        if unknown:
+            raise ValueError(
+                "refit_delta accepts prior/smoothing overrides, got "
+                f"{sorted(unknown)}"
+            )
+        with self._refit_lock:
+            prior = overrides.get("prior", self._prior)
+            smoothing = overrides.get("smoothing", self._smoothing)
+            retired = self._fuser
+            retired_model = self._model
+            start = time.perf_counter()
+            if self._method.lower() == "em":
+                fuser, model = _build_fuser(
+                    observations,
+                    labels,
+                    method=self._method,
+                    prior=prior,
+                    smoothing=smoothing,
+                    train_mask=train_mask,
+                    engine=self._engine,
+                    workers=self._workers,
+                    shard_size=self._shard_size,
+                    options=self._options,
+                )
+                stats = self._warm_start_em(fuser, retired)
+            else:
+                labels_arr = np.asarray(labels, dtype=bool)
+                observations_fit = observations
+                labels_fit = labels_arr
+                if train_mask is not None:
+                    mask = np.asarray(train_mask, dtype=bool)
+                    observations_fit = observations.restricted_to_triples(mask)
+                    labels_fit = labels_arr[mask]
+                if isinstance(retired_model, EmpiricalJointModel):
+                    # estimate_prior mirrors fit_model's behaviour when the
+                    # session has no explicit prior: a cold refit would
+                    # re-estimate alpha from the new labels, so the delta
+                    # path must too or bit-identity breaks.
+                    effective_prior = (
+                        prior if prior is not None else estimate_prior(labels_fit)
+                    )
+                    model, stats = retired_model.refit_delta(
+                        observations_fit,
+                        labels_fit,
+                        prior=effective_prior,
+                        smoothing=smoothing,
+                        max_churn_fraction=max_churn_fraction,
+                    )
+                else:
+                    model = fit_model(
+                        observations_fit,
+                        labels_fit,
+                        prior=prior,
+                        smoothing=smoothing,
+                        engine=self._engine,
+                        workers=self._workers,
+                    )
+                    stats = ModelRefitStats(
+                        mode="cold",
+                        reason="no previous fitted model",
+                        dirty_words=0,
+                        total_words=0,
+                        dirty_sources=0,
+                        labels_changed=True,
+                        carried_cache_entries=0,
+                    )
+                options = dict(self._options)
+                if self._clustered_route(model):
+                    options.setdefault(
+                        "significance_memo", self._shared_significance_memo()
+                    )
+                    self._apply_partition_carry(
+                        model, retired_model, retired, stats, options
+                    )
+                fuser = make_fuser(
+                    self._method,
+                    model,
+                    engine=self._engine,
+                    workers=self._workers,
+                    shard_size=self._shard_size,
+                    **options,
+                )
+            self._publish_generation(
+                fuser, model, prior, smoothing, start, retired, retired_model
+            )
+            self._note_refit(stats, self.fit_seconds)
+        return self
+
+    def _publish_generation(
+        self,
+        fuser: TruthFuser,
+        model: Optional[EmpiricalJointModel],
+        prior: Optional[float],
+        smoothing: float,
+        start: float,
+        retired: TruthFuser,
+        retired_model: Optional[EmpiricalJointModel],
+    ) -> None:
+        """Swap in a freshly-built generation (caller holds ``_refit_lock``).
+
+        The delta scorer is swapped together with the fuser: its
+        previous-request snapshot and per-pattern memo belong to one model
+        generation, so stale memos cannot survive a refit.  Plans compiled
+        against the retired model must not survive anywhere, so the retired
+        fuser's caches are explicitly invalidated; in-flight scores on the
+        retired generation stay consistent (it still references the old
+        model, recomputing old-generation values on demand) and degrade to
+        inline execution once the retired worker pools close.
+        """
+        self._delta_scorer = self._make_delta_scorer(fuser)
+        self._fuser = fuser
+        self._model = model
+        self.fit_seconds = time.perf_counter() - start
+        self._prior = prior
+        self._smoothing = smoothing
+        with self._count_lock:
+            self._n_scored = 0
+        if isinstance(retired, ModelBasedFuser):
+            retired.invalidate_caches()
+            retired.close()
+        if retired_model is not None:
+            retired_model.close()
+
+    def _warm_start_em(
+        self, fuser: TruthFuser, retired: TruthFuser
+    ) -> ModelRefitStats:
+        """Seed a fresh EM fuser from the retired generation's posteriors."""
+        warm = getattr(retired, "last_posteriors", None)
+        if warm is None:
+            return ModelRefitStats(
+                mode="cold",
+                reason="no previous posteriors to warm-start from",
+                dirty_words=0,
+                total_words=0,
+                dirty_sources=0,
+                labels_changed=False,
+                carried_cache_entries=0,
+            )
+        diagnostics = getattr(retired, "diagnostics", None)
+        baseline = diagnostics.iterations if diagnostics is not None else None
+        fuser.warm_start_from(warm, baseline_iterations=baseline)
+        return ModelRefitStats(
+            mode="delta",
+            reason=None,
+            dirty_words=0,
+            total_words=0,
+            dirty_sources=0,
+            labels_changed=False,
+            carried_cache_entries=0,
+        )
+
+    def _apply_partition_carry(
+        self,
+        model: EmpiricalJointModel,
+        retired_model: Optional[EmpiricalJointModel],
+        retired: TruthFuser,
+        stats: ModelRefitStats,
+        options: dict,
+    ) -> None:
+        """Churn-bounded fuser construction for the clustered route.
+
+        Precomputes the two correlation partitions outside the fuser --
+        re-deciding only pairs that touch a dirty source when the previous
+        generation's detection state can be carried -- and passes them in
+        via ``true_partition``/``false_partition``, together with the
+        retired generation's elastic evaluators for oversized clusters
+        whose sources are all clean.  Carry requires bit-identical clean
+        parameters: a delta-mode model refit with unchanged labels, prior,
+        and smoothing.  Anything else (cold fallback, label churn, a knob
+        override, user-pinned partitions) runs the full detection, so the
+        resulting fuser is always exactly what a cold rebuild would make.
+        """
+        if (
+            "true_partition" in options
+            or "false_partition" in options
+        ):
+            return  # user-pinned partitions: nothing to detect or carry
+        memo = options.get("significance_memo")
+        min_phi = options.get("min_phi", 0.15)
+        min_expected = options.get("min_expected", 2.0)
+        significance = options.get("significance", 0.05)
+        carry_ok = (
+            stats.mode == "delta"
+            and not stats.labels_changed
+            and isinstance(retired_model, EmpiricalJointModel)
+            and model.prior == retired_model.prior
+            and model.smoothing == retired_model.smoothing
+        )
+        state = self._partition_state
+        new_state: Optional[PartitionDetectionState] = None
+        if (
+            carry_ok
+            and state is not None
+            and state.matches(
+                model.n_sources, min_phi, min_expected, significance
+            )
+        ):
+            new_state = refresh_partition_state(
+                state, model, stats.dirty_source_ids, memo=memo
+            )
+        if new_state is None:
+            new_state = detect_partition_state(
+                model,
+                min_phi=min_phi,
+                min_expected=min_expected,
+                significance=significance,
+                memo=memo,
+            )
+        self._partition_state = new_state
+        if new_state is None:
+            return  # legacy engine: let the fuser run its own detection
+        options["true_partition"] = new_state.true_partition
+        options["false_partition"] = new_state.false_partition
+        if carry_ok and isinstance(retired, ClusteredCorrelationFuser):
+            dirty = frozenset(stats.dirty_source_ids)
+            carried = {
+                cluster: evaluator
+                for cluster, evaluator in retired.elastic_evaluators().items()
+                if not (cluster & dirty)
+            }
+            if carried:
+                options["carried_elastic"] = carried
+
+    def _clustered_route(self, model: JointQualityModel) -> bool:
+        """Does ``self._method`` build a clustered fuser for ``model``?"""
+        key = self._method.lower().replace("-", "").replace("_", "")
+        if key == "clustered":
+            return True
+        return key == "precreccorr" and model.n_sources > EXACT_SOURCE_LIMIT
+
+    def _shared_significance_memo(self) -> SignificanceMemo:
+        """The session's cross-generation significance memo (lazy)."""
+        if self._significance_memo is None:
+            self._significance_memo = SignificanceMemo()
+        return self._significance_memo
+
+    def _note_refit(
+        self, stats: Optional[ModelRefitStats], seconds: float
+    ) -> None:
+        """Record one refit in the session's counters (under the lock).
+
+        ``stats=None`` marks a plain :meth:`refit` (always a cold rebuild).
+        """
+        if stats is None or stats.mode == "cold":
+            self._refit_cold_count += 1
+        else:
+            self._refit_delta_count += 1
+        if stats is not None and stats.total_words:
+            self._refit_dirty_fractions.append(stats.dirty_word_fraction)
+        self._refit_seconds.append(float(seconds))
+        self._last_refit_stats = stats
+
+    @property
+    def last_refit_stats(self) -> Optional[ModelRefitStats]:
+        """What the most recent :meth:`refit_delta` actually did.
+
+        ``None`` until the first refit; plain :meth:`refit` also resets it
+        to ``None`` (there is no delta bookkeeping to report).
+        """
+        return self._last_refit_stats
+
+    @property
+    def significance_memo(self) -> Optional[SignificanceMemo]:
+        """The cross-generation significance memo (``None`` until used)."""
+        return self._significance_memo
 
     def close(self) -> None:
         """Shut down the live fuser's and model's worker pools (idempotent).
@@ -994,7 +1324,8 @@ class ScoringSession:
         fuser = self._fuser
         scorer = self._delta_scorer
         plan_cache = getattr(fuser, "plan_cache", None)
-        if plan_cache is None and scorer is None:
+        refit = self._refit_stats_dict()
+        if plan_cache is None and scorer is None and refit is None:
             return {}
         stats: dict = dict(plan_cache.stats) if plan_cache is not None else {}
         if isinstance(fuser, ModelBasedFuser):
@@ -1006,4 +1337,36 @@ class ScoringSession:
         batcher = self._batcher
         if batcher is not None:
             stats["micro_batch"] = batcher.stats
+        if refit is not None:
+            stats["refit"] = refit
         return stats
+
+    def _refit_stats_dict(self) -> Optional[dict]:
+        """The ``"refit"`` block of :meth:`cache_stats` (``None`` if unused)."""
+        if self._refit_cold_count == 0 and self._refit_delta_count == 0:
+            return None
+        refit: dict = {
+            "delta_refits": self._refit_delta_count,
+            "cold_refits": self._refit_cold_count,
+            "dirty_word_fractions": list(self._refit_dirty_fractions),
+            "seconds": list(self._refit_seconds),
+        }
+        last = self._last_refit_stats
+        if last is not None:
+            refit["last"] = {
+                "mode": last.mode,
+                "reason": last.reason,
+                "dirty_words": last.dirty_words,
+                "total_words": last.total_words,
+                "dirty_word_fraction": last.dirty_word_fraction,
+                "dirty_sources": last.dirty_sources,
+                "labels_changed": last.labels_changed,
+                "carried_cache_entries": last.carried_cache_entries,
+            }
+        memo = self._significance_memo
+        if memo is not None:
+            refit["significance_memo"] = memo.stats
+        fuser = self._fuser
+        if isinstance(fuser, ExpectationMaximizationFuser):
+            refit["em_warm_start"] = fuser.warm_start_stats
+        return refit

@@ -25,12 +25,14 @@ one giant component.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from functools import lru_cache
+from typing import Iterable, Literal, Mapping, Optional, Sequence
 
 import networkx as nx
 import numpy as np
-from scipy import stats
+from scipy import special, stats
 
 from repro.core.elastic import ElasticFuser
 from repro.core.exact import ExactCorrelationFuser
@@ -46,6 +48,18 @@ from repro.util.probability import PROBABILITY_FLOOR, safe_divide
 from repro.util.validation import check_accumulate
 
 Side = Literal["true", "false"]
+
+
+@lru_cache(maxsize=64)
+def _triu(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached row-major upper-triangle pair indices (refit hot path).
+
+    Shared read-only arrays -- callers index them, never write.
+    """
+    ii, jj = np.triu_indices(n, k=1)
+    ii.setflags(write=False)
+    jj.setflags(write=False)
+    return ii, jj
 
 
 def _cluster_job(item):
@@ -140,12 +154,87 @@ def pairwise_phi(p_i: float, p_j: float, p_both: float) -> float:
     return (p_both - p_i * p_j) / denominator
 
 
+class SignificanceMemo:
+    """Decision memo for the pair independence tests, keyed by exact table.
+
+    A test outcome is a pure function of the integer 2x2 contingency table
+    and the Bonferroni level, so a delta refit whose dirty words left a
+    pair's table bit-unchanged can reuse the previous generation's decision
+    verbatim -- the dominant cost of clustering on wide grids is the
+    per-pair scipy test, and under low churn most tables recur.  The memo
+    is carried across model generations by the scoring session (never
+    module-global: a process-wide memo would also accelerate *cold* refits
+    and corrupt delta-vs-cold benchmark comparisons).
+
+    Thread-safety mirrors ``MaskedJointCache``: reads are plain dict
+    look-ups (atomic under the GIL), stores take a lock, and values are
+    deterministic so racing duplicate computes are benign.  Hit/miss
+    counters are deliberately unlocked diagnostics.
+    """
+
+    __slots__ = ("_decisions", "_max_entries", "_lock", "hits", "misses")
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        self._decisions: dict[tuple, bool] = {}
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    @property
+    def stats(self) -> dict:
+        """Counters for serving diagnostics (``cache_stats()["refit"]``)."""
+        return {
+            "entries": len(self._decisions),
+            "max_entries": self._max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def lookup(
+        self, tables: Sequence[tuple[int, int, int, int]], alpha: float
+    ) -> list[Optional[bool]]:
+        """Known decisions per table (``None`` where never seen)."""
+        get = self._decisions.get
+        out: list[Optional[bool]] = []
+        hits = 0
+        for table in tables:
+            value = get((*table, alpha))
+            out.append(value)
+            if value is not None:
+                hits += 1
+        self.hits += hits
+        self.misses += len(out) - hits
+        return out
+
+    def store(
+        self,
+        tables: Sequence[tuple[int, int, int, int]],
+        decisions: Sequence[bool],
+        alpha: float,
+    ) -> None:
+        with self._lock:
+            memo = self._decisions
+            for table, decision in zip(tables, decisions):
+                if len(memo) >= self._max_entries:
+                    break
+                memo[(*table, alpha)] = bool(decision)
+
+
 def pairwise_correlations(
     model: JointQualityModel,
     side: Side = "true",
     min_phi: float = 0.15,
     min_expected: float = 2.0,
     significance: float = 0.05,
+    memo: Optional[SignificanceMemo] = None,
 ) -> list[PairwiseCorrelation]:
     """Detect significantly correlated source pairs on one side.
 
@@ -159,6 +248,11 @@ def pairwise_correlations(
     whole graph, and without the guard wide datasets chain everything into
     one component through noise pairs.  Parameter-only models skip (b)
     and (c).
+
+    ``memo``, when given, caches independence-test *decisions* by exact
+    integer contingency table (see :class:`SignificanceMemo`) -- the
+    delta-refit fast path, where most pair tables survive a low-churn
+    update bit-unchanged.  Decisions are identical with or without it.
     """
     if not 0.0 <= min_phi <= 1.0:
         raise ValueError(f"min_phi must be in [0, 1], got {min_phi}")
@@ -177,6 +271,21 @@ def pairwise_correlations(
     batched_joints: dict[tuple[int, int], float] = {}
     batch = model.pair_joint_params()
     if batch is not None:
+        coverage_counts = model.pair_coverage_counts()
+        if coverage_counts is not None:
+            # Fully-batched models (the empirical vectorized engine) take
+            # the array path: the Python pair loop and the per-pair scipy
+            # test calls dominated (re)fit wall-clock on wide grids.
+            return _pairwise_correlations_vectorized(
+                model,
+                side,
+                batch,
+                coverage_counts,
+                min_phi,
+                min_expected,
+                per_pair_alpha,
+                memo,
+            )
         pairs, r_pairs, q_pairs = batch
         values = r_pairs if side == "true" else q_pairs
         batched_joints = {
@@ -227,6 +336,7 @@ def correlation_clusters(
     min_phi: float = 0.15,
     min_expected: float = 2.0,
     significance: float = 0.05,
+    memo: Optional[SignificanceMemo] = None,
 ) -> SourcePartition:
     """Partition sources by pairwise correlation on one side.
 
@@ -234,7 +344,8 @@ def correlation_clusters(
     graph whose edges are :func:`pairwise_correlations` -- the construction
     the paper applies to the BOOK dataset ("we divide sources into clusters
     based on their pairwise correlations, and assume that sources across
-    clusters are independent").
+    clusters are independent").  ``memo`` is the optional significance
+    decision cache forwarded to the edge detection (delta-refit reuse).
     """
     edges = pairwise_correlations(
         model,
@@ -242,6 +353,7 @@ def correlation_clusters(
         min_phi=min_phi,
         min_expected=min_expected,
         significance=significance,
+        memo=memo,
     )
     graph = nx.Graph()
     graph.add_nodes_from(range(model.n_sources))
@@ -249,6 +361,190 @@ def correlation_clusters(
     components = nx.connected_components(graph)
     clusters = tuple(frozenset(component) for component in components)
     return SourcePartition(clusters=clusters)
+
+
+@dataclass(frozen=True)
+class PartitionDetectionState:
+    """One generation's full correlation-detection outcome, carryable.
+
+    The delta-refit fast path keeps the per-side *edge sets* alongside the
+    partitions: a pair whose two sources are both clean in the next
+    generation has bit-identical rates, joint parameters, and coverage
+    counts, so its edge decision provably cannot change and is carried;
+    only pairs touching a dirty source are re-decided
+    (:func:`refresh_partition_state`).  The detection thresholds are
+    recorded so a refresh can refuse to carry across a parameter change.
+    """
+
+    true_edges: frozenset[tuple[int, int]]
+    false_edges: frozenset[tuple[int, int]]
+    true_partition: SourcePartition
+    false_partition: SourcePartition
+    n_sources: int
+    min_phi: float
+    min_expected: float
+    significance: float
+
+    def matches(
+        self, n_sources: int, min_phi: float, min_expected: float,
+        significance: float,
+    ) -> bool:
+        return (
+            self.n_sources == n_sources
+            and self.min_phi == min_phi
+            and self.min_expected == min_expected
+            and self.significance == significance
+        )
+
+
+def _components_partition(
+    n_sources: int, edges: Iterable[tuple[int, int]]
+) -> SourcePartition:
+    """Connected components of the edge set, as a :class:`SourcePartition`.
+
+    Union-find, with components emitted in order of their smallest member
+    -- exactly the order ``nx.connected_components`` yields when nodes
+    ``0..n-1`` were added first, so partitions built here are
+    indistinguishable (including cluster *order*, which fixes the
+    likelihood summation order) from :func:`correlation_clusters` output.
+    """
+    parent = list(range(n_sources))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            if rj < ri:
+                ri, rj = rj, ri
+            parent[rj] = ri
+    members: dict[int, list[int]] = {}
+    for node in range(n_sources):
+        members.setdefault(find(node), []).append(node)
+    clusters = tuple(
+        frozenset(members[root]) for root in sorted(members)
+    )
+    return SourcePartition(clusters=clusters)
+
+
+def detect_partition_state(
+    model: JointQualityModel,
+    min_phi: float = 0.15,
+    min_expected: float = 2.0,
+    significance: float = 0.05,
+    memo: Optional[SignificanceMemo] = None,
+) -> Optional[PartitionDetectionState]:
+    """Full two-sided correlation detection, packaged for delta carry.
+
+    Partitions are identical (cluster order included) to calling
+    :func:`correlation_clusters` per side; the edge sets feed
+    :func:`refresh_partition_state` on the next low-churn refit.  Returns
+    ``None`` for models without the fully-batched pair interface (legacy
+    engine) -- there is no vectorized edge core to restrict there.
+    """
+    batch = model.pair_joint_params()
+    if batch is None:
+        return None
+    coverage_counts = model.pair_coverage_counts()
+    if coverage_counts is None:
+        return None
+    n = model.n_sources
+    per_pair_alpha = significance / max(n * (n - 1) // 2, 1)
+    ii, jj = _triu(n)
+    pair_ids = np.arange(ii.size)
+    sides: dict[Side, frozenset[tuple[int, int]]] = {}
+    partitions: dict[Side, SourcePartition] = {}
+    for side in ("true", "false"):
+        keep, _, _ = _edge_decisions(
+            model, side, pair_ids, batch, coverage_counts,
+            min_phi, min_expected, per_pair_alpha, memo,
+        )
+        edges = frozenset(
+            (int(ii[k]), int(jj[k])) for k in np.flatnonzero(keep)
+        )
+        sides[side] = edges
+        partitions[side] = _components_partition(n, edges)
+    return PartitionDetectionState(
+        true_edges=sides["true"],
+        false_edges=sides["false"],
+        true_partition=partitions["true"],
+        false_partition=partitions["false"],
+        n_sources=n,
+        min_phi=min_phi,
+        min_expected=min_expected,
+        significance=significance,
+    )
+
+
+def refresh_partition_state(
+    previous: PartitionDetectionState,
+    model: JointQualityModel,
+    dirty_source_ids: Sequence[int],
+    memo: Optional[SignificanceMemo] = None,
+) -> Optional[PartitionDetectionState]:
+    """Re-derive the detection state after a delta refit, by churn.
+
+    Only pairs touching a dirty source are re-decided (through the same
+    element-wise core a full detection runs); every clean pair's edge is
+    carried from ``previous``.  Callers must ensure clean sources'
+    parameters are bit-identical across the two generations -- the
+    condition the session checks before taking this path (delta-mode model
+    refit, unchanged labels, same prior and smoothing).  Under it the
+    result is exactly what :func:`detect_partition_state` would return.
+    Returns ``None`` when the model lacks the batched pair interface.
+    """
+    batch = model.pair_joint_params()
+    if batch is None:
+        return None
+    coverage_counts = model.pair_coverage_counts()
+    if coverage_counts is None:
+        return None
+    n = model.n_sources
+    if previous.n_sources != n:
+        return None
+    dirty = np.zeros(n, dtype=bool)
+    dirty[np.asarray(list(dirty_source_ids), dtype=int)] = True
+    ii, jj = _triu(n)
+    pair_ids = np.flatnonzero(dirty[ii] | dirty[jj])
+    per_pair_alpha = previous.significance / max(n * (n - 1) // 2, 1)
+    sides: dict[Side, frozenset[tuple[int, int]]] = {}
+    partitions: dict[Side, SourcePartition] = {}
+    for side, previous_edges in (
+        ("true", previous.true_edges), ("false", previous.false_edges),
+    ):
+        carried = {
+            edge for edge in previous_edges
+            if not (dirty[edge[0]] or dirty[edge[1]])
+        }
+        if pair_ids.size:
+            keep, _, _ = _edge_decisions(
+                model, side, pair_ids, batch, coverage_counts,
+                previous.min_phi, previous.min_expected, per_pair_alpha,
+                memo,
+            )
+            carried.update(
+                (int(ii[pair_ids[k]]), int(jj[pair_ids[k]]))
+                for k in np.flatnonzero(keep)
+            )
+        edges = frozenset(carried)
+        sides[side] = edges
+        partitions[side] = _components_partition(n, edges)
+    return PartitionDetectionState(
+        true_edges=sides["true"],
+        false_edges=sides["false"],
+        true_partition=partitions["true"],
+        false_partition=partitions["false"],
+        n_sources=n,
+        min_phi=previous.min_phi,
+        min_expected=previous.min_expected,
+        significance=previous.significance,
+    )
 
 
 def _significant(
@@ -281,6 +577,225 @@ def _significant(
     else:
         _, p_value, _, _ = stats.chi2_contingency(table, correction=True)
     return float(p_value) < alpha
+
+
+def _pairwise_correlations_vectorized(
+    model: JointQualityModel,
+    side: Side,
+    batch: tuple[list[tuple[int, int]], np.ndarray, np.ndarray],
+    coverage_counts: tuple[np.ndarray, np.ndarray],
+    min_phi: float,
+    min_expected: float,
+    alpha: float,
+    memo: Optional[SignificanceMemo],
+) -> list[PairwiseCorrelation]:
+    """Array-form pair detection, bit-identical to the scalar walk.
+
+    Every scalar expression (factor, phi, support guard) is replayed
+    element-wise in the same operation order on the same float64 inputs,
+    and the independence tests go through :func:`_significant_batch`
+    (identical decisions by construction); the returned edge list is in
+    row-major ``(i, j)`` order, matching the scalar loop.
+    """
+    n = model.n_sources
+    ii, jj = _triu(n)
+    pair_ids = np.arange(ii.size)
+    keep, factors, phis = _edge_decisions(
+        model, side, pair_ids, batch, coverage_counts,
+        min_phi, min_expected, alpha, memo,
+    )
+    return [
+        PairwiseCorrelation(
+            source_i=int(ii[k]),
+            source_j=int(jj[k]),
+            factor=float(factors[k]),
+            phi=float(phis[k]),
+        )
+        for k in np.flatnonzero(keep)
+    ]
+
+
+def _edge_decisions(
+    model: JointQualityModel,
+    side: Side,
+    pair_ids: np.ndarray,
+    batch: tuple[list[tuple[int, int]], np.ndarray, np.ndarray],
+    coverage_counts: tuple[np.ndarray, np.ndarray],
+    min_phi: float,
+    min_expected: float,
+    alpha: float,
+    memo: Optional[SignificanceMemo],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Correlation-edge decisions for the selected pairs, element-wise.
+
+    The shared decision core of the vectorized detection: given row-major
+    upper-triangle pair ids, returns ``(keep, factors, phis)`` aligned
+    with ``pair_ids``.  Every expression is applied per element in the
+    scalar walk's operation order on the same float64 inputs, so a
+    restricted evaluation (the delta-refit partition refresh) decides each
+    pair exactly as a full evaluation -- and as the scalar loop -- would.
+    """
+    pairs, r_pairs, q_pairs = batch
+    joints = np.asarray(
+        r_pairs if side == "true" else q_pairs, dtype=float
+    )[pair_ids]
+    n = model.n_sources
+    if side == "true":
+        rates = np.array([model.recall(i) for i in range(n)], dtype=float)
+    else:
+        rates = np.array([model.fpr(i) for i in range(n)], dtype=float)
+    ii, jj = _triu(n)
+    rates_i = rates[ii[pair_ids]]
+    rates_j = rates[jj[pair_ids]]
+    independent = rates_i * rates_j
+    with np.errstate(divide="ignore", invalid="ignore"):
+        factors = np.where(independent == 0.0, 1.0, joints / independent)
+        # pairwise_phi's expression order, element-wise.
+        variance = (
+            rates_i * (1.0 - rates_i) * rates_j * (1.0 - rates_j)
+        )
+        phi_denominator = np.sqrt(variance)
+        phis = np.where(
+            phi_denominator <= 0.0,
+            0.0,
+            (joints - independent) / phi_denominator,
+        )
+    candidates = np.abs(phis) >= min_phi
+    base_counts = np.asarray(
+        coverage_counts[0] if side == "true" else coverage_counts[1],
+        dtype=np.int64,
+    )[pair_ids]
+    candidates &= (independent * base_counts) >= min_expected
+    keep = np.zeros(pair_ids.size, dtype=bool)
+    candidate_ids = np.flatnonzero(candidates)
+    if candidate_ids.size:
+        keep[candidate_ids] = _significant_batch(
+            joints[candidate_ids],
+            rates_i[candidate_ids],
+            rates_j[candidate_ids],
+            base_counts[candidate_ids],
+            alpha,
+            memo,
+        )
+    return keep, factors, phis
+
+
+def _significant_batch(
+    joint_rates: np.ndarray,
+    rates_i: np.ndarray,
+    rates_j: np.ndarray,
+    trials: np.ndarray,
+    alpha: float,
+    memo: Optional[SignificanceMemo] = None,
+) -> np.ndarray:
+    """Vectorized :func:`_significant` over candidate arrays.
+
+    Reconstructs every pair's integer contingency table exactly as the
+    scalar test does, resolves decisions from ``memo`` where the table was
+    seen before, and evaluates the rest: the chi-square branch replicates
+    ``scipy.stats.chi2_contingency(table, correction=True)`` for 2x2
+    tables element-wise (margin-product expected counts, Yates adjustment,
+    Pearson statistic, ``chdtrc`` survival function -- the exact operation
+    sequence scipy applies, pinned against the scalar test by the fuzz
+    suite in ``tests/test_refit_delta.py``), while the small-expected-cell
+    branch calls ``fisher_exact`` per table like the scalar path.
+    """
+    joint_rates = np.asarray(joint_rates, dtype=float)
+    trials = np.asarray(trials, dtype=np.int64)
+    n11 = np.rint(joint_rates * trials).astype(np.int64)
+    n1 = np.rint(np.asarray(rates_i, dtype=float) * trials).astype(np.int64)
+    n2 = np.rint(np.asarray(rates_j, dtype=float) * trials).astype(np.int64)
+    n11 = np.minimum(np.minimum(n11, n1), n2)
+    n10 = n1 - n11
+    n01 = n2 - n11
+    n00 = trials - n1 - n2 + n11
+    out = np.zeros(n11.size, dtype=bool)
+    out[n00 < 0] = True  # margins overlap so much that dependence is forced
+    todo = np.flatnonzero(n00 >= 0)
+    if todo.size == 0:
+        return out
+    tables = None
+    if memo is not None:
+        tables = [
+            (int(n11[k]), int(n10[k]), int(n01[k]), int(n00[k]))
+            for k in todo
+        ]
+        cached = memo.lookup(tables, alpha)
+        missing: list[int] = []
+        for position, value in enumerate(cached):
+            if value is None:
+                missing.append(position)
+            else:
+                out[todo[position]] = value
+        if not missing:
+            return out
+        todo = todo[np.asarray(missing)]
+        tables = [tables[position] for position in missing]
+    decisions = _decide_tables(
+        n11[todo], n10[todo], n01[todo], n00[todo], alpha
+    )
+    out[todo] = decisions
+    if memo is not None:
+        memo.store(tables, decisions.tolist(), alpha)
+    return out
+
+
+def _decide_tables(
+    n11: np.ndarray,
+    n10: np.ndarray,
+    n01: np.ndarray,
+    n00: np.ndarray,
+    alpha: float,
+) -> np.ndarray:
+    """Independence decisions for non-degenerate-margin-checked tables."""
+    out = np.zeros(n11.size, dtype=bool)
+    row0 = (n11 + n10).astype(float)
+    row1 = (n01 + n00).astype(float)
+    col0 = (n11 + n01).astype(float)
+    col1 = (n10 + n00).astype(float)
+    total = row0 + row1
+    valid = (
+        (total > 0) & (row0 != 0) & (row1 != 0) & (col0 != 0) & (col1 != 0)
+    )
+    ids = np.flatnonzero(valid)
+    if ids.size == 0:
+        return out  # degenerate margins: no evidence either way
+    row0, row1 = row0[ids], row1[ids]
+    col0, col1 = col0[ids], col1[ids]
+    total = total[ids]
+    expected = np.stack(
+        [
+            row0 * col0 / total,
+            row0 * col1 / total,
+            row1 * col0 / total,
+            row1 * col1 / total,
+        ],
+        axis=1,
+    )
+    fisher = expected.min(axis=1) < 5.0
+    chi = ~fisher
+    if chi.any():
+        observed = np.stack(
+            [n11[ids], n10[ids], n01[ids], n00[ids]], axis=1
+        ).astype(float)[chi]
+        expected_chi = expected[chi]
+        # Yates continuity correction exactly as chi2_contingency applies
+        # it for dof=1, then the Pearson statistic and chi2(1) survival
+        # function -- scipy's own operation sequence, replayed in bulk.
+        difference = expected_chi - observed
+        adjustment = np.minimum(0.5, np.abs(difference)) * np.sign(difference)
+        adjusted = observed + adjustment
+        statistic = ((adjusted - expected_chi) ** 2 / expected_chi).sum(axis=1)
+        p_values = special.chdtrc(1.0, statistic)
+        out[ids[chi]] = p_values < alpha
+    for position in np.flatnonzero(fisher):
+        k = ids[position]
+        table = np.array(
+            [[n11[k], n10[k]], [n01[k], n00[k]]], dtype=np.int64
+        )
+        _, p_value = stats.fisher_exact(table)
+        out[k] = float(p_value) < alpha
+    return out
 
 
 class ClusteredCorrelationFuser(ModelBasedFuser):
@@ -339,6 +854,12 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         sharding); the quality model may hold its own pool for batch
         chunks, which is distinct from this fuser's and cannot deadlock
         it.
+    significance_memo:
+        Optional :class:`SignificanceMemo` consulted (and extended) by the
+        partition discovery when partitions are not supplied -- the
+        delta-refit path carries one across generations so unchanged pair
+        tables skip their independence test.  Decisions, and therefore
+        partitions and scores, are identical with or without it.
     """
 
     name = "PrecRecCorr-Clustered"
@@ -365,6 +886,10 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         parallel_backend: str = "thread",
+        significance_memo: Optional[SignificanceMemo] = None,
+        carried_elastic: Optional[
+            Mapping[frozenset[int], ElasticFuser]
+        ] = None,
     ) -> None:
         super().__init__(
             model,
@@ -387,18 +912,28 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
             true_partition = correlation_clusters(
                 model, "true",
                 min_phi=min_phi, min_expected=min_expected,
-                significance=significance,
+                significance=significance, memo=significance_memo,
             )
         if false_partition is None:
             false_partition = correlation_clusters(
                 model, "false",
                 min_phi=min_phi, min_expected=min_expected,
-                significance=significance,
+                significance=significance, memo=significance_memo,
             )
         self._true_partition = true_partition
         self._false_partition = false_partition
         self._shared_exact: Optional[ExactCorrelationFuser] = None
         self._elastic_by_cluster: dict[frozenset[int], ElasticFuser] = {}
+        if carried_elastic:
+            # Delta-refit carry: an oversized cluster whose sources are all
+            # clean has bit-identical parameters in the new generation, so
+            # its (eagerly built, aggressive-factor-heavy) elastic
+            # evaluator can be reused outright.  The caller vouches for
+            # cleanliness; a carried evaluator still references the model
+            # generation it was built against, whose parameters equal this
+            # one's on the cluster universe.  Seeding the map makes
+            # _make_evaluator a lookup hit for those clusters.
+            self._elastic_by_cluster.update(carried_elastic)
         self._true_evaluators = [
             self._make_evaluator(cluster, exact_cluster_limit, elastic_level)
             for cluster in true_partition.clusters
@@ -492,6 +1027,14 @@ class ClusteredCorrelationFuser(ModelBasedFuser):
     def plan_cache(self) -> CompiledPlanCache:
         """This fuser's decomposition/log-table cache (diagnostics)."""
         return self._plan_cache
+
+    def elastic_evaluators(self) -> dict[frozenset[int], ElasticFuser]:
+        """This generation's per-cluster elastic evaluators, by cluster.
+
+        The delta-refit carry source: the session passes the subset whose
+        clusters stayed clean to the next generation's ``carried_elastic``.
+        """
+        return dict(self._elastic_by_cluster)
 
     def _distinct_evaluators(self) -> list[ModelBasedFuser]:
         """Each per-cluster evaluator exactly once (shared ones dedup)."""

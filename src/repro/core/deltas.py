@@ -38,10 +38,12 @@ micro-batched fused matrices hit).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.core.bitset import pack_bool_vector
 from repro.core.fusion import ModelBasedFuser
 from repro.core.observations import ObservationMatrix
 from repro.core.patterns import PatternSet, extract_patterns
@@ -118,6 +120,118 @@ def dirty_columns(
             [columns, np.arange(previous.n_triples, n_current, dtype=np.int64)]
         )
     return np.unique(columns)
+
+
+@dataclass(frozen=True)
+class WordDiff:
+    """Word-level diff between two labelled training snapshots.
+
+    Produced by :func:`dirty_words` and consumed by
+    :meth:`~repro.core.joint.EmpiricalJointModel.refit_delta`: the joint
+    model's popcount statistics are updated by subtracting old-word and
+    adding new-word popcounts for exactly the ``word_ids`` listed here.
+    Both snapshots are compared over a common padded width of ``n_words``
+    ``uint64`` words (``pack_bool_rows`` zero-pads tail bits, so padding
+    never contributes spurious counts).
+    """
+
+    #: Dirty ``uint64`` word indices over the padded common width -- a word
+    #: is dirty when *any* source's provides/coverage bits or any label bit
+    #: inside it changed (conservative 64-column granularity).
+    word_ids: np.ndarray
+    #: Per-source flag: did any of this source's provides/coverage words
+    #: change?  Drives selective memo invalidation (a cached subset whose
+    #: sources are all clean keeps its exact counts).
+    dirty_sources: np.ndarray
+    #: Did any label bit change?  When true, *every* truth-conditioned count
+    #: is suspect and per-subset caches are flushed wholesale (counters are
+    #: still updated incrementally -- label words are part of the diff).
+    labels_changed: bool
+    #: The padded word width both snapshots were compared over.
+    n_words: int
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of words dirty -- the churn measure for fallback."""
+        return float(self.word_ids.size) / float(max(self.n_words, 1))
+
+
+def dirty_words(
+    previous: ObservationMatrix,
+    current: ObservationMatrix,
+    previous_labels: np.ndarray,
+    current_labels: np.ndarray,
+) -> Optional[WordDiff]:
+    """Word-level diff of two labelled snapshots, or ``None`` if incomparable.
+
+    Unlike :func:`dirty_columns` (column ids for score reuse), this returns
+    ``uint64`` *word* ids -- the granularity at which
+    :class:`~repro.core.joint.EmpiricalJointModel` stores its packed
+    popcount statistics.  A word is dirty when any source's ``provides`` or
+    ``coverage`` bits changed inside it, or when any label bit changed
+    (labels are diffed through both their true *and* complement packings,
+    which makes width-boundary words dirty automatically: growing the
+    matrix turns previously-padding bits of the last shared word into real
+    ``~labels`` bits).
+
+    Returns ``None`` when the source sets differ (different count or
+    names) -- the caller must fall back to an exact recount.
+    """
+    if previous.n_sources != current.n_sources:
+        return None
+    if previous.source_names != current.source_names:
+        return None
+    labels_identical = current_labels is previous_labels
+    previous_labels = np.asarray(previous_labels, dtype=bool)
+    current_labels = np.asarray(current_labels, dtype=bool)
+    if previous_labels.shape != (previous.n_triples,):
+        return None
+    if current_labels.shape != (current.n_triples,):
+        return None
+    prev_provides = previous.packed_provides.words
+    new_provides = current.packed_provides.words
+    prev_coverage = previous.packed_coverage.words
+    new_coverage = current.packed_coverage.words
+    n_words = max(prev_provides.shape[1], new_provides.shape[1])
+
+    def _pad(words: np.ndarray) -> np.ndarray:
+        if words.shape[-1] == n_words:
+            return words
+        pad_width = [(0, 0)] * (words.ndim - 1) + [
+            (0, n_words - words.shape[-1])
+        ]
+        return np.pad(words, pad_width)
+
+    row_diff = (_pad(prev_provides) ^ _pad(new_provides)) | (
+        _pad(prev_coverage) ^ _pad(new_coverage)
+    )
+    dirty_sources = row_diff.any(axis=1)
+    if row_diff.shape[0]:
+        word_bits = np.bitwise_or.reduce(row_diff, axis=0)
+    else:
+        word_bits = np.zeros(n_words, dtype=np.uint64)
+    if labels_identical:
+        # Same labels object on both sides: the shape checks above force
+        # equal n_triples, so both packings (and the padding-boundary
+        # complement trick) are provably identical -- skip the 4 packs.
+        labels_changed = False
+        word_ids = np.flatnonzero(word_bits)
+    else:
+        label_bits = (
+            _pad(pack_bool_vector(previous_labels))
+            ^ _pad(pack_bool_vector(current_labels))
+        ) | (
+            _pad(pack_bool_vector(~previous_labels))
+            ^ _pad(pack_bool_vector(~current_labels))
+        )
+        labels_changed = bool(label_bits.any())
+        word_ids = np.flatnonzero(word_bits | label_bits)
+    return WordDiff(
+        word_ids=word_ids,
+        dirty_sources=dirty_sources,
+        labels_changed=labels_changed,
+        n_words=n_words,
+    )
 
 
 class _Snapshot:

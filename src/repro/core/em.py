@@ -40,6 +40,9 @@ class EMDiagnostics:
     converged: bool
     final_change: float
     final_prior: float
+    #: Was this run initialised from a previous generation's posteriors
+    #: (:meth:`ExpectationMaximizationFuser.warm_start_from`)?
+    warm_started: bool = False
 
 
 class ExpectationMaximizationFuser(TruthFuser):
@@ -88,12 +91,68 @@ class ExpectationMaximizationFuser(TruthFuser):
         self._smoothing = smoothing
         self._seed = None if seed_labels is None else np.asarray(seed_labels, float)
         self._last_diagnostics: Optional[EMDiagnostics] = None
+        # Warm-start state (see warm_start_from): an init overlay from a
+        # previous generation's converged posteriors, plus bookkeeping for
+        # the iterations-saved diagnostics.
+        self._warm: Optional[np.ndarray] = None
+        self._warm_baseline: Optional[int] = None
+        self._warm_scores = 0
+        self._warm_iterations_saved = 0
+        self._last_posteriors: Optional[np.ndarray] = None
         # Per-score buffer workspace and diagnostics, thread-local so
         # concurrent ``score`` calls on one fuser (a multi-threaded
         # ScoringSession) never share scratch buffers and each thread
         # reads its own run's convergence record; unset outside a scoring
         # run (direct ``_m_step``/``_e_step`` calls then allocate fresh).
         self._tls = threading.local()
+
+    def warm_start_from(
+        self,
+        probabilities: Optional[np.ndarray],
+        baseline_iterations: Optional[int] = None,
+    ) -> None:
+        """Initialise future ``score`` runs from previous posteriors.
+
+        The delta-refit path (``ScoringSession.refit_delta`` with an EM
+        fuser) hands the retired generation's converged posteriors to the
+        fresh fuser: ``score`` overlays them onto the vote-fraction
+        initialisation (positionally, up to the shorter length when the
+        matrix width changed) and then iterates under the *unchanged*
+        convergence criterion.  EM's fixed point does not depend on the
+        starting point for the basins these serving workloads stay in --
+        the warm run lands on the cold fixed point (asserted within
+        tolerance by the golden suites) in fewer iterations.
+
+        ``baseline_iterations`` (typically the retired generation's
+        iteration count) feeds the ``iterations_saved`` diagnostic.
+        ``None`` clears the warm start.
+        """
+        if probabilities is None:
+            self._warm = None
+            self._warm_baseline = None
+            return
+        self._warm = np.asarray(probabilities, dtype=float).copy()
+        self._warm_baseline = (
+            None if baseline_iterations is None else int(baseline_iterations)
+        )
+
+    @property
+    def last_posteriors(self) -> Optional[np.ndarray]:
+        """The most recent ``score`` run's converged posteriors.
+
+        Read-only snapshot (any thread's latest run) -- the hand-off a
+        session passes to the next generation's :meth:`warm_start_from`.
+        """
+        return self._last_posteriors
+
+    @property
+    def warm_start_stats(self) -> dict:
+        """Warm-start diagnostics for ``cache_stats()``/serving reports."""
+        return {
+            "warm_scores": self._warm_scores,
+            "iterations_saved": self._warm_iterations_saved,
+            "baseline_iterations": self._warm_baseline,
+        }
 
     @property
     def diagnostics(self) -> Optional[EMDiagnostics]:
@@ -154,6 +213,15 @@ class ExpectationMaximizationFuser(TruthFuser):
         covering = np.maximum(coverage.sum(axis=0), 1.0)
         probabilities = provides.sum(axis=0) / covering
         probabilities = np.clip(probabilities, 0.05, 0.95)
+        # Warm-start overlay: resume from a previous generation's
+        # posteriors where available (positional, truncated to the shorter
+        # width on matrix growth/shrink); seeds still win below.
+        warm = self._warm
+        warm_applied = False
+        if warm is not None and warm.size and n_triples:
+            shared = min(warm.size, n_triples)
+            probabilities[:shared] = warm[:shared]
+            warm_applied = True
         if seed_mask is not None:
             probabilities[seed_mask] = seed_values
 
@@ -175,6 +243,7 @@ class ExpectationMaximizationFuser(TruthFuser):
                 final_change=0.0,
                 final_prior=prior,
             )
+            self._last_posteriors = probabilities.copy()
             return probabilities
 
         # Preallocated work buffers, reused across iterations (see
@@ -214,7 +283,18 @@ class ExpectationMaximizationFuser(TruthFuser):
             converged=change < self._tolerance,
             final_change=change,
             final_prior=prior,
+            warm_started=warm_applied,
         )
+        if warm_applied:
+            # Diagnostics only (plain increments, last-writer-wins under
+            # threads): how many iterations the warm init saved vs the
+            # baseline generation's cold run.
+            self._warm_scores += 1
+            if self._warm_baseline is not None:
+                self._warm_iterations_saved += max(
+                    self._warm_baseline - iteration, 0
+                )
+        self._last_posteriors = probabilities.copy()
         return probabilities
 
     def _m_step(

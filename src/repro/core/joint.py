@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.core.quality import (
     SourceQuality,
     derive_false_positive_rate,
     estimate_source_quality,
+    quality_from_counts,
 )
 from repro.util.probability import safe_divide
 from repro.util.validation import check_engine, check_fraction
@@ -52,6 +54,98 @@ SubsetKey = frozenset[int]
 #: bounds the batched AND accumulator at a few tens of MB even when a fuser
 #: asks for hundreds of thousands of subset unions over a wide matrix.
 _BATCH_CHUNK = 32_768
+
+#: Above this dirty-*word* fraction :meth:`EmpiricalJointModel.refit_delta`
+#: falls back to an exact recount (a cold model build): subtract/add over
+#: nearly every word costs two passes where the recount costs one, and the
+#: carried caches are mostly invalidated anyway.
+DEFAULT_REFIT_CHURN_FRACTION = 0.75
+
+
+def _gather_words(words: np.ndarray, word_ids: np.ndarray) -> np.ndarray:
+    """Select ``word_ids`` columns of a packed array, zero beyond its width.
+
+    The word diff is computed over the *padded* common width of two
+    generations; a word id past this array's real width corresponds to
+    pure padding and contributes an all-zero word (``pack_bool_rows``
+    zero-pads, so this matches what a physically padded array would hold).
+    """
+    out = np.zeros(words.shape[:-1] + (word_ids.size,), dtype=np.uint64)
+    in_range = word_ids < words.shape[-1]
+    if in_range.any():
+        out[..., in_range] = words[..., word_ids[in_range]]
+    return out
+
+
+class _JointCounts:
+    """Updatable integer sufficient statistics of one model generation.
+
+    Every parameter the empirical model serves is a pure float function of
+    these exact integer counts, which is what makes the delta-refit path
+    bit-identical to a cold fit: ``refit_delta`` transports the integers
+    with popcount add/subtract over dirty words only, then re-derives the
+    floats through the same shared code paths
+    (:func:`~repro.core.quality.quality_from_counts`,
+    :meth:`EmpiricalJointModel._params_from_counts`) a cold build uses.
+
+    The per-source arrays are always populated; the per-pair arrays are
+    built lazily by the first :meth:`EmpiricalJointModel.pair_joint_params`
+    call (``None`` until then) and the coverage pair is kept only under
+    partial coverage.
+    """
+
+    __slots__ = (
+        "src_provided",
+        "src_provided_true",
+        "src_in_scope_true",
+        "pair_provided_true",
+        "pair_provided_false",
+        "pair_covered_true",
+        "pair_covered_false",
+    )
+
+    def __init__(
+        self,
+        src_provided: np.ndarray,
+        src_provided_true: np.ndarray,
+        src_in_scope_true: np.ndarray,
+    ) -> None:
+        self.src_provided = src_provided
+        self.src_provided_true = src_provided_true
+        self.src_in_scope_true = src_in_scope_true
+        self.pair_provided_true: Optional[np.ndarray] = None
+        self.pair_provided_false: Optional[np.ndarray] = None
+        self.pair_covered_true: Optional[np.ndarray] = None
+        self.pair_covered_false: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class ModelRefitStats:
+    """What one :meth:`EmpiricalJointModel.refit_delta` call actually did."""
+
+    #: ``"delta"`` (incremental count transport) or ``"cold"`` (exact
+    #: recount fallback -- a full model rebuild).
+    mode: str
+    #: Why the cold fallback fired (``None`` on the delta path).
+    reason: Optional[str]
+    #: Dirty ``uint64`` words vs the padded total (64-column granularity).
+    dirty_words: int
+    total_words: int
+    #: Sources whose provides/coverage bits changed.
+    dirty_sources: int
+    #: Did any label bit change (flushes truth-conditioned caches)?
+    labels_changed: bool
+    #: Memoised subset entries carried into the new generation.
+    carried_cache_entries: int
+    #: Row ids of the dirty sources (empty on the cold path) -- consumed
+    #: by the session's partition/evaluator carry, which must know *which*
+    #: sources changed, not just how many.
+    dirty_source_ids: tuple[int, ...] = ()
+
+    @property
+    def dirty_word_fraction(self) -> float:
+        """Churn measure: fraction of packed words touched by the diff."""
+        return float(self.dirty_words) / float(max(self.total_words, 1))
 
 
 def _as_key(source_ids: Iterable[int]) -> SubsetKey:
@@ -254,6 +348,17 @@ class JointQualityModel(ABC):
             return None
         self._pair_params_cache = (pairs, params[0], params[1])
         return self._pair_params_cache
+
+    def pair_coverage_counts(
+        self,
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """``(covered_true, covered_false)`` arrays for every source pair.
+
+        Aligned with :meth:`pair_joint_params`'s pair order.  ``None`` when
+        batch pair statistics are unavailable; callers fall back to scalar
+        :meth:`joint_coverage_counts` queries.
+        """
+        return None
 
     def pairwise_correlations(self) -> tuple[np.ndarray, np.ndarray]:
         """Matrices ``(C_true, C_false)`` of pairwise correlation factors.
@@ -462,6 +567,7 @@ class EmpiricalJointModel(JointQualityModel):
                 f"max_cache_entries must be non-negative, got {max_cache_entries}"
             )
         self._engine = check_engine(engine)
+        self._workers = workers
         self._executor = make_executor(workers)
         self._observations = observations
         self._labels = labels
@@ -475,6 +581,7 @@ class EmpiricalJointModel(JointQualityModel):
         if self._engine == "vectorized":
             self._true_words = pack_bool_vector(labels)
             self._false_words = pack_bool_vector(~labels)
+        self._counts: Optional[_JointCounts] = None
         self._recall_cache: dict[SubsetKey, float] = {}
         self._fpr_cache: dict[SubsetKey, float] = {}
         self._precision_cache: dict[SubsetKey, float] = {}
@@ -671,7 +778,28 @@ class EmpiricalJointModel(JointQualityModel):
             n_true, n_false = self.evidence_counts()
             covered_true = np.full(len(subsets), n_true, dtype=np.int64)
             covered_false = np.full(len(subsets), n_false, dtype=np.int64)
+        return self._params_from_counts(
+            provided_true,
+            provided_false,
+            covered_true,
+            covered_false,
+            empty=~subsets.any(axis=1),
+        )
 
+    def _params_from_counts(
+        self,
+        provided_true: np.ndarray,
+        provided_false: np.ndarray,
+        covered_true: np.ndarray,
+        covered_false: np.ndarray,
+        empty: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(r, q)`` arrays from integer count arrays -- the shared float path.
+
+        Both the batched popcount sweep (:meth:`_params_chunk`) and the
+        delta-maintained pair counters funnel through this one function, so
+        identical integers always produce bit-identical parameters.
+        """
         recall = self._ratio_vec(provided_true, covered_true)
         precision = self._ratio_vec(provided_true, provided_true + provided_false)
         # Theorem 3.5 with clip=True, element-wise in the scalar expression's
@@ -682,10 +810,9 @@ class EmpiricalJointModel(JointQualityModel):
         derived = np.where(derived > 1.0, 1.0, derived)
         fallback = self._ratio_vec(provided_false, covered_false)
         fpr = np.where(precision > 0.0, derived, fallback)
-
-        empty = ~subsets.any(axis=1)
-        recall = np.where(empty, 1.0, recall)
-        fpr = np.where(empty, 1.0, fpr)
+        if empty is not None:
+            recall = np.where(empty, 1.0, recall)
+            fpr = np.where(empty, 1.0, fpr)
         return recall, fpr
 
     def _ratio_vec(
@@ -697,6 +824,387 @@ class EmpiricalJointModel(JointQualityModel):
         with np.errstate(divide="ignore", invalid="ignore"):
             out = (numerator + s) / den
         return np.where(den == 0.0, 0.0, out)
+
+    # -- updatable count state (delta refit) ---------------------------
+
+    def _count_state(self) -> _JointCounts:
+        """Per-source integer counters, built from packed words on demand.
+
+        Bit-identical to the boolean-sum counts ``estimate_source_quality``
+        measures: packed rows zero-pad their tails, so row popcounts equal
+        row sums exactly.  Vectorized engine only (callers guard).
+        """
+        counts = self._counts
+        if counts is None:
+            provides = self._observations.packed_provides.words
+            coverage = self._observations.packed_coverage.words
+            counts = _JointCounts(
+                src_provided=popcount_rows(provides),
+                src_provided_true=popcount_rows(provides & self._true_words),
+                src_in_scope_true=popcount_rows(coverage & self._true_words),
+            )
+            self._counts = counts
+        return counts
+
+    def _build_pair_counts(self, counts: _JointCounts) -> None:
+        """Populate the per-pair counters by chunked packed popcounts."""
+        n = self.n_sources
+        ii, jj = np.triu_indices(n, k=1)
+        n_pairs = ii.size
+        provides = self._observations.packed_provides.words
+        provided_true = np.empty(n_pairs, dtype=np.int64)
+        provided_false = np.empty(n_pairs, dtype=np.int64)
+        for start in range(0, n_pairs, _BATCH_CHUNK):
+            stop = min(start + _BATCH_CHUNK, n_pairs)
+            intersection = provides[ii[start:stop]] & provides[jj[start:stop]]
+            provided_true[start:stop] = popcount_rows(
+                intersection & self._true_words
+            )
+            provided_false[start:stop] = popcount_rows(
+                intersection & self._false_words
+            )
+        counts.pair_provided_true = provided_true
+        counts.pair_provided_false = provided_false
+        if self._partial_coverage:
+            coverage = self._observations.packed_coverage.words
+            covered_true = np.empty(n_pairs, dtype=np.int64)
+            covered_false = np.empty(n_pairs, dtype=np.int64)
+            for start in range(0, n_pairs, _BATCH_CHUNK):
+                stop = min(start + _BATCH_CHUNK, n_pairs)
+                joint_scope = (
+                    coverage[ii[start:stop]] & coverage[jj[start:stop]]
+                )
+                covered_true[start:stop] = popcount_rows(
+                    joint_scope & self._true_words
+                )
+                covered_false[start:stop] = popcount_rows(
+                    joint_scope & self._false_words
+                )
+            counts.pair_covered_true = covered_true
+            counts.pair_covered_false = covered_false
+
+    def _pair_coverage_arrays(
+        self, counts: _JointCounts
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(covered_true, covered_false)``; full coverage is flat."""
+        if self._partial_coverage:
+            return counts.pair_covered_true, counts.pair_covered_false
+        n = self.n_sources
+        n_pairs = n * (n - 1) // 2
+        n_true, n_false = self.evidence_counts()
+        return (
+            np.full(n_pairs, n_true, dtype=np.int64),
+            np.full(n_pairs, n_false, dtype=np.int64),
+        )
+
+    def pair_joint_params(
+        self,
+    ) -> Optional[tuple[list[tuple[int, int]], np.ndarray, np.ndarray]]:
+        """All-pairs ``(pairs, r, q)`` served from the updatable counters.
+
+        Same contract (and bit-identical values) as the base-class batch
+        path: the counters hold exactly the integers
+        ``and_reduce_batch`` + popcount would produce, and the float
+        derivation goes through :meth:`_params_from_counts` either way.
+        Keeping the counts around is what lets :meth:`refit_delta`
+        transport them to the next generation with dirty-word updates
+        instead of a full O(pairs x words) recount.
+        """
+        if self._engine != "vectorized":
+            return super().pair_joint_params()
+        cached = self._pair_params_cache
+        if cached is not None:
+            return cached or None
+        n = self.n_sources
+        if n < 2:
+            return None
+        counts = self._count_state()
+        if counts.pair_provided_true is None:
+            self._build_pair_counts(counts)
+        covered_true, covered_false = self._pair_coverage_arrays(counts)
+        recalls, fprs = self._params_from_counts(
+            counts.pair_provided_true,
+            counts.pair_provided_false,
+            covered_true,
+            covered_false,
+        )
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        self._pair_params_cache = (pairs, recalls, fprs)
+        return self._pair_params_cache
+
+    def pair_coverage_counts(
+        self,
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Per-pair scope counts aligned with :meth:`pair_joint_params`."""
+        if self._engine != "vectorized" or self.n_sources < 2:
+            return None
+        counts = self._count_state()
+        if self._partial_coverage and counts.pair_covered_true is None:
+            self._build_pair_counts(counts)
+        return self._pair_coverage_arrays(counts)
+
+    # -- incremental refit ---------------------------------------------
+
+    def refit_delta(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        prior: Optional[float] = None,
+        smoothing: Optional[float] = None,
+        max_churn_fraction: float = DEFAULT_REFIT_CHURN_FRACTION,
+    ) -> tuple["EmpiricalJointModel", ModelRefitStats]:
+        """A new model for ``(observations, labels)``, built incrementally.
+
+        Computes the word-level diff against this model's training snapshot
+        (:func:`~repro.core.deltas.dirty_words`) and transports the integer
+        sufficient statistics: for each dirty ``uint64`` word, old-word
+        popcounts are subtracted and new-word popcounts added -- cost
+        proportional to churn, not dataset size.  Float parameters are then
+        re-derived from the updated integers through the same code paths a
+        cold build uses, so the returned model is **bit-identical** to
+        ``EmpiricalJointModel(observations, labels, ...)`` (pinned by
+        ``tests/test_refit_delta.py``).  Memoised subset entries whose
+        source sets do not intersect the dirty sources are carried over
+        (their counts provably did not change); the rest are dropped.
+
+        Falls back to an exact recount (a plain cold construction) when the
+        diff is unavailable (``None``: source sets differ), the engine is
+        legacy, or the dirty-word fraction exceeds ``max_churn_fraction``.
+
+        Returns ``(new_model, stats)``.  This model is left untouched and
+        remains fully usable (the session retires it after the swap).
+        """
+        if not 0.0 <= max_churn_fraction <= 1.0:
+            raise ValueError(
+                "max_churn_fraction must be in [0, 1], "
+                f"got {max_churn_fraction}"
+            )
+        new_prior = self.prior if prior is None else prior
+        new_smoothing = (
+            self._smoothing if smoothing is None else float(smoothing)
+        )
+        check_fraction(new_prior, "prior")
+        if new_smoothing < 0:
+            raise ValueError(
+                f"smoothing must be non-negative, got {new_smoothing}"
+            )
+        labels = np.asarray(labels, dtype=bool)
+        if labels.shape != (observations.n_triples,):
+            raise ValueError(
+                f"labels shape {labels.shape} != ({observations.n_triples},)"
+            )
+
+        def _cold(reason: str, diff=None) -> tuple[
+            "EmpiricalJointModel", ModelRefitStats
+        ]:
+            model = EmpiricalJointModel(
+                observations,
+                labels,
+                prior=new_prior,
+                smoothing=new_smoothing,
+                max_cache_entries=self._max_cache,
+                engine=self._engine,
+                workers=self._workers,
+            )
+            return model, ModelRefitStats(
+                mode="cold",
+                reason=reason,
+                dirty_words=(
+                    diff.word_ids.size if diff is not None else 0
+                ),
+                total_words=(diff.n_words if diff is not None else 0),
+                dirty_sources=(
+                    int(diff.dirty_sources.sum()) if diff is not None else 0
+                ),
+                labels_changed=(
+                    diff.labels_changed if diff is not None else True
+                ),
+                carried_cache_entries=0,
+            )
+
+        if self._engine != "vectorized":
+            return _cold("legacy engine")
+        from repro.core.deltas import dirty_words
+
+        diff = dirty_words(self._observations, observations, self._labels, labels)
+        if diff is None:
+            return _cold("source sets differ")
+        if diff.dirty_fraction > max_churn_fraction:
+            return _cold(
+                f"churn {diff.dirty_fraction:.2f} > {max_churn_fraction}",
+                diff,
+            )
+        return self._refit_from_diff(
+            observations, labels, new_prior, new_smoothing, diff
+        )
+
+    def _refit_from_diff(
+        self,
+        observations: ObservationMatrix,
+        labels: np.ndarray,
+        prior: float,
+        smoothing: float,
+        diff,
+    ) -> tuple["EmpiricalJointModel", ModelRefitStats]:
+        """The delta path proper: transport counts, re-derive floats."""
+        cls = type(self)
+        new = cls.__new__(cls)
+        JointQualityModel.__init__(new, observations.source_names, prior)
+        new._engine = self._engine
+        new._workers = self._workers
+        new._executor = make_executor(self._workers)
+        new._observations = observations
+        new._labels = labels
+        new._smoothing = smoothing
+        new._max_cache = self._max_cache
+        new._partial_coverage = observations.has_partial_coverage
+        if diff.labels_changed:
+            new._true_words = pack_bool_vector(labels)
+            new._false_words = pack_bool_vector(~labels)
+            new._n_true = int(labels.sum())
+        else:
+            # labels_changed=False implies identical labels *and* width
+            # (appended/removed columns always flip a label-packing bit).
+            new._true_words = self._true_words
+            new._false_words = self._false_words
+            new._n_true = self._n_true
+
+        # Integer count transport over dirty words only.
+        word_ids = diff.word_ids
+        old_counts = self._count_state()
+        old_provides = _gather_words(
+            self._observations.packed_provides.words, word_ids
+        )
+        new_provides = _gather_words(
+            observations.packed_provides.words, word_ids
+        )
+        old_coverage = _gather_words(
+            self._observations.packed_coverage.words, word_ids
+        )
+        new_coverage = _gather_words(
+            observations.packed_coverage.words, word_ids
+        )
+        old_true = _gather_words(self._true_words, word_ids)
+        new_true = _gather_words(new._true_words, word_ids)
+        counts = _JointCounts(
+            src_provided=old_counts.src_provided
+            + popcount_rows(new_provides)
+            - popcount_rows(old_provides),
+            src_provided_true=old_counts.src_provided_true
+            + popcount_rows(new_provides & new_true)
+            - popcount_rows(old_provides & old_true),
+            src_in_scope_true=old_counts.src_in_scope_true
+            + popcount_rows(new_coverage & new_true)
+            - popcount_rows(old_coverage & old_true),
+        )
+        if (
+            old_counts.pair_provided_true is not None
+            and new._partial_coverage == self._partial_coverage
+        ):
+            old_false = _gather_words(self._false_words, word_ids)
+            new_false = _gather_words(new._false_words, word_ids)
+            n = self.n_sources
+            ii, jj = np.triu_indices(n, k=1)
+            old_inter = old_provides[ii] & old_provides[jj]
+            new_inter = new_provides[ii] & new_provides[jj]
+            counts.pair_provided_true = (
+                old_counts.pair_provided_true
+                + popcount_rows(new_inter & new_true)
+                - popcount_rows(old_inter & old_true)
+            )
+            counts.pair_provided_false = (
+                old_counts.pair_provided_false
+                + popcount_rows(new_inter & new_false)
+                - popcount_rows(old_inter & old_false)
+            )
+            if new._partial_coverage:
+                old_scope = old_coverage[ii] & old_coverage[jj]
+                new_scope = new_coverage[ii] & new_coverage[jj]
+                counts.pair_covered_true = (
+                    old_counts.pair_covered_true
+                    + popcount_rows(new_scope & new_true)
+                    - popcount_rows(old_scope & old_true)
+                )
+                counts.pair_covered_false = (
+                    old_counts.pair_covered_false
+                    + popcount_rows(new_scope & new_false)
+                    - popcount_rows(old_scope & old_false)
+                )
+        new._counts = counts
+
+        # Singleton qualities: dirty sources re-derive from the updated
+        # counts; clean sources reuse the previous (identical-by-counts)
+        # objects when nothing that enters the formula changed.
+        reuse_clean = (
+            not diff.labels_changed
+            and prior == self.prior
+            and smoothing == self._smoothing
+        )
+        dirty_sources = diff.dirty_sources
+        singletons: list[SourceQuality] = []
+        for i, name in enumerate(new._source_names):
+            if reuse_clean and not dirty_sources[i]:
+                singletons.append(self._singletons[i])
+            else:
+                singletons.append(
+                    quality_from_counts(
+                        name=name,
+                        provided=int(counts.src_provided[i]),
+                        provided_true=int(counts.src_provided_true[i]),
+                        in_scope_true=int(counts.src_in_scope_true[i]),
+                        prior=prior,
+                        smoothing=smoothing,
+                    )
+                )
+        new._singletons = singletons
+
+        # Selective memo carry-over: an entry is valid iff every count and
+        # every formula input behind it is unchanged -- its source set must
+        # avoid the dirty sources, labels must be identical, and the knobs
+        # the cached float depends on must match.
+        dirty_set = frozenset(np.flatnonzero(dirty_sources).tolist())
+
+        def _carry(cache: dict, valid: bool) -> dict:
+            if not valid or diff.labels_changed:
+                return {}
+            if not dirty_set:
+                return dict(cache)
+            return {
+                key: value
+                for key, value in cache.items()
+                if dirty_set.isdisjoint(key)
+            }
+
+        same_smoothing = smoothing == self._smoothing
+        new._coverage_cache = _carry(self._coverage_cache, True)
+        new._recall_cache = _carry(self._recall_cache, same_smoothing)
+        new._precision_cache = _carry(self._precision_cache, same_smoothing)
+        new._fpr_cache = _carry(
+            self._fpr_cache, same_smoothing and prior == self.prior
+        )
+        carried = (
+            len(new._coverage_cache)
+            + len(new._recall_cache)
+            + len(new._precision_cache)
+            + len(new._fpr_cache)
+        )
+        return new, ModelRefitStats(
+            mode="delta",
+            reason=None,
+            dirty_words=int(word_ids.size),
+            total_words=int(diff.n_words),
+            dirty_sources=int(dirty_sources.sum()),
+            labels_changed=bool(diff.labels_changed),
+            carried_cache_entries=carried,
+            dirty_source_ids=tuple(
+                int(i) for i in np.flatnonzero(dirty_sources)
+            ),
+        )
+
+    @property
+    def smoothing(self) -> float:
+        """Laplace pseudo-count all quality ratios were computed with."""
+        return self._smoothing
 
     def source_quality(self, source_id: int) -> SourceQuality:
         return self._singletons[int(source_id)]

@@ -126,6 +126,34 @@ def derive_false_positive_rate(
     return q
 
 
+def quality_from_counts(
+    name: str,
+    provided: int,
+    provided_true: int,
+    in_scope_true: int,
+    prior: float = 0.5,
+    smoothing: float = 0.0,
+) -> SourceQuality:
+    """Build a :class:`SourceQuality` from its three sufficient statistics.
+
+    ``estimate_source_quality`` is exactly this applied to the counts it
+    measures per row; the incremental refit path
+    (:meth:`~repro.core.joint.EmpiricalJointModel.refit_delta`) maintains
+    the same integer counts via popcount deltas and re-derives qualities
+    through this shared code path, which is what makes delta-refit models
+    bit-identical to cold ones.
+    """
+    precision = _smoothed_ratio(provided_true, provided, smoothing)
+    recall = _smoothed_ratio(provided_true, in_scope_true, smoothing)
+    fpr = derive_false_positive_rate(precision, recall, prior, clip=True)
+    return SourceQuality(
+        name=name,
+        precision=precision,
+        recall=recall,
+        false_positive_rate=fpr,
+    )
+
+
 def estimate_source_quality(
     observations: ObservationMatrix,
     labels: np.ndarray,
@@ -169,20 +197,16 @@ def estimate_source_quality(
     qualities: list[SourceQuality] = []
     for i, name in enumerate(observations.source_names):
         row = provides[i]
-        provided = row.sum()
-        provided_true = (row & labels).sum()
-        precision = _smoothed_ratio(provided_true, provided, smoothing)
-        # Scope-aware recall: only true triples the source covers count
-        # against it (Section 2.2's "scope" note).
-        in_scope_true = (coverage[i] & labels).sum()
-        recall = _smoothed_ratio(provided_true, in_scope_true, smoothing)
-        fpr = derive_false_positive_rate(precision, recall, prior, clip=True)
         qualities.append(
-            SourceQuality(
+            quality_from_counts(
                 name=name,
-                precision=precision,
-                recall=recall,
-                false_positive_rate=fpr,
+                provided=int(row.sum()),
+                provided_true=int((row & labels).sum()),
+                # Scope-aware recall: only true triples the source covers
+                # count against it (Section 2.2's "scope" note).
+                in_scope_true=int((coverage[i] & labels).sum()),
+                prior=prior,
+                smoothing=smoothing,
             )
         )
     return qualities

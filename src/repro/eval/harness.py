@@ -22,7 +22,12 @@ import numpy as np
 from repro.baselines.estimates import ThreeEstimatesFuser
 from repro.baselines.ltm import LatentTruthModel
 from repro.baselines.voting import UnionKFuser
-from repro.core.api import ScoringSession, fit_model, make_fuser
+from repro.core.api import (
+    ScoringSession,
+    check_refit_mode,
+    fit_model,
+    make_fuser,
+)
 from repro.core.fusion import DEFAULT_THRESHOLD, FusionResult, TruthFuser
 from repro.core.observations import ObservationMatrix
 from repro.data.model import FusionDataset
@@ -180,6 +185,21 @@ class ServingReport:
         Final counters of the compiled-plan cache, the bitmask-keyed
         joint cache, and the delta engine (empty when the layer is
         absent) -- see ``ScoringSession.cache_stats``.
+    refit_every, refit_mode:
+        The streaming-refit schedule the loop ran with (0 = no refits).
+    refit_seconds:
+        Wall-clock of each primary-session refit, in step order (empty
+        with ``refit_every == 0``).
+    refit_max_score_diff:
+        Largest ``|primary score - cold-refit reference score|`` over the
+        refit steps.  Exactly 0.0 for model-based methods (delta refits
+        are bit-identical by construction, and :func:`run_serving` raises
+        if not); small but nonzero for warm-started EM (same fixed point,
+        different trajectory); NaN when no refits ran.
+    refit_stats:
+        The session's ``cache_stats()["refit"]`` block: delta vs cold
+        refits taken, per-refit dirty-word fractions, EM warm-start
+        counters (empty with no refits).
     """
 
     method: str
@@ -194,11 +214,27 @@ class ServingReport:
     plan_cache_stats: Mapping = field(default_factory=dict)
     joint_cache_stats: Mapping = field(default_factory=dict)
     delta_stats: Mapping = field(default_factory=dict)
+    refit_every: int = 0
+    refit_mode: str = "cold"
+    refit_seconds: tuple[float, ...] = ()
+    refit_max_score_diff: float = float("nan")
+    refit_stats: Mapping = field(default_factory=dict)
 
     @property
     def repeats(self) -> int:
         """Warm ``score`` calls after the cold one."""
         return len(self.warm_seconds)
+
+    @property
+    def refit_count(self) -> int:
+        """Primary-session refits the loop performed."""
+        return len(self.refit_seconds)
+
+    @property
+    def refit_mean_seconds(self) -> float:
+        if not self.refit_seconds:
+            return float("nan")
+        return float(np.mean(self.refit_seconds))
 
     @property
     def warm_mean_seconds(self) -> float:
@@ -289,6 +325,8 @@ def run_serving(
     delta: str = "auto",
     mutate_frac: float = 0.0,
     mutate_seed: int = 0,
+    refit_every: int = 0,
+    refit_mode: str = "cold",
     **options,
 ) -> ServingReport:
     """Fit once on ``dataset`` and score it ``1 + repeats`` times.
@@ -307,6 +345,21 @@ def run_serving(
     delta engine exists for -- and every delta-scored step is checked
     bit-for-bit against a plain (non-delta) scoring of the same matrix.
 
+    ``refit_every=N`` (with ``N > 0``) refits the primary session on
+    every N-th repeat's matrix (against the dataset's labels) before
+    scoring it -- the streaming shape where fresh training labels arrive
+    periodically.  ``refit_mode`` picks the strategy: ``"cold"`` rebuilds
+    from scratch (:meth:`ScoringSession.refit`), ``"delta"`` transports
+    counts incrementally (:meth:`ScoringSession.refit_delta`).  Every
+    refit step is verified against an independent reference session that
+    always cold-refits in lockstep: for model-based methods the primary's
+    post-refit scores must match the reference **exactly** (a nonzero
+    difference raises ``RuntimeError``); for warm-started EM the gap is
+    recorded in ``refit_max_score_diff`` but not enforced, since a warm
+    trajectory reaches the same fixed point without being bitwise
+    identical.  Refit wall-clock is kept off the scoring clock and lands
+    in ``ServingReport.refit_seconds``.
+
     ``workers``/``shard_size`` configure sharded parallel scoring inside
     the session (scores are bit-identical at any worker count); the
     effective count lands in ``ServingReport.workers``, and the final
@@ -318,6 +371,11 @@ def run_serving(
         raise ValueError(
             f"mutate_frac must be in [0, 1], got {mutate_frac}"
         )
+    if refit_every < 0:
+        raise ValueError(
+            f"refit_every must be non-negative, got {refit_every}"
+        )
+    refit_mode = check_refit_mode(refit_mode)
     session = ScoringSession(
         dataset.observations,
         dataset.labels,
@@ -341,13 +399,18 @@ def run_serving(
     else:
         trace = [dataset.observations] * repeats
     reference_session: Optional[ScoringSession] = None
-    if mutate_frac > 0.0 and session.delta_scorer is not None:
+    if refit_every > 0 or (
+        mutate_frac > 0.0 and session.delta_scorer is not None
+    ):
         # The per-step drift reference must be *independent* of the delta
         # machinery -- the primary session's own fuser shares the pattern
         # memos the delta path populates, so scoring through it could
         # never expose a corrupted memo entry.  A second, delta-off
         # session fits the same model state and scores every mutated
-        # matrix through the plain PR 3/4 path.
+        # matrix through the plain PR 3/4 path.  With refits scheduled
+        # the reference is also the verification oracle: it always
+        # cold-refits in lockstep with the primary, whatever the
+        # primary's refit_mode.
         reference_session = ScoringSession(
             dataset.observations,
             dataset.labels,
@@ -362,13 +425,28 @@ def run_serving(
             **options,
         )
     warm_seconds: list[float] = []
+    refit_seconds: list[float] = []
     max_drift = 0.0
+    refit_max_diff = float("nan")
+    warm_em_refits = method.lower() == "em" and refit_mode == "delta"
+    em_reference_stale = False
     # With mutation but no delta layer (delta="off", EM, legacy engine)
     # session.score *is* the plain path: there is nothing independent to
     # check a mutated step against, and the report says so with NaN
     # instead of a vacuous 0.0.
     drift_checked = mutate_frac == 0.0 or reference_session is not None
-    for observations in trace:
+    for step, observations in enumerate(trace, start=1):
+        refit_step = refit_every > 0 and step % refit_every == 0
+        if refit_step:
+            refit_start = time.perf_counter()
+            if refit_mode == "delta":
+                session.refit_delta(observations, dataset.labels)
+            else:
+                session.refit(observations, dataset.labels)
+            refit_seconds.append(time.perf_counter() - refit_start)
+            if reference_session is not None:
+                # Off the clock: the oracle always rebuilds cold.
+                reference_session.refit(observations, dataset.labels)
         start = time.perf_counter()
         scores = session.score(observations)
         warm_seconds.append(time.perf_counter() - start)
@@ -383,6 +461,28 @@ def run_serving(
         drift = (
             float(np.abs(scores - reference).max()) if len(scores) else 0.0
         )
+        if refit_step:
+            refit_max_diff = (
+                drift
+                if np.isnan(refit_max_diff)
+                else max(refit_max_diff, drift)
+            )
+            if drift != 0.0 and not warm_em_refits:
+                raise RuntimeError(
+                    f"refit_mode={refit_mode!r} scores diverged from a cold "
+                    f"refit by {drift} at step {step}; delta refits must be "
+                    "bit-identical"
+                )
+            if warm_em_refits:
+                # Warm-started EM legitimately differs from the cold
+                # trajectory; keep it out of the bit-identity drift field.
+                # The reference session's model now differs from the
+                # primary's for good, so later steps can't be compared
+                # against it either.
+                em_reference_stale = True
+                continue
+        if em_reference_stale:
+            continue
         max_drift = max(max_drift, drift)
     if not drift_checked:
         max_drift = float("nan")
@@ -404,6 +504,11 @@ def run_serving(
         },
         joint_cache_stats=dict(stats.get("joint_cache", {})),
         delta_stats=dict(stats.get("delta", {})),
+        refit_every=refit_every,
+        refit_mode=refit_mode,
+        refit_seconds=tuple(refit_seconds),
+        refit_max_score_diff=refit_max_diff,
+        refit_stats=dict(stats.get("refit", {})),
     )
 
 
