@@ -1,10 +1,26 @@
-"""Shim for environments without the ``wheel`` package.
+"""Package metadata: the ``repro`` engine plus the ``reprolint`` tool.
 
-``pip install -e . --no-build-isolation`` on old setuptools needs a
-setup.py to fall back to the legacy develop install; all real metadata
-lives in pyproject.toml.
+The ``reprolint`` console script and ``python -m tools.reprolint`` share
+one code path (``tools.reprolint.cli:main``), so CI, editors, and local
+hooks all run exactly the same checks.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-correlated-fusion",
+    version="0.7.0",
+    description=(
+        "Reproduction of 'Fusing Data with Correlations' (SIGMOD 2014): "
+        "correlation-aware truth fusion with a production serving layer"
+    ),
+    package_dir={"": "src", "tools": "tools"},
+    packages=find_packages(where="src") + ["tools", "tools.reprolint"],
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.11",
+    entry_points={
+        "console_scripts": [
+            "reprolint = tools.reprolint.cli:main",
+        ],
+    },
+)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.core.fusion import (
     ModelBasedFuser,
     TruthFuser,
 )
+from repro.core.locktrace import make_lock
 from repro.core.joint import (
     DEFAULT_REFIT_CHURN_FRACTION,
     EmpiricalJointModel,
@@ -166,7 +167,7 @@ _EXACT_ONLY_OPTIONS = frozenset({"max_silent_sources"})
 def make_fuser(
     method: str,
     model: Optional[JointQualityModel] = None,
-    **options,
+    **options: Any,
 ) -> TruthFuser:
     """Instantiate a fuser by canonical name.
 
@@ -235,7 +236,7 @@ def fuse(
     engine: str = "vectorized",
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
-    **options,
+    **options: Any,
 ) -> FusionResult:
     """Calibrate on ``labels`` and score every triple with ``method``.
 
@@ -409,13 +410,26 @@ class MicroBatcher:
         self._session = session
         self._max_requests = int(max_requests)
         self._wait_seconds = float(wait_seconds)
-        self._lock = threading.Lock()
+        self._lock = make_lock("MicroBatcher._lock")
+        # guarded-by: _lock
         self._pending: list[_PendingScore] = []
+        # guarded-by: _lock
         self._leader_active = False
+        # guarded-by: _lock
         self._requests = 0
+        # guarded-by: _lock
         self._batches = 0
+        # guarded-by: _lock
         self._fused_requests = 0
+        # guarded-by: _lock
         self._largest_batch = 0
+
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "MicroBatcher is process-local (it owns a lock and waiter "
+            "events tied to this process's threads); build one per "
+            "process instead of pickling it"
+        )
 
     @property
     def stats(self) -> dict:
@@ -633,7 +647,9 @@ class MicroBatcher:
             for request in batch:
                 request.event.set()
 
-    def _score_individually(self, requests) -> None:
+    def _score_individually(
+        self, requests: Iterable[_PendingScore]
+    ) -> None:
         """Score requests one by one, routing each error to its request."""
         session = self._session
         for request in requests:
@@ -714,10 +730,12 @@ class ScoringSession:
         micro_batch: str = "auto",
         micro_batch_wait_seconds: float = 0.002,
         micro_batch_max_requests: int = 64,
-        **options,
+        **options: Any,
     ) -> None:
         self._method = method
+        # guarded-by: _refit_lock
         self._prior = prior
+        # guarded-by: _refit_lock
         self._smoothing = smoothing
         self._engine = engine
         self._threshold = threshold
@@ -737,19 +755,31 @@ class ScoringSession:
             )
         self._micro_batch_wait = float(micro_batch_wait_seconds)
         self._micro_batch_max = int(micro_batch_max_requests)
+        self._batcher_lock = make_lock("ScoringSession._batcher_lock")
+        # guarded-by: _batcher_lock
         self._batcher: Optional[MicroBatcher] = None
-        self._batcher_lock = threading.Lock()
         self._options = dict(options)
+        # _refit_lock is deliberately held across generation builds, which
+        # fan out on their own private worker pools; it opts out of the
+        # held-lock-across-map hazard check (see locktrace.make_lock).
+        self._refit_lock = make_lock(
+            "ScoringSession._refit_lock", allow_across_map=True
+        )
+        self._count_lock = make_lock("ScoringSession._count_lock")
+        # guarded-by: _count_lock
         self._n_scored = 0
-        self._refit_lock = threading.Lock()
-        self._count_lock = threading.Lock()
         # Streaming-refit diagnostics (see refit_delta / cache_stats):
         # counts of delta vs cold refits, per-refit dirty-word fractions
         # and wall-clock, and the last refit's full ModelRefitStats.
+        # guarded-by: _refit_lock
         self._refit_delta_count = 0
+        # guarded-by: _refit_lock
         self._refit_cold_count = 0
+        # guarded-by: _refit_lock
         self._refit_dirty_fractions: list[float] = []
+        # guarded-by: _refit_lock
         self._refit_seconds: list[float] = []
+        # guarded-by: _refit_lock
         self._last_refit_stats: Optional[ModelRefitStats] = None
         # Exact significance-decision memo shared across delta refits on
         # the clustered route (decisions are keyed by the exact integer
@@ -757,13 +787,16 @@ class ScoringSession:
         # Created lazily on the first delta refit -- plain refit() stays
         # memo-free so cold-vs-delta comparisons measure the cold path
         # honestly.
+        # guarded-by: _refit_lock
         self._significance_memo: Optional[SignificanceMemo] = None
         # The live generation's correlation-detection state (edges +
         # partitions), kept so the next delta refit re-decides only pairs
         # touching dirty sources.  Reset by plain refit(): its state would
         # belong to a generation the next delta diff is not against.
+        # guarded-by: _refit_lock
         self._partition_state: Optional[PartitionDetectionState] = None
         start = time.perf_counter()
+        # guarded-by: _refit_lock
         self._fuser, self._model = _build_fuser(
             observations,
             labels,
@@ -776,7 +809,9 @@ class ScoringSession:
             shard_size=shard_size,
             options=self._options,
         )
+        # guarded-by: _refit_lock
         self._delta_scorer = self._make_delta_scorer(self._fuser)
+        # guarded-by: _refit_lock
         self.fit_seconds = time.perf_counter() - start
 
     def _make_delta_scorer(self, fuser: TruthFuser) -> Optional[DeltaScorer]:
@@ -939,7 +974,7 @@ class ScoringSession:
         observations: ObservationMatrix,
         labels: np.ndarray,
         train_mask: Optional[np.ndarray] = None,
-        **overrides,
+        **overrides: Any,
     ) -> "ScoringSession":
         """Refit on fresh labels, rebuild the fuser, invalidate old caches.
 
@@ -990,7 +1025,7 @@ class ScoringSession:
         labels: np.ndarray,
         train_mask: Optional[np.ndarray] = None,
         max_churn_fraction: float = DEFAULT_REFIT_CHURN_FRACTION,
-        **overrides,
+        **overrides: Any,
     ) -> "ScoringSession":
         """Refit incrementally: delta-update counts, warm-start EM.
 
@@ -1110,6 +1145,7 @@ class ScoringSession:
             self._note_refit(stats, self.fit_seconds)
         return self
 
+    # guarded-by: _refit_lock (callers hold it across the swap)
     def _publish_generation(
         self,
         fuser: TruthFuser,
@@ -1173,6 +1209,7 @@ class ScoringSession:
             carried_cache_entries=0,
         )
 
+    # guarded-by: _refit_lock (called while building the new generation)
     def _apply_partition_carry(
         self,
         model: EmpiricalJointModel,
@@ -1252,12 +1289,14 @@ class ScoringSession:
             return True
         return key == "precreccorr" and model.n_sources > EXACT_SOURCE_LIMIT
 
+    # guarded-by: _refit_lock (only delta refits reach for the memo)
     def _shared_significance_memo(self) -> SignificanceMemo:
         """The session's cross-generation significance memo (lazy)."""
         if self._significance_memo is None:
             self._significance_memo = SignificanceMemo()
         return self._significance_memo
 
+    # guarded-by: _refit_lock (refit bookkeeping happens inside the refit)
     def _note_refit(
         self, stats: Optional[ModelRefitStats], seconds: float
     ) -> None:
@@ -1305,10 +1344,17 @@ class ScoringSession:
             if self._model is not None:
                 self._model.close()
 
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "ScoringSession is process-local (it owns locks and live "
+            "worker pools); build one session per process instead of "
+            "pickling it"
+        )
+
     def __enter__(self) -> "ScoringSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def cache_stats(self) -> dict:

@@ -25,10 +25,11 @@ one giant component.
 from __future__ import annotations
 
 import math
-import threading
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Literal, Mapping, Optional, Sequence
+
+from repro.core.locktrace import make_lock
 
 import networkx as nx
 import numpy as np
@@ -62,7 +63,7 @@ def _triu(n: int) -> tuple[np.ndarray, np.ndarray]:
     return ii, jj
 
 
-def _cluster_job(item):
+def _cluster_job(item: tuple) -> tuple:
     """Worker-pool job: one (evaluator, cluster) decomposition + log tables.
 
     A module-level function (not a closure) so the process backend can
@@ -179,9 +180,12 @@ class SignificanceMemo:
             raise ValueError(
                 f"max_entries must be non-negative, got {max_entries}"
             )
-        self._decisions: dict[tuple, bool] = {}
         self._max_entries = int(max_entries)
-        self._lock = threading.Lock()
+        self._lock = make_lock("SignificanceMemo._lock")
+        # guarded-by: _lock
+        self._decisions: dict[tuple, bool] = {}
+        # Hit/miss counters are deliberately unlocked diagnostics (see
+        # class docstring).
         self.hits = 0
         self.misses = 0
 
@@ -226,6 +230,16 @@ class SignificanceMemo:
                 if len(memo) >= self._max_entries:
                     break
                 memo[(*table, alpha)] = bool(decision)
+
+    def __getstate__(self) -> dict:
+        # The lock is process-local; a pickled memo (process-backend jobs
+        # carry their fuser, and a clustered fuser may carry its memo)
+        # starts empty -- decisions are pure functions of the tables, so
+        # the receiving process rebuilds them bit-identically on demand.
+        return {"max_entries": self._max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["max_entries"])
 
 
 def pairwise_correlations(

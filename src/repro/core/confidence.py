@@ -16,7 +16,7 @@ This module implements that bridge:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -115,7 +115,7 @@ def confidence_threshold_sweep(
     thresholds: Sequence[float],
     method: str = "precrec",
     decision_prior: Optional[float] = 0.5,
-    **options,
+    **options: Any,
 ) -> list[dict]:
     """Fusion quality per determinisation threshold.
 

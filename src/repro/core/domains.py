@@ -14,7 +14,7 @@ the approach strictly generalises single-model fusion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 import numpy as np
 
@@ -42,7 +42,7 @@ def fuse_per_domain(
     prior: Optional[float] = None,
     smoothing: float = 0.0,
     threshold: float = DEFAULT_THRESHOLD,
-    **options,
+    **options: Any,
 ) -> tuple[FusionResult, DomainReport]:
     """Fuse with per-domain quality models.
 

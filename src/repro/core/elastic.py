@@ -318,7 +318,7 @@ class ElasticFuser(ModelBasedFuser):
 
     def _compile_entry(
         self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
-    ):
+    ) -> tuple:
         """Collect + compile + batch-evaluate one plan-cache entry."""
         compiled = ElasticUnionPlan.build(
             provider_matrix, silent_matrix, self._level

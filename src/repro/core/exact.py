@@ -293,7 +293,7 @@ class ExactCorrelationFuser(ModelBasedFuser):
 
     def _compile_entry(
         self, provider_matrix: np.ndarray, silent_matrix: np.ndarray
-    ):
+    ) -> tuple:
         """Collect + compile + batch-evaluate one plan-cache entry."""
         compiled = ExactUnionPlan.build(
             provider_matrix, silent_matrix,

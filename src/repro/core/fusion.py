@@ -127,7 +127,7 @@ class TruthFuser(ABC):
 PatternKey = tuple[frozenset[int], frozenset[int]]
 
 
-def _likelihoods_block_job(job):
+def _likelihoods_block_job(job: tuple) -> tuple[np.ndarray, np.ndarray]:
     """Worker-pool job: one pattern block through a fuser's block pipeline.
 
     A module-level function (not a closure) so the process backend can
@@ -318,7 +318,7 @@ class ModelBasedFuser(TruthFuser):
     def __enter__(self) -> "ModelBasedFuser":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def enable_delta_memo(self, max_entries: int = 200_000) -> None:

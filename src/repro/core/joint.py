@@ -32,13 +32,17 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bitset import pack_bool_vector, popcount, popcount_rows
 from repro.core.observations import ObservationMatrix
+from repro.core.locktrace import make_lock
 from repro.core.parallel import make_executor
+
+if TYPE_CHECKING:  # deltas imports joint at runtime; annotation-only here
+    from repro.core.deltas import WordDiff
 from repro.core.quality import (
     SourceQuality,
     derive_false_positive_rate,
@@ -285,7 +289,11 @@ class JointQualityModel(ABC):
             )
         return c_plus, c_minus
 
-    def _leave_one_out_params(self, ids: list[int]):
+    def _leave_one_out_params(
+        self, ids: list[int]
+    ) -> Optional[
+        tuple[tuple[float, float], tuple[np.ndarray, np.ndarray]]
+    ]:
         """Universe + leave-one-out ``(r, q)`` via one batch call, or ``None``.
 
         Returns ``((r_all, q_all), (r_rest, q_rest))`` where entry ``k`` of
@@ -436,11 +444,15 @@ class MaskedJointCache:
                 f"max_entries must be non-negative, got {max_entries}"
             )
         self._model = model
-        self._cache: dict[int, tuple[float, float]] = {}
         self._max_entries = int(max_entries)
-        self._lock = threading.Lock()
+        self._lock = make_lock("MaskedJointCache._lock")
+        # guarded-by: _lock
+        self._cache: dict[int, tuple[float, float]] = {}
+        # Hit/miss counters are deliberately unlocked diagnostics (see
+        # class docstring); evictions only moves under the store lock.
         self.hits = 0
         self.misses = 0
+        # guarded-by: _lock
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -503,7 +515,7 @@ class MaskedJointCache:
         self._model = state["model"]
         self._cache = {}
         self._max_entries = state["max_entries"]
-        self._lock = threading.Lock()
+        self._lock = make_lock("MaskedJointCache._lock")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -606,7 +618,7 @@ class EmpiricalJointModel(JointQualityModel):
     def __enter__(self) -> "EmpiricalJointModel":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- estimation ----------------------------------------------------
@@ -994,7 +1006,7 @@ class EmpiricalJointModel(JointQualityModel):
                 f"labels shape {labels.shape} != ({observations.n_triples},)"
             )
 
-        def _cold(reason: str, diff=None) -> tuple[
+        def _cold(reason: str, diff: Optional["WordDiff"] = None) -> tuple[
             "EmpiricalJointModel", ModelRefitStats
         ]:
             model = EmpiricalJointModel(
@@ -1044,7 +1056,7 @@ class EmpiricalJointModel(JointQualityModel):
         labels: np.ndarray,
         prior: float,
         smoothing: float,
-        diff,
+        diff: "WordDiff",
     ) -> tuple["EmpiricalJointModel", ModelRefitStats]:
         """The delta path proper: transport counts, re-derive floats."""
         cls = type(self)

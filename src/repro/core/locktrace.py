@@ -1,0 +1,420 @@
+"""Runtime lock-order tracing: deadlock-hazard detection for serving.
+
+The threaded serving stack (PR 4) rests on two prose invariants that no
+test could previously *watch* being upheld:
+
+1. **Lock ordering is acyclic.**  Every component lock (plan cache, joint
+   cache, session refit/count locks, micro-batcher queue lock, worker-pool
+   state lock) may be held while acquiring certain others -- e.g. a refit
+   holds the session's refit lock while invalidating the retired fuser's
+   plan cache.  As long as the "held while acquiring" relation over lock
+   *names* stays acyclic, no schedule of threads can deadlock on them.
+
+2. **No component lock is held across a pool fan-out.**  ``WorkerPool.map``
+   blocks the calling thread until every worker finishes; if the caller
+   holds a lock a worker might need, the pool nests a wait inside a
+   critical section -- the deadlock shape PR 4 avoided by giving every
+   component its own pool.  The one deliberate exception is the session's
+   coarse refit lock, which serialises whole generation builds (and those
+   builds legitimately fan out on the *new* generation's private pools).
+
+This module turns both invariants into runtime checks.  Set
+``REPRO_LOCK_CHECK=1`` and every lock built through :func:`make_lock`
+becomes a :class:`TrackedLock`: acquisitions record per-thread held-lock
+stacks into a process-wide lock-order graph, :func:`detected_cycles`
+reports any cycle in that graph (a potential deadlock even if no run has
+hit it yet), and ``WorkerPool.map`` refuses to fan out while a tracked
+lock is held (unless the lock was declared ``allow_across_map``).  With
+the variable unset (the default), :func:`make_lock` returns a plain
+``threading.Lock`` -- zero overhead, byte-identical behaviour.
+
+The checker is a *tracer*, not a scheduler: it observes orders that real
+executions exhibit, so its guarantees are as good as the workload that ran
+under it.  CI re-runs the concurrency-focused test modules with
+``REPRO_LOCK_CHECK=1`` and asserts the cycle set stays empty
+(``tests/test_locktrace.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Iterator, Optional, Union
+
+#: Environment variable that activates lock tracking (``1``/``true``/...).
+LOCK_CHECK_ENV_VAR = "REPRO_LOCK_CHECK"
+
+#: Frames kept in the acquisition-stack samples attached to graph edges.
+_STACK_DEPTH = 6
+
+
+def lock_check_enabled() -> bool:
+    """Whether ``REPRO_LOCK_CHECK`` asks for tracked locks."""
+    raw = os.environ.get(LOCK_CHECK_ENV_VAR, "").strip().lower()
+    return raw not in ("", "0", "false", "off", "no")
+
+
+class LockOrderError(RuntimeError):
+    """A lock-discipline violation detected at runtime.
+
+    Raised by :func:`assert_map_safe` when a tracked lock (not declared
+    ``allow_across_map``) is held on entry to a worker-pool fan-out: the
+    calling thread would block on worker completion inside a critical
+    section, the nested-wait deadlock shape.
+    """
+
+
+def _acquisition_site() -> str:
+    """A short formatted stack sample for hazard/edge reports."""
+    frames = traceback.extract_stack(limit=_STACK_DEPTH + 2)[:-2]
+    return " <- ".join(
+        f"{frame.name}:{frame.lineno}" for frame in reversed(frames)
+    )
+
+
+class _LockRegistry:
+    """Process-wide lock-order graph plus per-thread held-lock stacks.
+
+    Nodes are lock *names* (component-level, e.g.
+    ``"CompiledPlanCache._lock"``), so every instance of a component class
+    aggregates into one node and an ordering inversion between *any* two
+    instances surfaces as a cycle.  Edges ``(held, acquired)`` mean "some
+    thread acquired ``acquired`` while holding ``held``"; each edge keeps
+    an occurrence count and one sample acquisition site.  Re-entrant
+    re-acquisition of the *same instance* records no edge (that is what
+    ``reentrant=True`` locks are for); two distinct instances sharing a
+    name do record a self-edge, which is a genuine ordering hazard.
+    """
+
+    def __init__(self) -> None:
+        # The registry is a never-pickled process singleton; a plain lock
+        # (not a TrackedLock -- the registry cannot trace itself) is fine.
+        self._lock = threading.Lock()  # reprolint: allow[REP002]
+        self._tls = threading.local()
+        # guarded-by: _lock
+        self._edges: dict[tuple[str, str], dict] = {}
+        # guarded-by: _lock
+        self._hazards: list[dict] = []
+
+    # -- per-thread held stack ----------------------------------------
+
+    def _stack(self) -> list["TrackedLock"]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held(self) -> tuple["TrackedLock", ...]:
+        """The tracked locks the *calling thread* currently holds."""
+        return tuple(self._stack())
+
+    def note_acquire(self, lock: "TrackedLock") -> None:
+        """Record edges from every held lock, then push ``lock``.
+
+        Called *before* the underlying acquire blocks, so an ordering that
+        would deadlock still lands in the graph (the cycle report must not
+        depend on the deadlock winning the race).
+        """
+        stack = self._stack()
+        if stack:
+            site = _acquisition_site()
+            with self._lock:
+                for held in stack:
+                    if held is lock:
+                        continue  # re-entrant same-instance acquire
+                    key = (held.name, lock.name)
+                    entry = self._edges.get(key)
+                    if entry is None:
+                        self._edges[key] = {"count": 1, "site": site}
+                    else:
+                        entry["count"] += 1
+
+    def note_acquired(self, lock: "TrackedLock") -> None:
+        self._stack().append(lock)
+
+    def note_release(self, lock: "TrackedLock") -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # -- hazards -------------------------------------------------------
+
+    def note_map_hazard(self, context: str, held: list["TrackedLock"]) -> None:
+        with self._lock:
+            self._hazards.append(
+                {
+                    "context": context,
+                    "held": [lock.name for lock in held],
+                    "site": _acquisition_site(),
+                }
+            )
+
+    # -- reporting -----------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], dict]:
+        with self._lock:
+            return {key: dict(value) for key, value in self._edges.items()}
+
+    def hazards(self) -> list[dict]:
+        with self._lock:
+            return [dict(entry) for entry in self._hazards]
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary ordering cycle currently in the graph.
+
+        Strongly connected components of the name-level digraph: an SCC
+        with more than one node -- or a node with a self-edge -- admits a
+        thread schedule in which two threads wait on each other.  Returned
+        as sorted name lists, deterministically ordered.
+        """
+        with self._lock:
+            edge_keys = list(self._edges)
+        graph: dict[str, set[str]] = {}
+        for src, dst in edge_keys:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        sccs = _strongly_connected(graph)
+        cycles = [sorted(component) for component in sccs if len(component) > 1]
+        for src, dst in edge_keys:
+            if src == dst:
+                cycles.append([src])
+        return sorted(cycles)
+
+    def report(self) -> dict:
+        """Graph, cycles, and hazards in one serialisable snapshot."""
+        return {
+            "enabled": lock_check_enabled(),
+            "edges": {
+                f"{src} -> {dst}": value
+                for (src, dst), value in sorted(self.edges().items())
+            },
+            "cycles": self.cycles(),
+            "hazards": self.hazards(),
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded edges and hazards (tests only).
+
+        Per-thread held stacks are left alone: locks currently held by
+        live threads must keep unwinding correctly through release.
+        """
+        with self._lock:
+            self._edges.clear()
+            self._hazards.clear()
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan SCC over a small name-level digraph."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[list[str]] = []
+    counter = 0
+    for root in sorted(graph):
+        if root in index_of:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(graph[root])))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+# The process-wide registry: one lock-order graph per process, by design --
+# the graph aggregates orderings across every component instance, which is
+# exactly what makes cross-instance inversions visible.
+_REGISTRY = _LockRegistry()  # reprolint: allow[REP004]
+
+
+class TrackedLock:
+    """A ``threading.Lock``/``RLock`` that records acquisition order.
+
+    Drop-in for the plain lock in every ``with``/``acquire``/``release``
+    use.  ``name`` should identify the component attribute
+    (``"ClassName._lock"``); all instances sharing a name aggregate into
+    one lock-order graph node.  ``allow_across_map=True`` marks a lock
+    that is *deliberately* held across worker-pool fan-outs (the session
+    refit lock: it serialises generation builds, and pool workers never
+    take it) -- every other tracked lock trips :func:`assert_map_safe`.
+    """
+
+    __slots__ = ("name", "allow_across_map", "_inner")
+
+    def __init__(
+        self,
+        name: str,
+        reentrant: bool = False,
+        allow_across_map: bool = False,
+    ) -> None:
+        self.name = str(name)
+        self.allow_across_map = bool(allow_across_map)
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _REGISTRY.note_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _REGISTRY.note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        _REGISTRY.note_release(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+    def __getstate__(self) -> dict:
+        # Lock state is process-local; a pickled tracked lock re-arms
+        # unlocked in the receiving process, like the plain locks the
+        # cache/pool __getstate__ implementations drop and rebuild.
+        return {
+            "name": self.name,
+            "allow_across_map": self.allow_across_map,
+            "reentrant": isinstance(
+                self._inner, type(threading.RLock())
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.allow_across_map = state["allow_across_map"]
+        self._inner = (
+            threading.RLock() if state["reentrant"] else threading.Lock()
+        )
+
+
+LockLike = Union[threading.Lock, TrackedLock]
+
+
+def make_lock(
+    name: str,
+    reentrant: bool = False,
+    allow_across_map: bool = False,
+) -> LockLike:
+    """A component lock: plain by default, tracked under lock checking.
+
+    The single constructor every core component routes its locks through.
+    With ``REPRO_LOCK_CHECK`` unset this returns a plain
+    ``threading.Lock`` (or ``RLock``) -- no wrapper, no overhead; with it
+    set, a :class:`TrackedLock` that feeds the process lock-order graph.
+    """
+    if lock_check_enabled():
+        return TrackedLock(
+            name, reentrant=reentrant, allow_across_map=allow_across_map
+        )
+    if reentrant:
+        return threading.RLock()  # type: ignore[return-value]
+    return threading.Lock()
+
+
+def held_tracked_locks() -> tuple[TrackedLock, ...]:
+    """The tracked locks held by the calling thread (empty when disabled)."""
+    return _REGISTRY.held()
+
+
+def assert_map_safe(context: str) -> None:
+    """Raise :class:`LockOrderError` if a strict tracked lock is held.
+
+    Called by ``WorkerPool.map`` immediately before fanning work out to
+    worker threads/processes.  Holding a component lock there nests the
+    pool wait inside a critical section -- if any worker (now or after a
+    refactor) needs that lock, the serving process deadlocks.  Locks
+    declared ``allow_across_map`` are exempt; everything else fails fast
+    with the lock names in the message.  No-overhead when tracking is
+    disabled: no tracked locks exist, so the held stack is always empty.
+    """
+    held = [
+        lock for lock in _REGISTRY.held() if not lock.allow_across_map
+    ]
+    if not held:
+        return
+    _REGISTRY.note_map_hazard(context, held)
+    names = ", ".join(lock.name for lock in held)
+    raise LockOrderError(
+        f"tracked lock(s) held on entry to {context}: [{names}] -- a "
+        "worker-pool fan-out must not run inside a critical section "
+        "(nested-wait deadlock hazard); release the lock before "
+        "dispatching, or declare it allow_across_map if pool workers can "
+        "provably never acquire it"
+    )
+
+
+def detected_cycles() -> list[list[str]]:
+    """Cycles in the recorded lock-order graph (empty = no deadlock risk
+    observed among tracked acquisitions so far)."""
+    return _REGISTRY.cycles()
+
+
+def lock_order_report() -> dict:
+    """Snapshot of the lock-order graph, cycle set, and hazard log."""
+    return _REGISTRY.report()
+
+
+def map_hazards() -> list[dict]:
+    """Recorded held-lock-across-fan-out hazards (see :func:`assert_map_safe`)."""
+    return _REGISTRY.hazards()
+
+
+def reset_lock_tracking() -> None:
+    """Clear recorded edges and hazards (test isolation helper)."""
+    _REGISTRY.reset()
+
+
+__all__ = [
+    "LOCK_CHECK_ENV_VAR",
+    "LockOrderError",
+    "TrackedLock",
+    "assert_map_safe",
+    "detected_cycles",
+    "held_tracked_locks",
+    "lock_check_enabled",
+    "lock_order_report",
+    "make_lock",
+    "map_hazards",
+    "reset_lock_tracking",
+]

@@ -13,12 +13,15 @@ matrix in :class:`repro.data.model.FusionDataset`.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bitset import PackedMatrix
 from repro.core.triples import Triple, TripleIndex
+
+if TYPE_CHECKING:
+    from repro.core.patterns import PatternSet
 
 
 class ObservationMatrix:
@@ -194,7 +197,7 @@ class ObservationMatrix:
             self._packed_coverage = PackedMatrix.from_bool(self._coverage)
         return self._packed_coverage
 
-    def patterns(self):
+    def patterns(self) -> "PatternSet":
         """The distinct ``(providers, silent)`` observation patterns.
 
         Returns a cached :class:`repro.core.patterns.PatternSet`; model-based

@@ -58,11 +58,12 @@ from __future__ import annotations
 
 import math
 import os
-import threading
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.core.locktrace import assert_map_safe, make_lock
 
 #: Items per packed ``uint64`` word -- shard boundaries align to this so
 #: bit-packed per-shard work never splits a word.
@@ -81,7 +82,7 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
-def _shutdown_executor(executor) -> None:
+def _shutdown_executor(executor: Executor) -> None:
     """Finalizer target: shut an orphaned executor down without blocking.
 
     A module-level function (not a bound method) so the ``weakref.finalize``
@@ -90,7 +91,7 @@ def _shutdown_executor(executor) -> None:
     executor.shutdown(wait=False)
 
 
-def _range_call(job):
+def _range_call(job: "tuple[Callable[[int, int], _R], int, int]") -> "_R":
     """Worker-pool adapter: ``(fn, start, stop) -> fn(start, stop)``.
 
     Module-level (not a closure) so :meth:`ShardedExecutor.map_shards`
@@ -262,10 +263,13 @@ class WorkerPool:
     def __init__(self, workers: int = 1, backend: str = "thread") -> None:
         self._workers = resolve_workers(workers)
         self._backend = check_backend(backend)
-        self._executor = None
-        self._finalizer = None
+        self._lock = make_lock("WorkerPool._lock")
+        # guarded-by: _lock
+        self._executor: Optional[Executor] = None
+        # guarded-by: _lock
+        self._finalizer: Optional[weakref.finalize] = None
+        # guarded-by: _lock
         self._closed = False
-        self._lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -280,7 +284,7 @@ class WorkerPool:
         """Whether :meth:`close` has run (maps then fall back inline)."""
         return self._closed
 
-    def _ensure_executor(self):
+    def _ensure_executor(self) -> Optional[Executor]:
         """The live executor, or ``None`` when the pool is closed.
 
         A map racing :meth:`close` must not lazily resurrect a pool nobody
@@ -314,10 +318,21 @@ class WorkerPool:
         first raised exception propagates to the caller.  On a closed pool
         the map runs inline (serial), so retiring a pool under a
         concurrent caller is always safe.
+
+        Under ``REPRO_LOCK_CHECK=1`` a fan-out refuses to run while the
+        calling thread holds a tracked component lock (unless that lock
+        is declared ``allow_across_map``): blocking on worker completion
+        inside a critical section is the nested-wait deadlock shape PR 4
+        eliminated, and this assertion keeps it eliminated.  The inline
+        paths are exempt -- they never wait on another thread.
         """
         items = list(items)
         if self._workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        assert_map_safe(
+            f"WorkerPool.map (backend={self._backend!r}, "
+            f"workers={self._workers})"
+        )
         executor = self._ensure_executor()
         if executor is None:
             return [fn(item) for item in items]
@@ -349,7 +364,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __getstate__(self) -> dict:
@@ -361,7 +376,7 @@ class WorkerPool:
         self._executor = None
         self._finalizer = None
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("WorkerPool._lock")
 
 
 class ShardedExecutor:
@@ -435,7 +450,7 @@ class ShardedExecutor:
     def __enter__(self) -> "ShardedExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __getstate__(self) -> dict:

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.core.bitset import pack_bool_rows
@@ -163,7 +165,7 @@ def extract_patterns(
 def restricted_unique_patterns(
     provider_matrix: np.ndarray,
     silent_matrix: np.ndarray,
-    member_ids,
+    member_ids: Iterable[int],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Distinct sub-patterns after restricting patterns to ``member_ids``.
 

@@ -54,7 +54,9 @@ import hashlib
 import math
 import threading
 from collections import OrderedDict
-from typing import Callable, Mapping, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.core.locktrace import make_lock
 
 import numpy as np
 
@@ -95,7 +97,7 @@ class UnionCollector:
     def __len__(self) -> int:
         return len(self._rows)
 
-    def mask_of(self, source_ids) -> int:
+    def mask_of(self, source_ids: Iterable[int]) -> int:
         """Bitmask of a collection of source ids.
 
         Raises ``ValueError`` on ids outside ``[0, n_sources)`` (an
@@ -128,7 +130,9 @@ class UnionCollector:
             )
         return self._bits[source_id]
 
-    def add(self, mask: int, base_row: np.ndarray, extra_ids) -> int:
+    def add(
+        self, mask: int, base_row: np.ndarray, extra_ids: Iterable[int]
+    ) -> int:
         """Index of the union ``base_row | extra_ids`` identified by ``mask``.
 
         ``mask`` must equal the bitmask of the union; ``base_row`` (a boolean
@@ -170,7 +174,7 @@ def pattern_source_lists(
     return provider_lists, silent_lists
 
 
-def model_supports_batch(model, n_sources: int) -> bool:
+def model_supports_batch(model: Any, n_sources: int) -> bool:
     """Whether the model answers :meth:`joint_params_batch` (probe call)."""
     probe = model.joint_params_batch(np.zeros((0, n_sources), dtype=bool))
     return probe is not None
@@ -385,8 +389,12 @@ class ElasticUnionPlan:
 #: Memoised exact-plan sign sequences, keyed by silent-set size.  The
 #: sequence depends only on the size, and at most ``n_sources + 1`` distinct
 #: sizes ever occur.  (The elastic plan writes its signs while enumerating
-#: subsets for the factor matrices, so it needs no memo.)
-_EXACT_SIGN_SEQS: dict[int, np.ndarray] = {}
+#: subsets for the factor matrices, so it needs no memo.)  Module-global
+#: mutable state is banned in repro.core (REP004) because caches that
+#: outlive a model generation corrupt delta-vs-cold comparisons; this memo
+#: is exempt because each value is a pure deterministic function of its
+#: integer key alone -- no model state, bounded by n_sources + 1 entries.
+_EXACT_SIGN_SEQS: dict[int, np.ndarray] = {}  # reprolint: allow[REP004]
 
 
 def _exact_sign_sequence(n_silent: int) -> np.ndarray:
@@ -835,12 +843,17 @@ class PatternValueMemo:
             raise ValueError(
                 f"max_entries must be non-negative, got {max_entries}"
             )
-        self._entries: OrderedDict = OrderedDict()
         self._max_entries = int(max_entries)
-        self._lock = threading.Lock()
+        self._lock = make_lock("PatternValueMemo._lock")
+        # guarded-by: _lock
+        self._entries: OrderedDict = OrderedDict()
+        # guarded-by: _lock
         self._generation = 0
+        # Hit/miss counters are deliberately unlocked diagnostics (see
+        # class docstring); evictions only moves under the store lock.
         self.hits = 0
         self.misses = 0
+        # guarded-by: _lock
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -879,7 +892,10 @@ class PatternValueMemo:
         return values, np.asarray(novel, dtype=np.int64)
 
     def store(
-        self, keys: list[bytes], values, generation: Optional[int] = None
+        self,
+        keys: list[bytes],
+        values: Iterable[Any],
+        generation: Optional[int] = None,
     ) -> None:
         """Store ``keys[i] -> values[i]``, evicting oldest beyond the cap.
 
@@ -962,14 +978,21 @@ class CompiledPlanCache:
             raise ValueError(
                 f"max_entries must be non-negative, got {max_entries}"
             )
-        self._entries: OrderedDict = OrderedDict()
         self._max_entries = int(max_entries)
-        self._lock = threading.Lock()
+        self._lock = make_lock("CompiledPlanCache._lock")
+        # guarded-by: _lock
+        self._entries: OrderedDict = OrderedDict()
+        # guarded-by: _lock
         self._inflight: dict = {}
+        # guarded-by: _lock
         self._generation = 0
+        # guarded-by: _lock
         self.hits = 0
+        # guarded-by: _lock
         self.misses = 0
+        # guarded-by: _lock
         self.evictions = 0
+        # guarded-by: _lock
         self.computes = 0
 
     def __len__(self) -> int:
@@ -984,7 +1007,7 @@ class CompiledPlanCache:
         """Bumped by :meth:`invalidate`; stale in-flight results are dropped."""
         return self._generation
 
-    def get(self, key, count_miss: bool = True):
+    def get(self, key: object, count_miss: bool = True) -> Any:
         """The cached value for ``key`` (LRU-touched), or ``None``.
 
         ``count_miss=False`` probes without recording a miss -- for
@@ -1002,13 +1025,14 @@ class CompiledPlanCache:
             self.hits += 1
             return entry
 
-    def put(self, key, value):
+    def put(self, key: object, value: Any) -> Any:
         """Store ``value`` (evicting LRU entries beyond the cap); return it."""
         with self._lock:
             self._store_locked(key, value)
         return value
 
-    def _store_locked(self, key, value) -> None:
+    # guarded-by: _lock (every caller holds the cache lock)
+    def _store_locked(self, key: object, value: Any) -> None:
         if self._max_entries == 0:
             return
         self._entries[key] = value
@@ -1017,7 +1041,7 @@ class CompiledPlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
-    def get_or_compute(self, key, factory: Callable[[], object]):
+    def get_or_compute(self, key: object, factory: Callable[[], Any]) -> Any:
         """The cached value for ``key``, computing it once on a miss.
 
         The locked get-or-compute every fuser scores through: a hit is a

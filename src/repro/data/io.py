@@ -19,7 +19,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
@@ -140,7 +140,7 @@ def _read_matrix(path: Path) -> tuple[list[str], np.ndarray]:
     return names, np.array(rows, dtype=bool)
 
 
-def _json_safe(value):
+def _json_safe(value: Any) -> Any:
     """Best-effort conversion of metadata into JSON-serialisable values."""
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}

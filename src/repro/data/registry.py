@@ -8,7 +8,7 @@ Used by the CLI and handy in notebooks::
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.data.book import book_dataset
 from repro.data.figure1 import figure1_dataset
@@ -24,11 +24,11 @@ from repro.data.synthetic import (
 from repro.util.rng import RngLike
 
 
-def _figure1(seed: RngLike = None, **_) -> FusionDataset:
+def _figure1(seed: RngLike = None, **_: Any) -> FusionDataset:
     return figure1_dataset()  # deterministic; seed ignored
 
 
-def _synthetic_independent(seed: RngLike = 0, **kwargs) -> FusionDataset:
+def _synthetic_independent(seed: RngLike = 0, **kwargs: Any) -> FusionDataset:
     config = SyntheticConfig(
         sources=uniform_sources(
             kwargs.get("n_sources", 5),
@@ -42,7 +42,7 @@ def _synthetic_independent(seed: RngLike = 0, **kwargs) -> FusionDataset:
     return generate(config, seed=seed)
 
 
-def _synthetic_correlated(seed: RngLike = 0, **kwargs) -> FusionDataset:
+def _synthetic_correlated(seed: RngLike = 0, **kwargs: Any) -> FusionDataset:
     config = SyntheticConfig(
         sources=uniform_sources(
             kwargs.get("n_sources", 5),
@@ -85,7 +85,9 @@ def available_datasets() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def get_dataset(name: str, seed: RngLike = None, **kwargs) -> FusionDataset:
+def get_dataset(
+    name: str, seed: RngLike = None, **kwargs: Any
+) -> FusionDataset:
     """Build a registered dataset by name.
 
     ``seed`` defaults to the benchmark suite's canonical seed for that

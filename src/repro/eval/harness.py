@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -327,7 +327,7 @@ def run_serving(
     mutate_seed: int = 0,
     refit_every: int = 0,
     refit_mode: str = "cold",
-    **options,
+    **options: Any,
 ) -> ServingReport:
     """Fit once on ``dataset`` and score it ``1 + repeats`` times.
 
@@ -524,7 +524,7 @@ def supervised_spec(
     smoothing: float = 0.0,
     decision_prior: Optional[float] = 0.5,
     engine: str = "vectorized",
-    **options,
+    **options: Any,
 ) -> MethodSpec:
     """Spec for a model-based fuser calibrated on the dataset's labels.
 

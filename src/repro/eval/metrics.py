@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Iterator
+
 import numpy as np
 
 
@@ -92,7 +94,9 @@ class Curve:
         object.__setattr__(self, "y", y)
 
 
-def _ranked_blocks(scores: np.ndarray, labels: np.ndarray):
+def _ranked_blocks(
+    scores: np.ndarray, labels: np.ndarray
+) -> "Iterator[tuple[int, int]]":
     """Yield ``(block_true, block_false)`` counts in decreasing-score order.
 
     Equal scores form one block: a threshold can only fall between distinct

@@ -60,7 +60,7 @@ def _metric_fn(metric: MetricName, threshold: float) -> Callable:
     if metric == "auc_roc":
         return lambda s, y: auc_roc(s, y)
 
-    def binary(s, y):
+    def binary(s: np.ndarray, y: np.ndarray) -> float:
         m = binary_metrics(s >= threshold - 1e-9, y)
         return getattr(m, metric)
 

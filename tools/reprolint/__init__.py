@@ -1,0 +1,35 @@
+"""reprolint: repo-specific invariant-enforcing static analysis.
+
+The engine's correctness invariants -- bit-identical accumulation order,
+pickle-safe lock owners, lock-guarded attribute writes, no module-global
+mutable state in ``repro.core``, seeded benchmarks -- were previously
+stated in ``docs/architecture.md`` prose and defended only by
+example-based tests.  This package turns them into machine-checked lint
+rules that run in CI and locally::
+
+    python -m tools.reprolint src benchmarks
+
+See ``docs/static-analysis.md`` for the rule catalogue, the rationale
+linking each rule to the PR that motivated it, and the escape-hatch
+policy (``# reprolint: allow[REPxxx]``).
+"""
+
+from tools.reprolint.rules import (
+    ALL_RULES,
+    BIT_IDENTITY_MODULES,
+    Finding,
+    applicable_rules,
+    check_source,
+    lint_file,
+    lint_paths,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "BIT_IDENTITY_MODULES",
+    "Finding",
+    "applicable_rules",
+    "check_source",
+    "lint_file",
+    "lint_paths",
+]

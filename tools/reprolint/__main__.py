@@ -1,0 +1,5 @@
+"""``python -m tools.reprolint`` -- same code path as the console script."""
+
+from tools.reprolint.cli import main
+
+raise SystemExit(main())
