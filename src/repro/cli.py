@@ -25,7 +25,12 @@ from repro.core.clustering import discovered_correlation_groups, pairwise_correl
 from repro.core.api import fit_model
 from repro.util.validation import ENGINES
 from repro.data.registry import available_datasets, get_dataset
-from repro.eval.harness import paper_method_specs, run_comparison, run_serving
+from repro.eval.harness import (
+    paper_method_specs,
+    run_comparison,
+    run_serving,
+    run_serving_load,
+)
 from repro.eval.metrics import auc_pr, auc_roc, binary_metrics
 from repro.eval.report import comparison_table, format_table
 
@@ -131,6 +136,74 @@ def build_parser() -> argparse.ArgumentParser:
     corr_cmd.add_argument(
         "--min-phi", type=float, default=0.15,
         help="minimum |phi| for a pair to count as correlated",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve-bench",
+        help="drive the async serving front end with an open-loop load "
+             "generator and report p50/p99 latency, QPS, shedding, and "
+             "bit-identity",
+    )
+    _add_dataset_args(serve_cmd)
+    serve_cmd.add_argument(
+        "--method", default="precreccorr",
+        help=f"fusion method; one of {', '.join(METHOD_NAMES)}",
+    )
+    serve_cmd.add_argument(
+        "--rate", type=float, default=200.0, metavar="QPS",
+        help="open-loop arrival rate: requests are scheduled at fixed "
+             "times k/rate regardless of completions (default: 200)",
+    )
+    serve_cmd.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="total requests to offer (default: 200)",
+    )
+    serve_cmd.add_argument(
+        "--request-triples", type=int, default=96, metavar="W",
+        help="triple columns per request window (default: 96)",
+    )
+    serve_cmd.add_argument(
+        "--budget", type=float, default=0.05, metavar="SECONDS",
+        help="per-request latency budget; batches flush once the oldest "
+             "request's budget is half-spent (default: 0.05)",
+    )
+    serve_cmd.add_argument(
+        "--cutoff", choices=("deadline", "fixed"), default="deadline",
+        help="batch cut-off policy: deadline-aware (default) or the "
+             "fixed coalescing window baseline",
+    )
+    serve_cmd.add_argument(
+        "--fixed-window", type=float, default=0.04, metavar="SECONDS",
+        help="coalescing window for --cutoff fixed (default: 0.04)",
+    )
+    serve_cmd.add_argument(
+        "--max-queue-depth", type=int, default=256, metavar="N",
+        help="admission control: shed once this many requests are "
+             "admitted but unfinished (default: 256)",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight-bytes", type=int, default=None, metavar="B",
+        help="admission control: shed once admitted requests' summed "
+             "payload exceeds this (default: unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--refit-every", type=int, default=0, metavar="N",
+        help="swap model generations under live traffic every N request "
+             "arrivals (0 = never, default); served scores stay "
+             "bit-identical to the serving generation's direct scores",
+    )
+    serve_cmd.add_argument(
+        "--refit-mode", choices=("delta", "cold"), default="delta",
+        help="refit strategy for --refit-every (default: delta)",
+    )
+    serve_cmd.add_argument(
+        "--mutate-frac", type=float, default=0.02, metavar="F",
+        help="fraction of columns mutated between consecutive trace "
+             "steps (default: 0.02)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for sharded scoring inside the session",
     )
     return parser
 
@@ -371,6 +444,57 @@ def _cmd_correlations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    dataset = get_dataset(args.dataset, seed=args.seed)
+    report = run_serving_load(
+        dataset,
+        method=args.method,
+        rate_qps=args.rate,
+        requests=args.requests,
+        request_triples=args.request_triples,
+        latency_budget=args.budget,
+        batch_cutoff=args.cutoff,
+        fixed_window_seconds=args.fixed_window,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_bytes=args.max_inflight_bytes,
+        mutate_frac=args.mutate_frac,
+        refit_every=args.refit_every,
+        refit_mode=args.refit_mode,
+        workers=args.workers,
+    )
+    print(dataset.summary())
+    rows = [
+        ["cutoff", report.batch_cutoff],
+        ["offered rate (qps)", f"{report.rate_qps:.1f}"],
+        ["requests", str(report.requests)],
+        ["completed", str(report.completed)],
+        ["shed", str(report.shed)],
+        ["achieved qps", f"{report.achieved_qps:.1f}"],
+        ["p50 latency (ms)", f"{report.p50_latency_seconds * 1e3:.2f}"],
+        ["p99 latency (ms)", f"{report.p99_latency_seconds * 1e3:.2f}"],
+        ["max latency (ms)", f"{report.max_latency_seconds * 1e3:.2f}"],
+        ["refits", str(report.refits)],
+        ["max |served - direct|", f"{report.max_abs_diff:.1e}"],
+    ]
+    print(format_table(["serving", "value"], rows))
+    routing = report.routing_stats
+    admission = report.admission_stats
+    print(
+        f"\nlanes: delta={routing.get('delta_routed', 0)} "
+        f"cold={routing.get('cold_routed', 0)} "
+        f"(churn evictions: {routing.get('churn_evictions', 0)}); "
+        f"admission peak depth {admission.get('peak_depth', 0)}/"
+        f"{admission.get('max_queue_depth', 0)}"
+    )
+    if report.max_abs_diff != 0.0:
+        print(
+            "error: served scores diverged from direct session.score",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -383,6 +507,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "correlations":
             return _cmd_correlations(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
     except ValueError as error:
         # Unsupported option combinations (e.g. --method em with
         # --smoothing or --decision-prior) raise ValueError with an

@@ -39,6 +39,7 @@ from repro.core.api import (
     EXACT_SOURCE_LIMIT,
     METHOD_NAMES,
     SERVING_MODES,
+    BatchScoreOutcome,
     MicroBatcher,
     ScoringSession,
     fit_model,
@@ -131,6 +132,7 @@ __all__ = [
     "CompiledPlanCache",
     "DEFAULT_MU_CACHE_ENTRIES",
     "DEFAULT_PLAN_CACHE_ENTRIES",
+    "BatchScoreOutcome",
     "DEFAULT_THRESHOLD",
     "DeltaScorer",
     "EMDiagnostics",

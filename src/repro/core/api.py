@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Iterable, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -350,9 +350,20 @@ def _build_fuser(
 class _PendingScore:
     """One enqueued :meth:`MicroBatcher.submit` request."""
 
-    __slots__ = ("observations", "event", "scores", "error", "promoted")
+    __slots__ = (
+        "observations",
+        "event",
+        "scores",
+        "error",
+        "promoted",
+        "flush_at",
+    )
 
-    def __init__(self, observations: ObservationMatrix) -> None:
+    def __init__(
+        self,
+        observations: ObservationMatrix,
+        flush_at: Optional[float] = None,
+    ) -> None:
         self.observations = observations
         self.event = threading.Event()
         self.scores: Optional[np.ndarray] = None
@@ -360,6 +371,30 @@ class _PendingScore:
         # Set (under the batcher lock) when a retiring leader wakes this
         # still-queued request to take over leadership.
         self.promoted = False
+        # Monotonic deadline by which this request wants its batch cut
+        # (half its latency budget); None = content with the full window.
+        self.flush_at = flush_at
+
+
+class BatchScoreOutcome:
+    """Per-request results of one :meth:`ScoringSession.score_batch` call.
+
+    ``scores[i]`` and ``errors[i]`` are mutually exclusive per request;
+    ``fused_requests`` counts how many of the requests actually shared
+    the fused scoring pass (0 when everything scored individually).
+    """
+
+    __slots__ = ("scores", "errors", "fused_requests")
+
+    def __init__(
+        self,
+        scores: "list[Optional[np.ndarray]]",
+        errors: "list[Optional[Exception]]",
+        fused_requests: int,
+    ) -> None:
+        self.scores = scores
+        self.errors = errors
+        self.fused_requests = fused_requests
 
 
 class MicroBatcher:
@@ -387,9 +422,14 @@ class MicroBatcher:
     guarantee (PrecRec, aggressive), or mismatched source counts -- are
     scored individually, so ``submit`` is always a drop-in for ``score``.
 
-    Note the latency floor: every batch waits ``wait_seconds`` (default
-    2ms) for stragglers, so a caller that never submits concurrently pays
-    that window per call for nothing -- use ``score`` (or
+    The coalescing window is interruptible: the leader waits on a
+    condition variable that ``submit`` signals the moment the queue
+    reaches ``max_requests`` (a burst never waits out the window -- the
+    full batch ships immediately), that per-request latency budgets cut
+    short once the oldest deadline has half-spent its budget, and that
+    :meth:`close` signals on shutdown.  Note the remaining latency
+    floor: an uncontended caller still pays up to ``wait_seconds``
+    (default 2ms) per call for nothing -- use ``score`` (or
     ``micro_batch="off"``) on single-threaded paths.
     """
 
@@ -411,10 +451,16 @@ class MicroBatcher:
         self._max_requests = int(max_requests)
         self._wait_seconds = float(wait_seconds)
         self._lock = make_lock("MicroBatcher._lock")
+        # The interruptible coalescing window: submit notifies once the
+        # queue is full (or a deadline-carrying request arrives), close
+        # notifies on shutdown; _drain waits on it instead of sleeping.
+        self._queue_ready = threading.Condition(self._lock)
         # guarded-by: _lock
         self._pending: list[_PendingScore] = []
         # guarded-by: _lock
         self._leader_active = False
+        # guarded-by: _lock
+        self._closed = False
         # guarded-by: _lock
         self._requests = 0
         # guarded-by: _lock
@@ -422,7 +468,11 @@ class MicroBatcher:
         # guarded-by: _lock
         self._fused_requests = 0
         # guarded-by: _lock
+        self._fused_batches = 0
+        # guarded-by: _lock
         self._largest_batch = 0
+        # guarded-by: _lock
+        self._largest_fused_batch = 0
 
     def __getstate__(self) -> dict:
         raise TypeError(
@@ -433,33 +483,81 @@ class MicroBatcher:
 
     @property
     def stats(self) -> dict:
-        """Coalescing diagnostics for ``ServingReport`` / benchmarks."""
+        """Coalescing diagnostics for ``ServingReport`` / benchmarks.
+
+        ``largest_batch`` is the biggest *dequeued* batch (including
+        requests that had to score individually); ``largest_fused_batch``
+        and ``fused_batches`` report what actually coalesced, so serving
+        reports reflect real fusion rather than queue depth.
+        """
         with self._lock:
             return {
                 "requests": self._requests,
                 "batches": self._batches,
                 "fused_requests": self._fused_requests,
+                "fused_batches": self._fused_batches,
                 "largest_batch": self._largest_batch,
+                "largest_fused_batch": self._largest_fused_batch,
                 "max_requests": self._max_requests,
                 "wait_seconds": self._wait_seconds,
+                "closed": self._closed,
             }
 
-    def submit(self, observations: ObservationMatrix) -> np.ndarray:
+    def close(self) -> None:
+        """Retire the batcher: flush pending traffic, stop coalescing.
+
+        Wakes the leader's coalescing wait so already-queued requests
+        ship immediately; submits arriving after close score inline
+        through the session (no window, no fusion).  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._queue_ready.notify_all()
+
+    def submit(
+        self,
+        observations: ObservationMatrix,
+        latency_budget: Optional[float] = None,
+    ) -> np.ndarray:
         """Score ``observations``, coalescing with concurrent submitters.
 
         Blocks until this request's scores are ready; exceptions raised by
         the underlying scoring land on the requests that caused them.
         Latency is bounded: a leader retires once its own request has been
         served, handing the remaining queue to a waiting submitter, so no
-        caller serves other threads' traffic indefinitely.
+        caller serves other threads' traffic indefinitely.  A request
+        carrying a ``latency_budget`` (seconds) additionally cuts the
+        coalescing window short once half its budget is spent, leaving
+        the other half for the scoring pass itself.
         """
-        request = _PendingScore(observations)
+        if latency_budget is not None and latency_budget <= 0.0:
+            raise ValueError(
+                f"latency_budget must be positive, got {latency_budget}"
+            )
+        flush_at = None
+        if latency_budget is not None:
+            flush_at = time.monotonic() + latency_budget / 2.0
+        request = _PendingScore(observations, flush_at=flush_at)
         with self._lock:
-            self._pending.append(request)
-            self._requests += 1
-            leader = not self._leader_active
-            if leader:
-                self._leader_active = True
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                self._pending.append(request)
+                self._requests += 1
+                leader = not self._leader_active
+                if leader:
+                    self._leader_active = True
+                elif (
+                    len(self._pending) >= self._max_requests
+                    or flush_at is not None
+                ):
+                    # Cut the leader's coalescing wait short: a full
+                    # queue must ship now, and a deadline-carrying
+                    # request may move the earliest flush time up.
+                    self._queue_ready.notify_all()
+        if closed:
+            return self._session.score(observations)
         while True:
             if leader:
                 self._drain(request)
@@ -514,15 +612,7 @@ class MicroBatcher:
         submitter (bounding every caller's time spent serving others)."""
         try:
             while True:
-                if self._wait_seconds > 0.0:
-                    with self._lock:
-                        queue_full = (
-                            len(self._pending) >= self._max_requests
-                        )
-                    if not queue_full:
-                        # The coalescing window: give stragglers a moment
-                        # to enqueue.  An already-full batch ships now.
-                        time.sleep(self._wait_seconds)
+                self._await_coalescing_window()
                 with self._lock:
                     batch = self._pending[: self._max_requests]
                     del self._pending[: len(batch)]
@@ -558,6 +648,37 @@ class MicroBatcher:
                 request.event.set()
             raise
 
+    def _await_coalescing_window(self) -> None:
+        """The interruptible coalescing window (replaces a fixed sleep).
+
+        Gives stragglers up to ``wait_seconds`` to enqueue, but returns
+        the moment the queue is full (``submit`` notifies the condition),
+        the earliest per-request flush deadline passes, or the batcher is
+        closed -- so a burst that fills the batch right after the leader
+        starts waiting ships immediately instead of waiting the window
+        out.
+        """
+        if self._wait_seconds <= 0.0:
+            return
+        window_end = time.monotonic() + self._wait_seconds
+        with self._lock:
+            while True:
+                if self._closed:
+                    return
+                if len(self._pending) >= self._max_requests:
+                    return
+                cutoff = window_end
+                for request in self._pending:
+                    if (
+                        request.flush_at is not None
+                        and request.flush_at < cutoff
+                    ):
+                        cutoff = request.flush_at
+                remaining = cutoff - time.monotonic()
+                if remaining <= 0.0:
+                    return
+                self._queue_ready.wait(remaining)
+
     def _execute(self, batch: list[_PendingScore]) -> None:
         """Score one batch (fused when possible) and wake its requests."""
         session = self._session
@@ -565,68 +686,21 @@ class MicroBatcher:
             self._batches += 1
             self._largest_batch = max(self._largest_batch, len(batch))
         try:
-            if len(batch) == 1:
-                # Through the per-request router, so a scoring error keeps
-                # its original type exactly as a direct score() would --
-                # not the catch-all wrapper below.
-                self._score_individually(batch)
-                return
-            fuser = session.fuser
-            # Fused scoring needs per-pattern scores that are bitwise
-            # independent of batch composition; PrecRec/aggressive (BLAS
-            # matmuls, see pattern_batch_invariant) and EM are scored
-            # individually so submit keeps its bit-identity contract.
-            # Within an eligible batch, only requests matching the
-            # model's source count can share the fused matrix -- the rest
-            # score individually (and get their own width errors) without
-            # costing the valid traffic its coalescing.
-            expected_sources = None
-            if (
-                isinstance(fuser, ModelBasedFuser)
-                and fuser.pattern_batch_invariant
+            outcome = session.score_batch(
+                [request.observations for request in batch]
+            )
+            for request, scores, error in zip(
+                batch, outcome.scores, outcome.errors
             ):
-                expected_sources = fuser.model.n_sources
-            fusable = [
-                request
-                for request in batch
-                if request.observations.n_sources == expected_sources
-            ]
-            if len(fusable) < 2:
-                fusable = []
-            self._score_individually(
-                request for request in batch if request not in fusable
-            )
-            if not fusable:
-                return
-            provides = np.concatenate(
-                [request.observations.provides for request in fusable],
-                axis=1,
-            )
-            coverage = np.concatenate(
-                [request.observations.coverage for request in fusable],
-                axis=1,
-            )
-            fused = ObservationMatrix(
-                provides,
-                fusable[0].observations.source_names,
-                coverage=coverage,
-            )
-            try:
-                scores = session._score_coalesced(fused)
-            except Exception:
-                # A fused-pass failure (e.g. the concatenation is too wide
-                # to score) must not condemn requests that would score
-                # fine individually; retry per request so errors land only
-                # on the requests that cause them.
-                self._score_individually(fusable)
-                return
-            with self._lock:
-                self._fused_requests += len(fusable)
-            offset = 0
-            for request in fusable:
-                width = request.observations.n_triples
-                request.scores = scores[offset : offset + width].copy()
-                offset += width
+                request.scores = scores
+                request.error = error
+            if outcome.fused_requests:
+                with self._lock:
+                    self._fused_requests += outcome.fused_requests
+                    self._fused_batches += 1
+                    self._largest_fused_batch = max(
+                        self._largest_fused_batch, outcome.fused_requests
+                    )
         except BaseException as error:
             # BaseException included: a KeyboardInterrupt mid-score must
             # still mark the batch (a woken request with neither scores
@@ -646,17 +720,6 @@ class MicroBatcher:
         finally:
             for request in batch:
                 request.event.set()
-
-    def _score_individually(
-        self, requests: Iterable[_PendingScore]
-    ) -> None:
-        """Score requests one by one, routing each error to its request."""
-        session = self._session
-        for request in requests:
-            try:
-                request.scores = session.score(request.observations)
-            except Exception as error:
-                request.error = error
 
 
 class ScoringSession:
@@ -918,13 +981,106 @@ class ScoringSession:
             self._n_scored += 1
         return scores
 
-    def submit(self, observations: ObservationMatrix) -> np.ndarray:
+    def score_batch(
+        self, requests: Sequence[ObservationMatrix]
+    ) -> BatchScoreOutcome:
+        """Score several matrices at once, coalescing the fusable ones.
+
+        The shared engine behind :class:`MicroBatcher` batches and the
+        async serving front end (:mod:`repro.serve`).  Requests whose
+        per-pattern scores are bitwise independent of batch composition
+        (a ``pattern_batch_invariant`` fuser, matching source count) are
+        concatenated column-wise and scored in one fused delta-aware
+        pass; everything else is scored individually.  Per-request
+        slices are bit-identical to :meth:`score` of the same matrix.
+        Errors are captured per request (``errors[i]``) instead of
+        raised, so one bad request never poisons its batch -- and a solo
+        bad request keeps its original exception type.
+        """
+        matrices = list(requests)
+        n = len(matrices)
+        scores: list[Optional[np.ndarray]] = [None] * n
+        errors: list[Optional[Exception]] = [None] * n
+        fusable: list[int] = []
+        if n > 1:
+            fuser = self._fuser
+            # Fused scoring needs per-pattern scores that are bitwise
+            # independent of batch composition; PrecRec/aggressive (BLAS
+            # matmuls, see pattern_batch_invariant) and EM score
+            # individually so the bit-identity contract holds.  Within
+            # an eligible batch only requests matching the model's
+            # source count share the fused matrix -- the rest score
+            # individually (and get their own width errors) without
+            # costing the valid traffic its coalescing.
+            if (
+                isinstance(fuser, ModelBasedFuser)
+                and fuser.pattern_batch_invariant
+            ):
+                expected_sources = fuser.model.n_sources
+                fusable = [
+                    i
+                    for i, matrix in enumerate(matrices)
+                    if matrix.n_sources == expected_sources
+                ]
+            if len(fusable) < 2:
+                fusable = []
+        # Membership via an index set, not a per-request `in` scan over
+        # the fusable list: a 64-request batch does 64 probes, not 4096
+        # identity comparisons.
+        fused_ids = set(fusable)
+        for i in range(n):
+            if i not in fused_ids:
+                try:
+                    scores[i] = self.score(matrices[i])
+                except Exception as error:
+                    errors[i] = error
+        if not fusable:
+            return BatchScoreOutcome(scores, errors, 0)
+        provides = np.concatenate(
+            [matrices[i].provides for i in fusable], axis=1
+        )
+        coverage = np.concatenate(
+            [matrices[i].coverage for i in fusable], axis=1
+        )
+        fused = ObservationMatrix(
+            provides,
+            matrices[fusable[0]].source_names,
+            coverage=coverage,
+        )
+        try:
+            fused_scores = self._score_coalesced(fused)
+        except Exception:
+            # A fused-pass failure (e.g. the concatenation is too wide
+            # to score) must not condemn requests that would score fine
+            # individually; retry per request so errors land only on the
+            # requests that cause them.
+            for i in fusable:
+                try:
+                    scores[i] = self.score(matrices[i])
+                except Exception as error:
+                    errors[i] = error
+            return BatchScoreOutcome(scores, errors, 0)
+        offset = 0
+        for i in fusable:
+            width = matrices[i].n_triples
+            scores[i] = fused_scores[offset : offset + width].copy()
+            offset += width
+        return BatchScoreOutcome(scores, errors, len(fusable))
+
+    def submit(
+        self,
+        observations: ObservationMatrix,
+        latency_budget: Optional[float] = None,
+    ) -> np.ndarray:
         """Score with cross-request micro-batching (see :class:`MicroBatcher`).
 
         Concurrent submitters sharing a model generation are coalesced
         into one fused delta-aware scoring pass and handed back their
         per-request slices -- bit-identical to :meth:`score`.  With
-        ``micro_batch="off"`` this is an alias for :meth:`score`.
+        ``micro_batch="off"`` this is an alias for :meth:`score`.  A
+        ``latency_budget`` (seconds) flushes this request's batch once
+        half the budget is spent rather than after the full coalescing
+        window.
         """
         if self._micro_batch == "off":
             return self.score(observations)
@@ -938,7 +1094,7 @@ class ScoringSession:
                         wait_seconds=self._micro_batch_wait,
                     )
                 batcher = self._batcher
-        return batcher.submit(observations)
+        return batcher.submit(observations, latency_budget=latency_budget)
 
     @property
     def micro_batcher(self) -> Optional[MicroBatcher]:
@@ -1335,8 +1491,13 @@ class ScoringSession:
         so callers embedding sessions in their own lifecycles do not rely
         on GC finalizers to reclaim executor threads.  Serialised against
         :meth:`refit`: a close racing a refit closes the generation the
-        refit publishes, never leaking its fresh pools.
+        refit publishes, never leaking its fresh pools.  The lazily-built
+        micro-batcher (if any) is retired too: its queued requests flush
+        immediately and later submits score inline.
         """
+        batcher = self._batcher
+        if batcher is not None:
+            batcher.close()
         with self._refit_lock:
             fuser = self._fuser
             if isinstance(fuser, ModelBasedFuser):

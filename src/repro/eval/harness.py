@@ -13,6 +13,7 @@ The harness owns three jobs:
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
@@ -509,6 +510,299 @@ def run_serving(
         refit_seconds=tuple(refit_seconds),
         refit_max_score_diff=refit_max_diff,
         refit_stats=dict(stats.get("refit", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# Open-loop serving load: the async front end under a fixed arrival rate
+# ----------------------------------------------------------------------
+
+
+def serving_request_trace(
+    observations: ObservationMatrix,
+    requests: int,
+    request_triples: int,
+    mutate_frac: float = 0.02,
+    seed: int = 0,
+    cold_every: int = 4,
+) -> list[ObservationMatrix]:
+    """A deterministic per-request trace for the serving load generator.
+
+    Builds a cumulative :func:`mutation_trace` of the full matrix and
+    slices one ``request_triples``-wide window out of each step.  Most
+    requests read the *same* leading window, so consecutive requests
+    differ only in the step's mutated columns -- the delta-lane shape.
+    Every ``cold_every``-th request instead reads a roaming window
+    elsewhere in the matrix (high churn against the stream), giving the
+    cold lane steady traffic.  ``cold_every=0`` disables the roamers.
+    """
+    if requests < 0:
+        raise ValueError(f"requests must be non-negative, got {requests}")
+    if request_triples < 1:
+        raise ValueError(
+            f"request_triples must be >= 1, got {request_triples}"
+        )
+    width = min(request_triples, observations.n_triples)
+    variants = mutation_trace(observations, requests, mutate_frac, seed=seed)
+    trace: list[ObservationMatrix] = []
+    for k, variant in enumerate(variants):
+        mask = np.zeros(variant.n_triples, dtype=bool)
+        if cold_every > 0 and k % cold_every == cold_every - 1:
+            span = max(1, variant.n_triples - width)
+            lo = (1 + k * width) % span
+            mask[lo : lo + width] = True
+        else:
+            mask[:width] = True
+        trace.append(variant.restricted_to_triples(mask))
+    return trace
+
+
+@dataclass(frozen=True)
+class AsyncServingReport:
+    """One open-loop load run through the async serving front end.
+
+    Latencies are *open-loop*: measured from each request's scheduled
+    arrival time (``start + k / rate_qps``), not from when the generator
+    got around to submitting it, so a backlogged server cannot hide
+    queueing delay the way a closed-loop measurement would.
+    ``max_abs_diff`` is the largest ``|served - direct session.score|``
+    over every completed request, each checked against an independent
+    delta-off twin session of the generation that served it -- exactly
+    0.0 is the contract, including for requests served across a
+    mid-traffic refit.  Shed requests (typed ``Overloaded`` rejections)
+    are counted, never silently retried.
+    """
+
+    method: str
+    batch_cutoff: str
+    rate_qps: float
+    requests: int
+    completed: int
+    shed: int
+    duration_seconds: float
+    achieved_qps: float
+    latency_budget: float
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    mean_latency_seconds: float
+    max_latency_seconds: float
+    max_abs_diff: float
+    refits: int
+    latencies: tuple[float, ...] = ()
+    admission_stats: Mapping = field(default_factory=dict)
+    routing_stats: Mapping = field(default_factory=dict)
+    frontend_stats: Mapping = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+
+def _latency_percentile(latencies: Sequence[float], q: float) -> float:
+    if not latencies:
+        return float("nan")
+    return float(np.percentile(np.asarray(latencies, dtype=float), q))
+
+
+def run_serving_load(
+    dataset: FusionDataset,
+    method: str = "precreccorr",
+    rate_qps: float = 200.0,
+    requests: int = 200,
+    request_triples: int = 96,
+    latency_budget: float = 0.05,
+    batch_cutoff: str = "deadline",
+    fixed_window_seconds: float = 0.04,
+    max_batch_requests: int = 32,
+    max_queue_depth: int = 256,
+    max_inflight_bytes: Optional[int] = None,
+    mutate_frac: float = 0.02,
+    cold_every: int = 4,
+    seed: int = 0,
+    refit_every: int = 0,
+    refit_mode: str = "delta",
+    workers: Optional[int] = None,
+    **options: Any,
+) -> AsyncServingReport:
+    """Drive the async front end with an open-loop load generator.
+
+    Arrivals are scheduled at fixed times ``k / rate_qps`` regardless of
+    completions (open-loop -- the load does not slow down when the
+    server falls behind, unlike a closed-loop driver whose backpressure
+    flatters p99).  Each request is one window of a deterministic
+    mutation trace (:func:`serving_request_trace`) submitted with
+    ``latency_budget``; overload sheds are counted via the front end's
+    typed ``Overloaded`` error.
+
+    ``refit_every=N`` (requests) schedules generation swaps *during* the
+    run: at every N-th arrival slot a refit task submits the step's full
+    mutated matrix through :meth:`AsyncServingFrontend.refit` with
+    ``refit_mode``, exercising the drain -> swap -> replay protocol
+    under live traffic.
+
+    Every completed request is verified bit-for-bit against an
+    independent delta-off twin session of the generation that served it
+    (cold-fitted on exactly the inputs that generation was fitted on);
+    the largest difference lands in ``max_abs_diff`` and must be exactly
+    0.0.  ``method="em"`` cannot be combined with ``refit_every > 0``:
+    warm-started EM refits are not bitwise reproducible, so no
+    independent oracle exists.
+    """
+    from repro.serve import AsyncServingFrontend, Overloaded
+
+    if rate_qps <= 0.0:
+        raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if refit_every < 0:
+        raise ValueError(
+            f"refit_every must be non-negative, got {refit_every}"
+        )
+    refit_mode = check_refit_mode(refit_mode)
+    if refit_every > 0 and method.lower() == "em":
+        raise ValueError(
+            "refit_every > 0 is not supported with method='em': warm EM "
+            "refits are not bitwise reproducible, so served scores have "
+            "no independent oracle"
+        )
+    session = ScoringSession(
+        dataset.observations,
+        dataset.labels,
+        method=method,
+        workers=workers,
+        micro_batch="off",
+        **options,
+    )
+    trace = serving_request_trace(
+        dataset.observations,
+        requests,
+        request_triples,
+        mutate_frac=mutate_frac,
+        seed=seed,
+        cold_every=cold_every,
+    )
+    # Full-matrix refit inputs, one per scheduled refit, continuing the
+    # request trace's mutation stream deterministically.
+    n_refits = requests // refit_every if refit_every > 0 else 0
+    refit_matrices = mutation_trace(
+        dataset.observations, n_refits, mutate_frac, seed=seed + 1
+    )
+    frontend = AsyncServingFrontend(
+        session,
+        max_queue_depth=max_queue_depth,
+        max_inflight_bytes=max_inflight_bytes,
+        max_batch_requests=max_batch_requests,
+        default_latency_budget=latency_budget,
+        batch_cutoff=batch_cutoff,
+        fixed_window_seconds=fixed_window_seconds,
+    )
+    results: list[Optional[Any]] = [None] * requests
+    shed = 0
+    latencies: list[float] = []
+
+    async def _run() -> float:
+        nonlocal shed
+        async with frontend:
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+
+            async def fire(k: int, matrix: ObservationMatrix) -> None:
+                nonlocal shed
+                scheduled = start + k / rate_qps
+                delay = scheduled - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    results[k] = await frontend.submit_detailed(
+                        matrix, latency_budget=latency_budget
+                    )
+                except Overloaded:
+                    shed += 1
+                    return
+                latencies.append(loop.time() - scheduled)
+
+            async def refit_at(g: int, matrix: ObservationMatrix) -> None:
+                scheduled = start + (g + 1) * refit_every / rate_qps
+                delay = scheduled - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await frontend.refit(matrix, dataset.labels, mode=refit_mode)
+
+            tasks = [
+                asyncio.ensure_future(fire(k, matrix))
+                for k, matrix in enumerate(trace)
+            ]
+            tasks.extend(
+                asyncio.ensure_future(refit_at(g, matrix))
+                for g, matrix in enumerate(refit_matrices)
+            )
+            await asyncio.gather(*tasks)
+            return loop.time() - start
+
+    duration = asyncio.run(_run())
+    # Bit-identity oracle: one independent delta-off twin per generation,
+    # cold-fitted on exactly that generation's training inputs.  Delta
+    # refits of count-based models are bit-identical to cold refits, so
+    # the twin reproduces the serving session's scores exactly.
+    fit_inputs = [dataset.observations] + refit_matrices
+    twins: dict[int, ScoringSession] = {}
+    max_abs_diff = 0.0
+    try:
+        for k, result in enumerate(results):
+            if result is None:
+                continue
+            generation = int(result.generation)
+            twin = twins.get(generation)
+            if twin is None:
+                twin = ScoringSession(
+                    fit_inputs[generation],
+                    dataset.labels,
+                    method=method,
+                    workers=workers,
+                    delta="off",
+                    micro_batch="off",
+                    **options,
+                )
+                twins[generation] = twin
+            direct = twin.score(trace[k])
+            if len(result.scores):
+                diff = float(np.abs(result.scores - direct).max())
+                max_abs_diff = max(max_abs_diff, diff)
+    finally:
+        for twin in twins.values():
+            twin.close()
+        session.close()
+    stats = frontend.stats
+    completed = sum(1 for result in results if result is not None)
+    return AsyncServingReport(
+        method=method,
+        batch_cutoff=batch_cutoff,
+        rate_qps=float(rate_qps),
+        requests=requests,
+        completed=completed,
+        shed=shed,
+        duration_seconds=float(duration),
+        achieved_qps=completed / duration if duration > 0 else float("nan"),
+        latency_budget=float(latency_budget),
+        p50_latency_seconds=_latency_percentile(latencies, 50.0),
+        p99_latency_seconds=_latency_percentile(latencies, 99.0),
+        mean_latency_seconds=(
+            float(np.mean(latencies)) if latencies else float("nan")
+        ),
+        max_latency_seconds=(
+            float(np.max(latencies)) if latencies else float("nan")
+        ),
+        max_abs_diff=max_abs_diff,
+        refits=int(stats["refits"]),
+        latencies=tuple(latencies),
+        admission_stats=dict(stats["admission"]),
+        routing_stats=dict(stats["routing"]),
+        frontend_stats={
+            "lanes": stats["lanes"],
+            "fused_requests": stats["fused_requests"],
+            "largest_batch": stats["largest_batch"],
+            "batch_cutoff": stats["batch_cutoff"],
+        },
     )
 
 

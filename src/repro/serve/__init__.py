@@ -1,0 +1,48 @@
+"""Async serving front end: admission control, lanes, SLO-aware batching.
+
+The serving leg of the reproduction (see ``docs/architecture.md``,
+"Serving front end"): an ``asyncio`` layer over
+:class:`~repro.core.api.ScoringSession` that sheds overload instead of
+queueing it, routes delta-friendly traffic into its own batching lane,
+flushes micro-batches on latency-budget deadlines, and swaps model
+generations under live traffic without ever scoring a request against a
+mixed generation.
+"""
+
+from repro.serve.admission import (
+    SHED_CLOSED,
+    SHED_INFLIGHT_BYTES,
+    SHED_QUEUE_DEPTH,
+    AdmissionController,
+    Overloaded,
+)
+from repro.serve.frontend import (
+    BATCH_CUTOFFS,
+    AsyncServingFrontend,
+    ServeResult,
+)
+from repro.serve.lanes import (
+    COLD_LANE,
+    DEFAULT_SMALL_CHURN_FRACTION,
+    DELTA_LANE,
+    LANES,
+    LaneRouter,
+    expected_sources_of,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServingFrontend",
+    "BATCH_CUTOFFS",
+    "COLD_LANE",
+    "DEFAULT_SMALL_CHURN_FRACTION",
+    "DELTA_LANE",
+    "LANES",
+    "LaneRouter",
+    "Overloaded",
+    "SHED_CLOSED",
+    "SHED_INFLIGHT_BYTES",
+    "SHED_QUEUE_DEPTH",
+    "ServeResult",
+    "expected_sources_of",
+]

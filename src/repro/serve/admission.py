@@ -1,0 +1,156 @@
+"""Admission control for the async serving front end.
+
+A serving system that queues unboundedly converts overload into
+unbounded latency: every queued request waits behind every other one,
+p99 explodes, and by the time a request is served its caller has long
+timed out.  The alternative implemented here is *load shedding*: a
+bounded request queue (by depth and by in-flight payload bytes) that
+rejects excess traffic immediately with a typed :class:`Overloaded`
+error, so callers can back off or retry against another replica while
+admitted requests keep their latency budget.
+
+The controller is deliberately tiny and synchronous -- one lock, two
+counters -- so the front end can consult it on the event-loop thread
+without awaiting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.locktrace import make_lock
+
+#: ``Overloaded.reason`` values.
+SHED_QUEUE_DEPTH = "queue_depth"
+SHED_INFLIGHT_BYTES = "inflight_bytes"
+SHED_CLOSED = "closed"
+
+
+class Overloaded(RuntimeError):
+    """A request was shed by admission control instead of queued.
+
+    Attributes mirror the rejecting limit so callers (and tests) can
+    tell *why* they were shed: ``reason`` is one of ``"queue_depth"``,
+    ``"inflight_bytes"``, or ``"closed"``; ``limit`` is the configured
+    bound and ``value`` what admitting the request would have made the
+    tracked quantity.
+    """
+
+    def __init__(self, reason: str, limit: float, value: float) -> None:
+        super().__init__(
+            f"request shed by admission control ({reason}: "
+            f"admitting would reach {value:g} against limit {limit:g})"
+        )
+        self.reason = reason
+        self.limit = limit
+        self.value = value
+
+
+class AdmissionController:
+    """Bounded-queue admission: admit within limits, shed beyond them.
+
+    Tracks two quantities from :meth:`admit` until the matching
+    :meth:`release`: the number of admitted-but-unfinished requests
+    (*depth*) and their summed payload bytes (*in-flight bytes*).  A
+    request that would push either past its limit raises
+    :class:`Overloaded` and changes nothing.
+
+    ``max_inflight_bytes=None`` disables the byte bound; depth is always
+    bounded (that is the point).  A single request larger than
+    ``max_inflight_bytes`` can never be admitted -- size the byte limit
+    to hold at least one worst-case request.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 256,
+        max_inflight_bytes: Optional[int] = None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if max_inflight_bytes is not None and max_inflight_bytes < 1:
+            raise ValueError(
+                "max_inflight_bytes must be >= 1 (or None), got "
+                f"{max_inflight_bytes}"
+            )
+        self._max_depth = int(max_queue_depth)
+        self._max_bytes = (
+            None if max_inflight_bytes is None else int(max_inflight_bytes)
+        )
+        self._lock = make_lock("AdmissionController._lock")
+        # guarded-by: _lock
+        self._depth = 0
+        # guarded-by: _lock
+        self._inflight_bytes = 0
+        # guarded-by: _lock
+        self._admitted = 0
+        # guarded-by: _lock
+        self._shed_depth = 0
+        # guarded-by: _lock
+        self._shed_bytes = 0
+        # guarded-by: _lock
+        self._peak_depth = 0
+        # guarded-by: _lock
+        self._peak_inflight_bytes = 0
+
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "AdmissionController is process-local (it owns a lock over "
+            "live in-flight counters); build one per process instead of "
+            "pickling it"
+        )
+
+    def admit(self, nbytes: int) -> None:
+        """Admit a request of ``nbytes`` payload or raise :class:`Overloaded`.
+
+        On success the request occupies one depth slot and ``nbytes`` of
+        the in-flight budget until :meth:`release` is called with the
+        same size.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        with self._lock:
+            depth = self._depth + 1
+            if depth > self._max_depth:
+                self._shed_depth += 1
+                raise Overloaded(SHED_QUEUE_DEPTH, self._max_depth, depth)
+            inflight = self._inflight_bytes + nbytes
+            if self._max_bytes is not None and inflight > self._max_bytes:
+                self._shed_bytes += 1
+                raise Overloaded(SHED_INFLIGHT_BYTES, self._max_bytes, inflight)
+            self._depth = depth
+            self._inflight_bytes = inflight
+            self._admitted += 1
+            self._peak_depth = max(self._peak_depth, depth)
+            self._peak_inflight_bytes = max(
+                self._peak_inflight_bytes, inflight
+            )
+
+    def release(self, nbytes: int) -> None:
+        """Return an admitted request's slot and bytes (exactly once)."""
+        with self._lock:
+            self._depth -= 1
+            self._inflight_bytes -= nbytes
+            if self._depth < 0 or self._inflight_bytes < 0:
+                raise RuntimeError(
+                    "admission release without a matching admit "
+                    f"(depth={self._depth}, bytes={self._inflight_bytes})"
+                )
+
+    @property
+    def stats(self) -> dict:
+        """Occupancy and shed counters for reports and benchmarks."""
+        with self._lock:
+            return {
+                "depth": self._depth,
+                "inflight_bytes": self._inflight_bytes,
+                "admitted": self._admitted,
+                "shed_queue_depth": self._shed_depth,
+                "shed_inflight_bytes": self._shed_bytes,
+                "peak_depth": self._peak_depth,
+                "peak_inflight_bytes": self._peak_inflight_bytes,
+                "max_queue_depth": self._max_depth,
+                "max_inflight_bytes": self._max_bytes,
+            }

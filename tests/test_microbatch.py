@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import gc
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -348,6 +349,222 @@ class TestMicroBatching:
             ScoringSession(
                 dataset.observations, dataset.labels, micro_batch="yes"
             )
+
+
+# ----------------------------------------------------------------------
+# Burst latency: the coalescing window must be interruptible
+# ----------------------------------------------------------------------
+
+
+class TestBurstLatency:
+    def test_full_batch_ships_without_waiting_out_the_window(self):
+        # Regression for the unconditional-sleep bug: with a deliberately
+        # huge window, a burst that fills the batch must flush the moment
+        # the last request arrives (queue-full notifies the leader's
+        # Condition wait), not after wait_seconds.
+        dataset = _dataset(seed=41)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact", micro_batch="off"
+        )
+        batcher = MicroBatcher(session, wait_seconds=5.0, max_requests=4)
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        requests = _request_slices(observations, 4, 40)
+        expected = [reference.score(request) for request in requests]
+        results: list = [None] * len(requests)
+        barrier = threading.Barrier(len(requests) + 1)
+
+        def submit(k):
+            barrier.wait()
+            results[k] = batcher.submit(requests[k])
+
+        threads = [
+            threading.Thread(target=submit, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.monotonic()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.5, (
+            f"full batch took {elapsed:.2f}s against a 5s window: the "
+            "leader slept out wait_seconds instead of flushing on full"
+        )
+        for k in range(len(requests)):
+            assert np.array_equal(results[k], expected[k])
+        assert batcher.stats["largest_batch"] == 4
+
+    def test_latency_budget_flushes_before_the_window(self):
+        # A request carrying a latency budget caps the coalescing wait at
+        # half its budget, even when the batch never fills.
+        dataset = _dataset(seed=43, n_sources=4, n_triples=60,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            micro_batch="off",
+        )
+        batcher = MicroBatcher(session, wait_seconds=5.0, max_requests=64)
+        start = time.monotonic()
+        scores = batcher.submit(
+            dataset.observations, latency_budget=0.2
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.5, (
+            f"budgeted request took {elapsed:.2f}s: the deadline did not "
+            "interrupt the 5s window"
+        )
+        assert scores.shape == (dataset.observations.n_triples,)
+        with pytest.raises(ValueError, match="latency_budget"):
+            batcher.submit(dataset.observations, latency_budget=0.0)
+
+    def test_zero_window_concurrent_bursts_complete(self):
+        # wait_seconds=0 is the degenerate window: leaders flush whatever
+        # is pending immediately.  Concurrent bursts must neither hang
+        # nor lose requests.
+        dataset = _dataset(seed=45)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact", micro_batch="off"
+        )
+        batcher = MicroBatcher(session, wait_seconds=0.0, max_requests=4)
+        reference = ScoringSession(
+            observations, dataset.labels, method="exact", delta="off"
+        )
+        requests = _request_slices(observations, 6, 40)
+        expected = [reference.score(request) for request in requests]
+        rounds = 10
+        failures: list[str] = []
+        barrier = threading.Barrier(len(requests))
+
+        def hammer(k):
+            barrier.wait()
+            for _ in range(rounds):
+                scores = batcher.submit(requests[k])
+                if not np.array_equal(scores, expected[k]):
+                    failures.append(f"thread {k} got wrong scores")
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "zero-window burst hung"
+        assert failures == []
+        assert batcher.stats["requests"] == rounds * len(requests)
+
+    def test_no_lost_wakeups_under_sustained_hammering(self):
+        # 8 threads x 100 submits through a tiny window: every submit
+        # must complete (a lost Condition wakeup would strand a leader
+        # waiting on a notify that already happened).
+        dataset = _dataset(seed=47)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact", micro_batch="off"
+        )
+        batcher = MicroBatcher(
+            session, wait_seconds=0.0005, max_requests=8
+        )
+        requests = _request_slices(observations, 8, 24)
+        rounds = 100
+        completed = [0] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def hammer(k):
+            barrier.wait()
+            for _ in range(rounds):
+                scores = batcher.submit(requests[k])
+                assert scores.shape == (requests[k].n_triples,)
+                completed[k] += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), (
+                "submitter hung: lost wakeup in the coalescing window"
+            )
+        assert completed == [rounds] * len(requests)
+        assert batcher.stats["requests"] == rounds * len(requests)
+
+    def test_stats_split_fused_from_raw_batches(self):
+        # largest_batch counts what the leader drained; the fused
+        # counters only count requests that actually shared a fused
+        # scoring pass.  A solo batch must not inflate the fused side.
+        from repro.core.api import _PendingScore
+
+        dataset = _dataset(seed=49)
+        observations = dataset.observations
+        session = ScoringSession(
+            observations, dataset.labels, method="exact", micro_batch="off"
+        )
+        batcher = MicroBatcher(session, wait_seconds=0.0)
+        fused = [
+            _PendingScore(request)
+            for request in _request_slices(observations, 3, 40)
+        ]
+        batcher._execute(fused)
+        solo = [_PendingScore(observations)]
+        batcher._execute(solo)
+        stats = batcher.stats
+        assert stats["batches"] == 2
+        assert stats["largest_batch"] == 3
+        assert stats["fused_batches"] == 1
+        assert stats["largest_fused_batch"] == 3
+        assert stats["fused_requests"] == 3
+
+    def test_close_flushes_pending_and_degrades_to_inline(self):
+        # close() must wake a leader sleeping out a long window (pending
+        # work flushes immediately) and later submits score inline.
+        dataset = _dataset(seed=51, n_sources=4, n_triples=60,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact",
+            micro_batch="off",
+        )
+        batcher = MicroBatcher(session, wait_seconds=5.0, max_requests=64)
+        result: list = [None]
+
+        def submit():
+            result[0] = batcher.submit(dataset.observations)
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        time.sleep(0.2)  # let the leader enter its window
+        batcher.close()
+        thread.join(timeout=2.5)
+        assert not thread.is_alive(), "close() did not flush the window"
+        assert result[0] is not None
+        assert batcher.stats["closed"]
+        batcher.close()  # idempotent
+        inline = batcher.submit(dataset.observations)
+        assert np.array_equal(inline, result[0])
+
+    def test_session_close_closes_the_batcher(self):
+        dataset = _dataset(seed=53, n_sources=4, n_triples=60,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact"
+        )
+        session.submit(dataset.observations)
+        session.close()
+        assert session.micro_batcher.stats["closed"]
+        # Post-close submit still answers (inline path).
+        scores = session.submit(dataset.observations)
+        assert scores.shape == (dataset.observations.n_triples,)
 
 
 # ----------------------------------------------------------------------
