@@ -29,6 +29,7 @@ from repro.eval.harness import (
     paper_method_specs,
     run_comparison,
     run_serving,
+    run_serving_chaos,
     run_serving_load,
 )
 from repro.eval.metrics import auc_pr, auc_roc, binary_metrics
@@ -204,6 +205,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker threads for sharded scoring inside the session",
+    )
+    serve_cmd.add_argument(
+        "--parallel-backend", choices=("thread", "process"), default=None,
+        help="executor backend for sharded scoring (default: thread); "
+             "worker-site fault schedules need 'process' for kill "
+             "actions to reach a real worker process",
+    )
+    serve_cmd.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="patterns per shard for parallel scoring; worker-site "
+             "fault schedules need requests wide enough to span "
+             "multiple word-aligned shards (e.g. --shard-size 64 "
+             "--request-triples 256) or the pool never dispatches",
+    )
+    serve_cmd.add_argument(
+        "--chaos", action="store_true",
+        help="replay the trace under deterministic fault injection and "
+             "assert the fault-tolerance contract: every request "
+             "terminates, the admission ledger drains to zero, and "
+             "completed scores stay bit-identical to a fault-free cold "
+             "twin",
+    )
+    serve_cmd.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault schedule for --chaos, e.g. "
+             "'worker:kill:2,score:raise:1:0' (site:action[:nth[:count]]"
+             "[@delay]); default: reuse $REPRO_FAULTS if armed, else a "
+             "random plan drawn from --chaos-seed",
+    )
+    serve_cmd.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for the random fault plan when --faults is not given "
+             "(default: 0)",
     )
     return parser
 
@@ -444,8 +478,22 @@ def _cmd_correlations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_engine_options(args: argparse.Namespace) -> dict:
+    """Optional session-engine knobs forwarded only when set."""
+    return {
+        key: value
+        for key, value in (
+            ("parallel_backend", args.parallel_backend),
+            ("shard_size", args.shard_size),
+        )
+        if value is not None
+    }
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     dataset = get_dataset(args.dataset, seed=args.seed)
+    if args.chaos:
+        return _serve_chaos(args, dataset)
     report = run_serving_load(
         dataset,
         method=args.method,
@@ -461,6 +509,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         refit_every=args.refit_every,
         refit_mode=args.refit_mode,
         workers=args.workers,
+        **_serve_engine_options(args),
     )
     print(dataset.summary())
     rows = [
@@ -492,6 +541,62 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _serve_chaos(args: argparse.Namespace, dataset) -> int:
+    """``serve-bench --chaos``: a seeded fault replay with hard asserts."""
+    try:
+        report = run_serving_chaos(
+            dataset,
+            method=args.method,
+            rate_qps=args.rate,
+            requests=args.requests,
+            request_triples=args.request_triples,
+            latency_budget=args.budget,
+            batch_cutoff=args.cutoff,
+            fixed_window_seconds=args.fixed_window,
+            max_queue_depth=args.max_queue_depth,
+            max_inflight_bytes=args.max_inflight_bytes,
+            mutate_frac=args.mutate_frac,
+            refit_every=args.refit_every,
+            refit_mode=args.refit_mode,
+            workers=args.workers,
+            fault_spec=args.faults,
+            fault_seed=args.chaos_seed,
+            **_serve_engine_options(args),
+        )
+    except RuntimeError as error:
+        # A violated chaos invariant (hang, accounting gap, admission
+        # leak, bit-identity break) -- the whole point of the command.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(dataset.summary())
+    fired = report.fault_stats.get("fired", {})
+    rows = [
+        ["fault plan", report.fault_spec],
+        ["faults fired", ", ".join(
+            f"{site}x{n}" for site, n in sorted(fired.items())
+        ) or "none"],
+        ["requests", str(report.requests)],
+        ["completed", str(report.completed)],
+        ["shed", str(report.shed)],
+        ["failed", str(report.failed)],
+        ["retries", str(report.retries)],
+        ["degraded batches", str(report.degraded_batches)],
+        ["forced degrades", str(report.forced_degrades)],
+        ["refit attempts", str(report.refit_attempts)],
+        ["refit failures", str(report.refit_failures)],
+        ["pool restarts", str(report.pool_stats.get("restarts", 0))],
+        ["admission depth after", str(report.admission_depth_after)],
+        ["max |served - twin|", f"{report.max_abs_diff:.1e}"],
+    ]
+    print(format_table(["chaos", "value"], rows))
+    print(
+        "\nall admitted requests terminated, the admission ledger drained "
+        "to zero, and completed scores are bit-identical to the "
+        "fault-free cold twin"
+    )
     return 0
 
 

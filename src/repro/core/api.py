@@ -28,6 +28,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.core import faults
 from repro.core.aggressive import AggressiveFuser
 from repro.core.clustering import (
     ClusteredCorrelationFuser,
@@ -610,6 +611,7 @@ class MicroBatcher:
         """Leader loop: execute batches until the queue empties or, once
         ``own`` has been served, leadership is handed to a waiting
         submitter (bounding every caller's time spent serving others)."""
+        batch: list[_PendingScore] = []
         try:
             while True:
                 self._await_coalescing_window()
@@ -617,6 +619,7 @@ class MicroBatcher:
                     batch = self._pending[: self._max_requests]
                     del self._pending[: len(batch)]
                 self._execute(batch)
+                batch = []
                 with self._lock:
                     if not self._pending:
                         self._leader_active = False
@@ -634,11 +637,16 @@ class MicroBatcher:
             # the backstop for leader failures outside it (e.g. a
             # KeyboardInterrupt mid-batch).  Fail everything still queued
             # -- their submitters are blocked and no successor was named
-            # -- and free the leadership so future submits recover.
+            # -- and free the leadership so future submits recover.  The
+            # dequeued in-flight batch is included: its entries are no
+            # longer in _pending, and a leader dying between dequeue and
+            # _execute's event-setting finally would otherwise leave its
+            # followers waiting forever (re-setting an already-set event
+            # is harmless).
             with self._lock:
                 abandoned, self._pending = self._pending, []
                 self._leader_active = False
-            for request in abandoned:
+            for request in batch + abandoned:
                 if request.scores is None and request.error is None:
                     request.error = RuntimeError(
                         "micro-batch leader failed before scoring this "
@@ -981,8 +989,24 @@ class ScoringSession:
             self._n_scored += 1
         return scores
 
+    def score_cold(self, observations: ObservationMatrix) -> np.ndarray:
+        """Score through the live fuser directly, bypassing the delta layer.
+
+        The degradation ladder's slow rung: no delta snapshot, no
+        per-pattern memo -- just the fuser's own (plan-cached) scoring,
+        which is precisely the reference the delta engine's bit-identity
+        contract is pinned against.  Serving may fall back to this path
+        under faults and lose only latency, never a bit of output.
+        """
+        scores = self._fuser.score(observations)
+        with self._count_lock:
+            self._n_scored += 1
+        return scores
+
     def score_batch(
-        self, requests: Sequence[ObservationMatrix]
+        self,
+        requests: Sequence[ObservationMatrix],
+        cold: bool = False,
     ) -> BatchScoreOutcome:
         """Score several matrices at once, coalescing the fusable ones.
 
@@ -996,7 +1020,13 @@ class ScoringSession:
         Errors are captured per request (``errors[i]``) instead of
         raised, so one bad request never poisons its batch -- and a solo
         bad request keeps its original exception type.
+
+        ``cold=True`` is the degradation ladder's middle rung: the batch
+        is still coalesced, but scored through the fuser directly
+        (:meth:`score_cold` semantics) with the delta layer bypassed --
+        for when the fast path is the thing that is failing.
         """
+        faults.trip(faults.SITE_SCORE)
         matrices = list(requests)
         n = len(matrices)
         scores: list[Optional[np.ndarray]] = [None] * n
@@ -1028,11 +1058,12 @@ class ScoringSession:
         # the fusable list: a 64-request batch does 64 probes, not 4096
         # identity comparisons.
         fused_ids = set(fusable)
+        score_one = self.score_cold if cold else self.score
         for i in range(n):
             if i not in fused_ids:
                 try:
-                    scores[i] = self.score(matrices[i])
-                except Exception as error:
+                    scores[i] = score_one(matrices[i])
+                except Exception as error:  # fault-barrier: captured per request so one bad matrix cannot poison its batch
                     errors[i] = error
         if not fusable:
             return BatchScoreOutcome(scores, errors, 0)
@@ -1048,16 +1079,19 @@ class ScoringSession:
             coverage=coverage,
         )
         try:
-            fused_scores = self._score_coalesced(fused)
-        except Exception:
+            if cold:
+                fused_scores = self.score_cold(fused)
+            else:
+                fused_scores = self._score_coalesced(fused)
+        except Exception:  # fault-barrier: fall through to per-request scoring; errors land only on the requests that cause them
             # A fused-pass failure (e.g. the concatenation is too wide
             # to score) must not condemn requests that would score fine
             # individually; retry per request so errors land only on the
             # requests that cause them.
             for i in fusable:
                 try:
-                    scores[i] = self.score(matrices[i])
-                except Exception as error:
+                    scores[i] = score_one(matrices[i])
+                except Exception as error:  # fault-barrier: captured per request (same contract as the unfused loop above)
                     errors[i] = error
             return BatchScoreOutcome(scores, errors, 0)
         offset = 0
@@ -1168,6 +1202,11 @@ class ScoringSession:
                 shard_size=self._shard_size,
                 options=self._options,
             )
+            # Injection site between build and publish: a fault here must
+            # leave the session serving the old generation untouched (the
+            # new fuser is dropped; its pool is reclaimed by the GC
+            # finalizer) -- the rollback contract the chaos suite pins.
+            faults.trip(faults.SITE_REFIT)
             self._publish_generation(
                 fuser, model, prior, smoothing, start, retired, retired_model
             )
@@ -1223,6 +1262,11 @@ class ScoringSession:
             smoothing = overrides.get("smoothing", self._smoothing)
             retired = self._fuser
             retired_model = self._model
+            # Partition-detection state is *staged* until the generation
+            # publishes: a build failure after detection must not leave
+            # the session holding partitions of a generation that never
+            # served (the half-swap the rollback tests pin).
+            staged_partition = self._partition_state
             start = time.perf_counter()
             if self._method.lower() == "em":
                 fuser, model = _build_fuser(
@@ -1284,7 +1328,7 @@ class ScoringSession:
                     options.setdefault(
                         "significance_memo", self._shared_significance_memo()
                     )
-                    self._apply_partition_carry(
+                    staged_partition = self._stage_partition_carry(
                         model, retired_model, retired, stats, options
                     )
                 fuser = make_fuser(
@@ -1295,9 +1339,13 @@ class ScoringSession:
                     shard_size=self._shard_size,
                     **options,
                 )
+            # Injection site between build and publish (see refit): the
+            # staged partition state commits only with the generation.
+            faults.trip(faults.SITE_REFIT)
             self._publish_generation(
                 fuser, model, prior, smoothing, start, retired, retired_model
             )
+            self._partition_state = staged_partition
             self._note_refit(stats, self.fit_seconds)
         return self
 
@@ -1366,14 +1414,14 @@ class ScoringSession:
         )
 
     # guarded-by: _refit_lock (called while building the new generation)
-    def _apply_partition_carry(
+    def _stage_partition_carry(
         self,
         model: EmpiricalJointModel,
         retired_model: Optional[EmpiricalJointModel],
         retired: TruthFuser,
         stats: ModelRefitStats,
         options: dict,
-    ) -> None:
+    ) -> Optional[PartitionDetectionState]:
         """Churn-bounded fuser construction for the clustered route.
 
         Precomputes the two correlation partitions outside the fuser --
@@ -1386,12 +1434,18 @@ class ScoringSession:
         and smoothing.  Anything else (cold fallback, label churn, a knob
         override, user-pinned partitions) runs the full detection, so the
         resulting fuser is always exactly what a cold rebuild would make.
+
+        Returns the detection state to *stage*; the caller commits it to
+        ``self._partition_state`` only after the generation publishes, so
+        a failed build rolls back to the old generation's state intact.
         """
         if (
             "true_partition" in options
             or "false_partition" in options
         ):
-            return  # user-pinned partitions: nothing to detect or carry
+            # User-pinned partitions: nothing to detect or carry; the
+            # session's own detection state is stale either way.
+            return self._partition_state
         memo = options.get("significance_memo")
         min_phi = options.get("min_phi", 0.15)
         min_expected = options.get("min_expected", 2.0)
@@ -1423,9 +1477,9 @@ class ScoringSession:
                 significance=significance,
                 memo=memo,
             )
-        self._partition_state = new_state
         if new_state is None:
-            return  # legacy engine: let the fuser run its own detection
+            # Legacy engine: let the fuser run its own detection.
+            return None
         options["true_partition"] = new_state.true_partition
         options["false_partition"] = new_state.false_partition
         if carry_ok and isinstance(retired, ClusteredCorrelationFuser):
@@ -1437,6 +1491,7 @@ class ScoringSession:
             }
             if carried:
                 options["carried_elastic"] = carried
+        return new_state
 
     def _clustered_route(self, model: JointQualityModel) -> bool:
         """Does ``self._method`` build a clustered fuser for ``model``?"""
@@ -1539,6 +1594,9 @@ class ScoringSession:
             joint_stats = fuser.joint_cache_stats()
             if joint_stats:
                 stats["joint_cache"] = joint_stats
+            pool_stats = fuser.pool_stats()
+            if pool_stats:
+                stats["pool"] = pool_stats
         if scorer is not None:
             stats["delta"] = scorer.stats
         batcher = self._batcher

@@ -342,6 +342,18 @@ class ModelBasedFuser(TruthFuser):
         """
         return {}
 
+    def pool_stats(self) -> dict:
+        """Worker-pool supervision counters, empty on the serial config.
+
+        Surfaces ``restarts`` / ``timeouts`` / ``inline_fallbacks`` from
+        :attr:`repro.core.parallel.WorkerPool.stats` so serving
+        observability (``ScoringSession.cache_stats()["pool"]``) can show
+        whether the fault-tolerance layer had to intervene.
+        """
+        if self._executor is None:
+            return {}
+        return self._executor.stats
+
     def pattern_mu_batch(self, patterns: PatternSet) -> Optional[np.ndarray]:
         """Vectorized ``mu`` for every distinct pattern, or ``None``.
 

@@ -52,6 +52,24 @@ processes.
 caller passes ``workers=None`` (the library default stays 1 -- serial);
 CI runs the whole test suite once under ``REPRO_DEFAULT_WORKERS=2`` so the
 parallel paths are exercised by every test.
+
+Supervision
+-----------
+A map is a promise, not an attempt: :meth:`WorkerPool.map` *always*
+returns ``[fn(x) for x in items]`` or raises ``fn``'s own error -- never
+an infrastructure error.  A dead process worker (``BrokenProcessPool``
+-- the whole pool is poisoned once any worker dies) or a watchdog
+timeout (``map_timeout`` seconds per map, default
+``$REPRO_MAP_TIMEOUT``) retires the executor and retries the map on a
+fresh one, at most ``max_restarts`` times; beyond that the map runs
+inline-serial on the calling thread, which cannot lose workers.  Faults
+therefore cost latency, never results -- the same contract the scoring
+engine gives for speed.  ``restarts`` / ``timeouts`` /
+``inline_fallbacks`` counters surface through :attr:`WorkerPool.stats`
+(and from there through ``ScoringSession.cache_stats()["pool"]``).
+Retries re-run ``fn`` for every item in the map, so dispatched ``fn``
+must stay idempotent -- true for everything here (pure per-shard
+scoring), and the property the bit-identity suites already pin.
 """
 
 from __future__ import annotations
@@ -59,10 +77,17 @@ from __future__ import annotations
 import math
 import os
 import weakref
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
+from repro.core import faults
 from repro.core.locktrace import assert_map_safe, make_lock
 
 #: Items per packed ``uint64`` word -- shard boundaries align to this so
@@ -77,6 +102,16 @@ PARALLEL_BACKENDS = ("thread", "process")
 #: Environment variable consulted when ``workers=None``: the default worker
 #: count for every fuser / model / session built without an explicit knob.
 WORKERS_ENV_VAR = "REPRO_DEFAULT_WORKERS"
+
+#: Environment variable consulted when ``map_timeout=None``: the per-map
+#: watchdog in (float) seconds for every pool built without an explicit
+#: knob.  Unset / empty means no watchdog (the library default -- the
+#: engine's maps are compute-bound and self-terminating; the watchdog
+#: exists for chaos drills and belt-and-braces production configs).
+MAP_TIMEOUT_ENV_VAR = "REPRO_MAP_TIMEOUT"
+
+#: Executor rebuild attempts per map before falling back inline-serial.
+DEFAULT_MAX_RESTARTS = 2
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -129,6 +164,40 @@ def default_workers() -> int:
             f"{WORKERS_ENV_VAR} must be a positive integer, got {value}"
         )
     return value
+
+
+def default_map_timeout() -> Optional[float]:
+    """The ambient per-map watchdog: ``$REPRO_MAP_TIMEOUT`` or ``None``."""
+    raw = os.environ.get(MAP_TIMEOUT_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{MAP_TIMEOUT_ENV_VAR} must be a positive number of seconds, "
+            f"got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"{MAP_TIMEOUT_ENV_VAR} must be a positive number of seconds, "
+            f"got {value}"
+        )
+    return value
+
+
+def resolve_map_timeout(
+    map_timeout: Optional[float], name: str = "map_timeout"
+) -> Optional[float]:
+    """Resolve a watchdog knob: ``None`` consults ``$REPRO_MAP_TIMEOUT``."""
+    if map_timeout is None:
+        return default_map_timeout()
+    timeout = float(map_timeout)
+    if timeout <= 0:
+        raise ValueError(
+            f"{name} must be a positive number of seconds, got {map_timeout}"
+        )
+    return timeout
 
 
 def resolve_workers(workers: Optional[int], name: str = "workers") -> int:
@@ -260,9 +329,26 @@ class WorkerPool:
     in the receiving process.
     """
 
-    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str = "thread",
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        map_timeout: Optional[float] = None,
+    ) -> None:
         self._workers = resolve_workers(workers)
         self._backend = check_backend(backend)
+        if isinstance(max_restarts, bool) or not isinstance(max_restarts, int):
+            raise TypeError(
+                f"max_restarts must be an int, got "
+                f"{type(max_restarts).__name__}"
+            )
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self._max_restarts = max_restarts
+        self._map_timeout = resolve_map_timeout(map_timeout)
         self._lock = make_lock("WorkerPool._lock")
         # guarded-by: _lock
         self._executor: Optional[Executor] = None
@@ -270,6 +356,12 @@ class WorkerPool:
         self._finalizer: Optional[weakref.finalize] = None
         # guarded-by: _lock
         self._closed = False
+        # guarded-by: _lock -- supervision counters (see stats)
+        self._restarts = 0
+        # guarded-by: _lock
+        self._timeouts = 0
+        # guarded-by: _lock
+        self._inline_fallbacks = 0
 
     @property
     def workers(self) -> int:
@@ -283,6 +375,29 @@ class WorkerPool:
     def closed(self) -> bool:
         """Whether :meth:`close` has run (maps then fall back inline)."""
         return self._closed
+
+    @property
+    def max_restarts(self) -> int:
+        return self._max_restarts
+
+    @property
+    def map_timeout(self) -> Optional[float]:
+        return self._map_timeout
+
+    @property
+    def stats(self) -> dict:
+        """Supervision counters plus static pool configuration (snapshot)."""
+        with self._lock:
+            return {
+                "workers": self._workers,
+                "backend": self._backend,
+                "max_restarts": self._max_restarts,
+                "map_timeout": self._map_timeout,
+                "restarts": self._restarts,
+                "timeouts": self._timeouts,
+                "inline_fallbacks": self._inline_fallbacks,
+                "closed": self._closed,
+            }
 
     def _ensure_executor(self) -> Optional[Executor]:
         """The live executor, or ``None`` when the pool is closed.
@@ -333,18 +448,88 @@ class WorkerPool:
             f"WorkerPool.map (backend={self._backend!r}, "
             f"workers={self._workers})"
         )
-        executor = self._ensure_executor()
-        if executor is None:
-            return [fn(item) for item in items]
-        try:
-            return list(executor.map(fn, items))
-        except RuntimeError:
-            # close() can land between the executor handoff above and the
-            # submit ("cannot schedule new futures after shutdown"); only
-            # that race is swallowed -- degrade to inline execution.
-            if not self._closed:
-                raise
-            return [fn(item) for item in items]
+        attempts = 0
+        while True:
+            executor = self._ensure_executor()
+            if executor is None:
+                return [fn(item) for item in items]
+            try:
+                return self._dispatch(executor, fn, items)
+            except BrokenExecutor:
+                # A worker died (killed process, failed initializer); the
+                # executor is permanently poisoned.  Retire it and retry
+                # the whole map on a fresh one.
+                failure = "restarts"
+            except FuturesTimeout:
+                # The per-map watchdog fired: some job is hung (or an
+                # injected delay outlived the budget).  The executor may
+                # still be wedged on it -- retire without waiting.
+                failure = "timeouts"
+            except RuntimeError:
+                # close() can land between the executor handoff above and
+                # the submit ("cannot schedule new futures after
+                # shutdown"); only that race is swallowed -- degrade to
+                # inline execution.  (BrokenExecutor subclasses
+                # RuntimeError, so supervision is handled above.)
+                if not self._closed:
+                    raise
+                return [fn(item) for item in items]
+            self._retire_executor(executor, failure)
+            attempts += 1
+            if attempts > self._max_restarts:
+                # Out of restart budget: the final rung.  Inline serial
+                # execution has no workers to lose and no watchdog to
+                # trip, so the map still completes (fn's own errors
+                # propagate -- supervision never masks those).
+                with self._lock:
+                    self._inline_fallbacks += 1
+                return [fn(item) for item in items]
+
+    def _dispatch(
+        self, executor: Executor, fn: Callable[[_T], _R], items: "list[_T]"
+    ) -> "list[_R]":
+        """One supervised fan-out attempt on ``executor``.
+
+        When a fault injector watches the worker site, every job is
+        wrapped with a parent-minted fault token (the Nth-hit decision
+        happens here, where the counters live; the child just performs
+        it).  Hit counters advance per attempt, so a retried map meets a
+        once-only rule already consumed -- which is what makes the retry
+        succeed.
+        """
+        timeout = self._map_timeout
+        injector = faults.active_injector()
+        if injector is not None and injector.watches(faults.SITE_WORKER):
+            jobs = [
+                (injector.token(faults.SITE_WORKER), fn, item)
+                for item in items
+            ]
+            return list(executor.map(faults.faulty_call, jobs,
+                                     timeout=timeout))
+        return list(executor.map(fn, items, timeout=timeout))
+
+    def _retire_executor(self, executor: Executor, failure: str) -> None:
+        """Drop a broken/hung executor so the next attempt rebuilds one.
+
+        The executor is shut down without waiting (its workers may be
+        dead or wedged) and detached from the GC finalizer; the matching
+        supervision counter records why.
+        """
+        with self._lock:
+            if failure == "timeouts":
+                self._timeouts += 1
+            else:
+                self._restarts += 1
+            if self._executor is not executor:
+                # A concurrent map already retired it (or close() ran);
+                # nothing further to detach.
+                finalizer = None
+            else:
+                self._executor = None
+                finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut the underlying executor down (idempotent).
@@ -368,14 +553,24 @@ class WorkerPool:
         self.close()
 
     def __getstate__(self) -> dict:
-        return {"workers": self._workers, "backend": self._backend}
+        return {
+            "workers": self._workers,
+            "backend": self._backend,
+            "max_restarts": self._max_restarts,
+            "map_timeout": self._map_timeout,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self._workers = state["workers"]
         self._backend = state["backend"]
+        self._max_restarts = state.get("max_restarts", DEFAULT_MAX_RESTARTS)
+        self._map_timeout = state.get("map_timeout")
         self._executor = None
         self._finalizer = None
         self._closed = False
+        self._restarts = 0
+        self._timeouts = 0
+        self._inline_fallbacks = 0
         self._lock = make_lock("WorkerPool._lock")
 
 
@@ -395,8 +590,15 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         backend: str = "thread",
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        map_timeout: Optional[float] = None,
     ) -> None:
-        self._pool = WorkerPool(resolve_workers(workers), backend)
+        self._pool = WorkerPool(
+            resolve_workers(workers),
+            backend,
+            max_restarts=max_restarts,
+            map_timeout=map_timeout,
+        )
         self._planner = ShardPlanner(shard_size)
 
     @property
@@ -415,6 +617,13 @@ class ShardedExecutor:
     def closed(self) -> bool:
         """Whether the underlying pool has been closed."""
         return self._pool.closed
+
+    @property
+    def stats(self) -> dict:
+        """The pool's supervision counters plus the shard configuration."""
+        stats = self._pool.stats
+        stats["shard_size"] = self._planner.shard_size
+        return stats
 
     def shards(self, n_items: int) -> list[Shard]:
         """The planner's balanced word-aligned blocks for ``n_items``."""

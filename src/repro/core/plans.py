@@ -56,6 +56,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable, Mapping, Optional
 
+from repro.core import faults
 from repro.core.locktrace import make_lock
 
 import numpy as np
@@ -1059,6 +1060,7 @@ class CompiledPlanCache:
         if self._max_entries == 0:
             with self._lock:
                 self.misses += 1
+            faults.trip(faults.SITE_COMPILE)
             value = factory()
             with self._lock:
                 self.computes += 1
@@ -1079,6 +1081,9 @@ class CompiledPlanCache:
                     break
             waiter.wait()
         try:
+            # Injection site: a compile-time fault exercises the
+            # single-flight release path (waiters retry, nothing stored).
+            faults.trip(faults.SITE_COMPILE)
             value = factory()
         except BaseException:
             # Release waiters without storing; one of them recomputes.

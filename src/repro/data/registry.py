@@ -60,6 +60,27 @@ def _synthetic_correlated(seed: RngLike = 0, **kwargs: Any) -> FusionDataset:
     return generate(config, seed=seed)
 
 
+def _synthetic_wide(seed: RngLike = 17, **kwargs: Any) -> FusionDataset:
+    """The chaos/serving benchmark workload: enough sources that request
+    windows span multiple 64-aligned pattern shards, so sharded scoring
+    (and worker-site fault schedules) actually dispatch to the pool."""
+    config = SyntheticConfig(
+        sources=uniform_sources(
+            kwargs.get("n_sources", 8),
+            kwargs.get("precision", 0.65),
+            kwargs.get("recall", 0.45),
+        ),
+        n_triples=kwargs.get("n_triples", 960),
+        true_fraction=kwargs.get("true_fraction", 0.5),
+        groups=(
+            CorrelationGroup(members=(0, 1, 2), mode="overlap_true",
+                             strength=0.85),
+        ),
+        name="synthetic-wide",
+    )
+    return generate(config, seed=seed)
+
+
 _REGISTRY: Mapping[str, Callable[..., FusionDataset]] = {
     "figure1": _figure1,
     "reverb": reverb_dataset,
@@ -67,6 +88,7 @@ _REGISTRY: Mapping[str, Callable[..., FusionDataset]] = {
     "book": book_dataset,
     "synthetic-independent": _synthetic_independent,
     "synthetic-correlated": _synthetic_correlated,
+    "synthetic-wide": _synthetic_wide,
 }
 
 #: Default seeds matching the benchmark suite, so `get_dataset("reverb")`
@@ -77,6 +99,7 @@ _DEFAULT_SEEDS = {
     "book": 42,
     "synthetic-independent": 0,
     "synthetic-correlated": 0,
+    "synthetic-wide": 17,
 }
 
 

@@ -807,6 +807,329 @@ def run_serving_load(
 
 
 # ----------------------------------------------------------------------
+# Chaos replay: the serving front end under deterministic fault injection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingChaosReport:
+    """One seeded chaos replay through the async serving front end.
+
+    The contract a passing report certifies: under the injected fault
+    schedule (``fault_spec``), every admitted request *terminated* --
+    ``completed + shed + failed == requests`` with nothing hung -- the
+    admission ledger drained to exactly zero depth and zero in-flight
+    bytes, and every completed request's scores are **bit-identical**
+    (``max_abs_diff == 0.0``) to an independent fault-free cold twin of
+    the generation that served it.  ``failed`` counts requests whose
+    future resolved with a non-``Overloaded`` error; the degradation
+    ladder makes this rare (only dispatch-site faults or per-request
+    cold-scoring errors reach callers), but a typed failure is a legal
+    terminal outcome -- a hang is not.
+    """
+
+    method: str
+    fault_spec: str
+    rate_qps: float
+    requests: int
+    completed: int
+    shed: int
+    failed: int
+    refit_attempts: int
+    refit_failures: int
+    refits: int
+    duration_seconds: float
+    max_abs_diff: float
+    retries: int
+    degraded_batches: int
+    forced_degrades: int
+    admission_depth_after: int
+    admission_inflight_bytes_after: int
+    fault_stats: Mapping = field(default_factory=dict)
+    pool_stats: Mapping = field(default_factory=dict)
+    admission_stats: Mapping = field(default_factory=dict)
+    resilience_stats: Mapping = field(default_factory=dict)
+
+    @property
+    def terminated(self) -> int:
+        return self.completed + self.shed + self.failed
+
+
+def run_serving_chaos(
+    dataset: FusionDataset,
+    method: str = "precreccorr",
+    rate_qps: float = 200.0,
+    requests: int = 120,
+    request_triples: int = 96,
+    latency_budget: float = 0.05,
+    batch_cutoff: str = "deadline",
+    fixed_window_seconds: float = 0.04,
+    max_batch_requests: int = 32,
+    max_queue_depth: int = 256,
+    max_inflight_bytes: Optional[int] = None,
+    mutate_frac: float = 0.02,
+    cold_every: int = 4,
+    seed: int = 0,
+    refit_every: int = 0,
+    refit_mode: str = "delta",
+    workers: Optional[int] = None,
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
+    scoring_timeout: Optional[float] = 1.0,
+    max_retries: int = 2,
+    breaker_threshold: int = 5,
+    breaker_cooldown: float = 0.25,
+    breaker_policy: str = "degrade",
+    max_seconds: float = 120.0,
+    **options: Any,
+) -> ServingChaosReport:
+    """Replay an open-loop serving trace under a seeded fault schedule.
+
+    The same open-loop arrival process as :func:`run_serving_load`, but
+    with a :class:`~repro.core.faults.FaultPlan` installed for the
+    duration of the traffic phase: ``fault_spec`` names an explicit
+    schedule (``"worker:kill:2,score:raise:1:0"``), otherwise an
+    already-installed injector (e.g. from ``REPRO_FAULTS``) is reused,
+    otherwise ``FaultPlan.random(fault_seed)`` draws one.  The injector
+    is uninstalled before verification, so the bit-identity twins run
+    fault-free.
+
+    The run *asserts* the fault-tolerance contract and raises
+    ``RuntimeError`` on any violation:
+
+    - complete accounting: every request terminates as completed, shed
+      (typed ``Overloaded``), or failed -- within ``max_seconds`` wall
+      clock, so a hang is a failure, not a wait;
+    - admission drain: queue depth and in-flight bytes are exactly zero
+      after the front end closes (no leaked budget on any error path);
+    - bit-identity: completed scores match a fault-free delta-off cold
+      twin of the serving generation with ``max_abs_diff == 0.0`` --
+      every degradation-ladder rung is exactness-preserving.
+    """
+    from repro.core import faults
+    from repro.serve import AsyncServingFrontend, Overloaded, RetryPolicy
+
+    if rate_qps <= 0.0:
+        raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if refit_every < 0:
+        raise ValueError(
+            f"refit_every must be non-negative, got {refit_every}"
+        )
+    if max_seconds <= 0.0:
+        raise ValueError(f"max_seconds must be positive, got {max_seconds}")
+    refit_mode = check_refit_mode(refit_mode)
+    if refit_every > 0 and method.lower() == "em":
+        raise ValueError(
+            "refit_every > 0 is not supported with method='em': warm EM "
+            "refits are not bitwise reproducible, so served scores have "
+            "no independent oracle"
+        )
+    # Fault schedule precedence: explicit spec > pre-installed injector
+    # (REPRO_FAULTS or a caller's plan) > a seeded random draw.  Only
+    # plans this function installs are uninstalled by it.
+    owned = False
+    if fault_spec is not None:
+        injector = faults.install(faults.FaultPlan.from_spec(fault_spec))
+        owned = True
+    else:
+        existing = faults.active_injector()
+        if existing is not None:
+            injector = existing
+        else:
+            injector = faults.install(faults.FaultPlan.random(fault_seed))
+            owned = True
+    effective_spec = injector.plan.spec
+    session = ScoringSession(
+        dataset.observations,
+        dataset.labels,
+        method=method,
+        workers=workers,
+        micro_batch="off",
+        **options,
+    )
+    trace = serving_request_trace(
+        dataset.observations,
+        requests,
+        request_triples,
+        mutate_frac=mutate_frac,
+        seed=seed,
+        cold_every=cold_every,
+    )
+    n_refits = requests // refit_every if refit_every > 0 else 0
+    refit_matrices = mutation_trace(
+        dataset.observations, n_refits, mutate_frac, seed=seed + 1
+    )
+    frontend = AsyncServingFrontend(
+        session,
+        max_queue_depth=max_queue_depth,
+        max_inflight_bytes=max_inflight_bytes,
+        max_batch_requests=max_batch_requests,
+        default_latency_budget=latency_budget,
+        batch_cutoff=batch_cutoff,
+        fixed_window_seconds=fixed_window_seconds,
+        retry_policy=RetryPolicy(max_retries=max_retries, jitter_seed=seed),
+        scoring_timeout=scoring_timeout,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
+        breaker_policy=breaker_policy,
+    )
+    results: list[Optional[Any]] = [None] * requests
+    errors: "dict[int, BaseException]" = {}
+    applied_refits: list[ObservationMatrix] = []
+    shed = 0
+    refit_failures = 0
+
+    async def _run() -> float:
+        nonlocal shed, refit_failures
+        async with frontend:
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+
+            async def fire(k: int, matrix: ObservationMatrix) -> None:
+                nonlocal shed
+                scheduled = start + k / rate_qps
+                delay = scheduled - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    results[k] = await frontend.submit_detailed(
+                        matrix, latency_budget=latency_budget
+                    )
+                except Overloaded:
+                    shed += 1
+                except Exception as error:  # fault-barrier: a typed per-request failure is a legal chaos outcome; record it for the accounting check
+                    errors[k] = error
+
+            async def refit_at(g: int, matrix: ObservationMatrix) -> None:
+                nonlocal refit_failures
+                scheduled = start + (g + 1) * refit_every / rate_qps
+                delay = scheduled - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                try:
+                    await frontend.refit(
+                        matrix, dataset.labels, mode=refit_mode
+                    )
+                except Exception:  # fault-barrier: an injected refit fault must roll back, not abort the replay
+                    refit_failures += 1
+                else:
+                    applied_refits.append(matrix)
+
+            tasks = [
+                asyncio.ensure_future(fire(k, matrix))
+                for k, matrix in enumerate(trace)
+            ]
+            tasks.extend(
+                asyncio.ensure_future(refit_at(g, matrix))
+                for g, matrix in enumerate(refit_matrices)
+            )
+            gathered = asyncio.gather(*tasks)
+            try:
+                await asyncio.wait_for(gathered, timeout=max_seconds)
+            except asyncio.TimeoutError:
+                for task in tasks:
+                    task.cancel()
+                raise RuntimeError(
+                    "chaos accounting violation: replay did not terminate "
+                    f"within {max_seconds}s (possible hang) under fault "
+                    f"plan {effective_spec!r}"
+                ) from None
+            return loop.time() - start
+
+    try:
+        duration = asyncio.run(_run())
+    except BaseException:
+        session.close()
+        raise
+    finally:
+        # Freeze fault accounting and disarm injection before the twin
+        # phase: verification sessions must run fault-free.
+        fault_stats = injector.stats
+        if owned:
+            faults.uninstall()
+    admission_stats = dict(frontend.stats["admission"])
+    resilience_stats = dict(frontend.stats["resilience"])
+    pool_stats = dict(session.cache_stats().get("pool", {}))
+    # Bit-identity oracle, as in run_serving_load: one fault-free
+    # delta-off twin per generation that actually served traffic.
+    fit_inputs = [dataset.observations] + applied_refits
+    twins: "dict[int, ScoringSession]" = {}
+    max_abs_diff = 0.0
+    try:
+        for k, result in enumerate(results):
+            if result is None:
+                continue
+            generation = int(result.generation)
+            twin = twins.get(generation)
+            if twin is None:
+                twin = ScoringSession(
+                    fit_inputs[generation],
+                    dataset.labels,
+                    method=method,
+                    workers=workers,
+                    delta="off",
+                    micro_batch="off",
+                    **options,
+                )
+                twins[generation] = twin
+            direct = twin.score(trace[k])
+            if len(result.scores):
+                diff = float(np.abs(result.scores - direct).max())
+                max_abs_diff = max(max_abs_diff, diff)
+    finally:
+        for twin in twins.values():
+            twin.close()
+        session.close()
+    completed = sum(1 for result in results if result is not None)
+    failed = len(errors)
+    report = ServingChaosReport(
+        method=method,
+        fault_spec=effective_spec,
+        rate_qps=float(rate_qps),
+        requests=requests,
+        completed=completed,
+        shed=shed,
+        failed=failed,
+        refit_attempts=n_refits,
+        refit_failures=refit_failures,
+        refits=int(frontend.stats["refits"]),
+        duration_seconds=float(duration),
+        max_abs_diff=max_abs_diff,
+        retries=int(resilience_stats["retries"]),
+        degraded_batches=int(resilience_stats["degraded_batches"]),
+        forced_degrades=int(resilience_stats["forced_degrades"]),
+        admission_depth_after=int(admission_stats["depth"]),
+        admission_inflight_bytes_after=int(admission_stats["inflight_bytes"]),
+        fault_stats=fault_stats,
+        pool_stats=pool_stats,
+        admission_stats=admission_stats,
+        resilience_stats=resilience_stats,
+    )
+    if report.terminated != requests:
+        raise RuntimeError(
+            "chaos accounting violation: "
+            f"completed({completed}) + shed({shed}) + failed({failed}) "
+            f"!= requests({requests}) under fault plan {effective_spec!r}"
+        )
+    if report.admission_depth_after or report.admission_inflight_bytes_after:
+        raise RuntimeError(
+            "chaos admission leak: after drain depth="
+            f"{report.admission_depth_after}, inflight_bytes="
+            f"{report.admission_inflight_bytes_after} (both must be 0) "
+            f"under fault plan {effective_spec!r}"
+        )
+    if max_abs_diff != 0.0:
+        raise RuntimeError(
+            "chaos bit-identity violation: max |served - cold twin| = "
+            f"{max_abs_diff!r} (must be exactly 0.0) under fault plan "
+            f"{effective_spec!r}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Standard method line-ups
 # ----------------------------------------------------------------------
 

@@ -4,12 +4,15 @@ The serving leg of the reproduction (see ``docs/architecture.md``,
 "Serving front end"): an ``asyncio`` layer over
 :class:`~repro.core.api.ScoringSession` that sheds overload instead of
 queueing it, routes delta-friendly traffic into its own batching lane,
-flushes micro-batches on latency-budget deadlines, and swaps model
+flushes micro-batches on latency-budget deadlines, swaps model
 generations under live traffic without ever scoring a request against a
-mixed generation.
+mixed generation, and survives faults (dead workers, injected failures,
+hung scoring) through bounded retries, per-lane circuit breakers, and a
+bit-identical degradation ladder (:mod:`repro.serve.resilience`).
 """
 
 from repro.serve.admission import (
+    SHED_CIRCUIT_OPEN,
     SHED_CLOSED,
     SHED_INFLIGHT_BYTES,
     SHED_QUEUE_DEPTH,
@@ -29,20 +32,37 @@ from repro.serve.lanes import (
     LaneRouter,
     expected_sources_of,
 )
+from repro.serve.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    RETRYABLE_ERRORS,
+    CircuitBreaker,
+    RetryPolicy,
+    is_retryable,
+)
 
 __all__ = [
     "AdmissionController",
     "AsyncServingFrontend",
     "BATCH_CUTOFFS",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "COLD_LANE",
+    "CircuitBreaker",
     "DEFAULT_SMALL_CHURN_FRACTION",
     "DELTA_LANE",
     "LANES",
     "LaneRouter",
     "Overloaded",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "SHED_CIRCUIT_OPEN",
     "SHED_CLOSED",
     "SHED_INFLIGHT_BYTES",
     "SHED_QUEUE_DEPTH",
     "ServeResult",
     "expected_sources_of",
+    "is_retryable",
 ]

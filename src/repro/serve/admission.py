@@ -20,10 +20,13 @@ from typing import Optional
 
 from repro.core.locktrace import make_lock
 
-#: ``Overloaded.reason`` values.
+#: ``Overloaded.reason`` values.  ``circuit_open`` is raised by the front
+#: end (not this controller) when a lane's circuit breaker sheds traffic
+#: -- see :mod:`repro.serve.resilience`.
 SHED_QUEUE_DEPTH = "queue_depth"
 SHED_INFLIGHT_BYTES = "inflight_bytes"
 SHED_CLOSED = "closed"
+SHED_CIRCUIT_OPEN = "circuit_open"
 
 
 class Overloaded(RuntimeError):
@@ -31,9 +34,10 @@ class Overloaded(RuntimeError):
 
     Attributes mirror the rejecting limit so callers (and tests) can
     tell *why* they were shed: ``reason`` is one of ``"queue_depth"``,
-    ``"inflight_bytes"``, or ``"closed"``; ``limit`` is the configured
-    bound and ``value`` what admitting the request would have made the
-    tracked quantity.
+    ``"inflight_bytes"``, ``"closed"``, or ``"circuit_open"``; ``limit``
+    is the configured bound and ``value`` what admitting the request
+    would have made the tracked quantity (for ``circuit_open``: the
+    breaker's failure threshold and its consecutive-failure count).
     """
 
     def __init__(self, reason: str, limit: float, value: float) -> None:

@@ -29,11 +29,25 @@ batches drain to zero, the session swaps generations via its own
 ``refit``/``refit_delta``, and only then does queued traffic replay --
 so no request is ever scored against a mixed generation, and every
 result carries the generation that scored it.
+
+Fault tolerance (:mod:`repro.serve.resilience`): every admitted request
+*terminates* -- with scores, a typed shed, or a typed failure -- and its
+admission charge is released exactly once, no matter where a fault
+lands.  A failing batch walks the degradation ladder (retried
+delta-aware scoring -> cold micro-batch -> inline per-request cold
+scoring), every rung of which is bit-identical to the reference path,
+so faults can cost latency but never correctness.  Per-lane circuit
+breakers shed or force-degrade traffic aimed at a persistently failing
+lane, and per-attempt scoring timeouts keep a hung executor from
+wedging the loop.  A refit that fails mid-swap leaves the session on
+its old generation with the gate reopened -- serving resumes, the
+caller gets the error.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -41,14 +55,37 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.core.api import ScoringSession, check_refit_mode
+from repro.core import faults
+from repro.core.api import BatchScoreOutcome, ScoringSession, check_refit_mode
 from repro.core.observations import ObservationMatrix
-from repro.serve.admission import SHED_CLOSED, AdmissionController, Overloaded
-from repro.serve.lanes import LANES, LaneRouter, expected_sources_of
+from repro.serve.admission import (
+    SHED_CIRCUIT_OPEN,
+    SHED_CLOSED,
+    AdmissionController,
+    Overloaded,
+)
+from repro.serve.lanes import (
+    COLD_LANE,
+    DELTA_LANE,
+    LANES,
+    LaneRouter,
+    expected_sources_of,
+)
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 
 #: Valid ``batch_cutoff`` modes: deadline-aware (flush at half the oldest
 #: budget) or the fixed coalescing window (the pre-serve baseline).
 BATCH_CUTOFFS = ("deadline", "fixed")
+
+
+def _swallow_late_result(future: "asyncio.Future[Any]") -> None:
+    """Done-callback for abandoned (timed-out) scoring attempts.
+
+    Retrieves a late exception so the event loop never logs it as
+    never-retrieved; a late result is simply dropped.
+    """
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass(frozen=True)
@@ -81,6 +118,7 @@ class _Request:
         "nbytes",
         "admitted_at",
         "flush_at",
+        "settled",
     )
 
     def __init__(
@@ -96,6 +134,10 @@ class _Request:
         self.nbytes = nbytes
         self.admitted_at = admitted_at
         self.flush_at = flush_at
+        # Flipped exactly once by _settle_result/_settle_error: the
+        # admission charge is released at the same moment, so "every
+        # request settles exactly once" is the accounting invariant.
+        self.settled = False
 
 
 class _LaneState:
@@ -138,6 +180,11 @@ class AsyncServingFrontend:
         fixed_window_seconds: float = 0.002,
         small_churn_fraction: float = 0.25,
         executor_workers: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        scoring_timeout: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 0.5,
+        breaker_policy: str = "degrade",
     ) -> None:
         if max_batch_requests < 1:
             raise ValueError(
@@ -162,6 +209,16 @@ class AsyncServingFrontend:
             raise ValueError(
                 f"executor_workers must be >= 1, got {executor_workers}"
             )
+        if scoring_timeout is not None and scoring_timeout <= 0.0:
+            raise ValueError(
+                f"scoring_timeout must be positive or None, got "
+                f"{scoring_timeout}"
+            )
+        if breaker_policy not in ("degrade", "shed"):
+            raise ValueError(
+                "breaker_policy must be 'degrade' or 'shed', got "
+                f"{breaker_policy!r}"
+            )
         self._session = session
         self._max_batch = int(max_batch_requests)
         self._default_budget = float(default_latency_budget)
@@ -175,6 +232,25 @@ class AsyncServingFrontend:
             session, small_churn_fraction=small_churn_fraction
         )
         self._executor_workers = int(executor_workers)
+        # Resilience: retries on by default (bounded, retry-safe errors
+        # only -- a fault-free run never enters the retry path, so the
+        # default changes no healthy-path behaviour).  Pass
+        # RetryPolicy(max_retries=0) to disable.
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._scoring_timeout = (
+            None if scoring_timeout is None else float(scoring_timeout)
+        )
+        self._breaker_policy = breaker_policy
+        self._breakers = {
+            name: CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown_seconds=breaker_cooldown,
+                clock=time.monotonic,
+            )
+            for name in LANES
+        }
         # Loop-confined state, created by start(); no locks by design --
         # every mutation below happens on the event-loop thread.
         self._lanes: dict[str, _LaneState] = {}
@@ -190,6 +266,11 @@ class AsyncServingFrontend:
         self._refits = 0
         self._fused_requests = 0
         self._largest_batch = 0
+        self._retries = 0
+        self._degraded_batches = 0
+        self._forced_degrades = 0
+        self._shed_circuit = 0
+        self._refit_failures = 0
 
     def __getstate__(self) -> dict:
         raise TypeError(
@@ -297,7 +378,7 @@ class AsyncServingFrontend:
         loop = asyncio.get_running_loop()
         now = loop.time()
         try:
-            lane_name = self._router.classify(observations)
+            lane_name = self._admit_lane(self._router.classify(observations))
             lane = self._lanes[lane_name]
             if self._cutoff == "deadline":
                 # SLO-aware cut-off: leave half the budget for the
@@ -317,9 +398,38 @@ class AsyncServingFrontend:
         except BaseException:
             # Admission was charged but the request never reached a
             # lane; dispatch can no longer release it, so do it here.
+            # (Covers circuit-open shedding too: _admit_lane raises
+            # before the request object exists.)
             self._admission.release(nbytes)
             raise
         return await request.future
+
+    def _admit_lane(self, lane_name: str) -> str:
+        """Apply the lane's circuit breaker: pass, force-degrade, or shed.
+
+        An open delta-lane breaker under ``breaker_policy="degrade"``
+        reroutes the request to the cold lane when cold serving is
+        healthy -- degradation is bit-identical, so rerouting beats
+        shedding.  Everything else (cold lane open, ``"shed"`` policy,
+        both lanes open) sheds with a typed
+        ``Overloaded("circuit_open")``.
+        """
+        breaker = self._breakers[lane_name]
+        if breaker.allow():
+            return lane_name
+        if (
+            self._breaker_policy == "degrade"
+            and lane_name == DELTA_LANE
+            and self._breakers[COLD_LANE].allow()
+        ):
+            self._forced_degrades += 1
+            return COLD_LANE
+        self._shed_circuit += 1
+        raise Overloaded(
+            SHED_CIRCUIT_OPEN,
+            float(breaker.failure_threshold),
+            float(breaker.stats["consecutive_failures"]),
+        )
 
     async def refit(
         self,
@@ -359,16 +469,24 @@ class AsyncServingFrontend:
                     self._session.refit_delta if mode == "delta"
                     else self._session.refit
                 )
-                await loop.run_in_executor(
-                    self._executor,
-                    partial(
-                        refit_call,
-                        observations,
-                        labels,
-                        train_mask=train_mask,
-                        **overrides,
-                    ),
-                )
+                try:
+                    await loop.run_in_executor(
+                        self._executor,
+                        partial(
+                            refit_call,
+                            observations,
+                            labels,
+                            train_mask=train_mask,
+                            **overrides,
+                        ),
+                    )
+                except BaseException:
+                    # The session rolled back to its old generation (its
+                    # refit publishes atomically); count the failure and
+                    # let the finally reopen the gate so queued traffic
+                    # replays against the unchanged generation.
+                    self._refit_failures += 1
+                    raise
                 self._generation += 1
                 self._refits += 1
                 self._router.rebind(expected_sources_of(self._session))
@@ -395,34 +513,51 @@ class AsyncServingFrontend:
     async def _dispatch_lane(self, lane: _LaneState) -> None:
         """One lane's dispatcher: coalesce, cut at the deadline, execute."""
         loop = asyncio.get_running_loop()
-        while True:
-            if not lane.pending:
-                if self._closing:
-                    return
-                lane.event.clear()
-                await lane.event.wait()
-                continue
-            now = loop.time()
-            cutoff = self._batch_cutoff_time(lane)
-            full = len(lane.pending) >= self._max_batch
-            flush = (
-                self._closing
-                or now >= cutoff
-                # A full batch ships immediately under the deadline
-                # cut-off; the fixed baseline deliberately waits the
-                # window out (that is the burst bug being benchmarked).
-                or (full and self._cutoff == "deadline")
-            )
-            if not flush:
-                lane.event.clear()
-                try:
-                    await asyncio.wait_for(lane.event.wait(), cutoff - now)
-                except asyncio.TimeoutError:
-                    pass
-                continue
-            batch = lane.pending[: self._max_batch]
-            del lane.pending[: len(batch)]
-            await self._execute_batch(lane, batch)
+        try:
+            while True:
+                if not lane.pending:
+                    if self._closing:
+                        return
+                    lane.event.clear()
+                    await lane.event.wait()
+                    continue
+                now = loop.time()
+                cutoff = self._batch_cutoff_time(lane)
+                full = len(lane.pending) >= self._max_batch
+                flush = (
+                    self._closing
+                    or now >= cutoff
+                    # A full batch ships immediately under the deadline
+                    # cut-off; the fixed baseline deliberately waits the
+                    # window out (that is the burst bug being benchmarked).
+                    or (full and self._cutoff == "deadline")
+                )
+                if not flush:
+                    lane.event.clear()
+                    try:
+                        await asyncio.wait_for(
+                            lane.event.wait(), cutoff - now
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                    continue
+                batch = lane.pending[: self._max_batch]
+                del lane.pending[: len(batch)]
+                await self._execute_batch(lane, batch)
+        except BaseException as error:
+            # A dying dispatcher (cancellation, a bug in the loop above)
+            # must not strand its queue: fail every still-pending request
+            # so callers unblock and their admission charges drain, then
+            # propagate.  _execute_batch settles its own dequeued batch.
+            for request in lane.pending:
+                wrapped = RuntimeError(
+                    f"{lane.name} lane dispatcher crashed before scoring "
+                    "this request"
+                )
+                wrapped.__cause__ = error
+                self._settle_error(request, wrapped)
+            lane.pending.clear()
+            raise
 
     async def _execute_batch(
         self, lane: _LaneState, batch: list[_Request]
@@ -443,22 +578,21 @@ class AsyncServingFrontend:
         try:
             generation = self._generation
             dispatched_at = loop.time()
-            matrices = [request.observations for request in batch]
+            breaker = self._breakers[lane.name]
             try:
-                outcome = await loop.run_in_executor(
-                    self._executor, self._session.score_batch, matrices
-                )
-            except Exception as error:
+                faults.trip(faults.SITE_DISPATCH)
+                outcome = await self._score_resilient(batch)
+            except Exception as error:  # fault-barrier: the dispatcher keeps serving; every request in the batch gets its own typed failure
+                breaker.record_failure()
                 for request in batch:
-                    self._admission.release(request.nbytes)
-                    if not request.future.done():
-                        wrapped = RuntimeError(
-                            "serving batch failed before scoring this "
-                            "request"
-                        )
-                        wrapped.__cause__ = error
-                        request.future.set_exception(wrapped)
+                    wrapped = RuntimeError(
+                        "serving batch failed before scoring this "
+                        "request"
+                    )
+                    wrapped.__cause__ = error
+                    self._settle_error(request, wrapped)
                 return
+            breaker.record_success()
             completed_at = loop.time()
             lane.batches += 1
             lane.served += len(batch)
@@ -467,14 +601,12 @@ class AsyncServingFrontend:
             for request, scores, request_error in zip(
                 batch, outcome.scores, outcome.errors
             ):
-                self._admission.release(request.nbytes)
-                if request.future.done():
-                    continue  # the caller gave up (cancelled) mid-batch
                 if request_error is not None:
-                    request.future.set_exception(request_error)
+                    self._settle_error(request, request_error)
                 else:
                     assert scores is not None
-                    request.future.set_result(
+                    self._settle_result(
+                        request,
                         ServeResult(
                             scores=scores,
                             lane=lane.name,
@@ -487,12 +619,127 @@ class AsyncServingFrontend:
                             latency_seconds=(
                                 completed_at - request.admitted_at
                             ),
-                        )
+                        ),
                     )
         finally:
+            # Accounting backstop: any request not settled above (an
+            # unexpected unwind, including task cancellation mid-await)
+            # still releases its admission charge and fails its caller --
+            # settled requests are untouched, settlement is exactly-once.
+            for request in batch:
+                if not request.settled:
+                    self._settle_error(
+                        request,
+                        RuntimeError(
+                            "serving batch was abandoned before settling "
+                            "this request"
+                        ),
+                    )
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
+
+    def _settle_result(self, request: _Request, result: ServeResult) -> None:
+        """Resolve a request exactly once: release admission, set scores.
+
+        Safe on a cancelled future (the charge still releases; the
+        result is dropped) and a second settle attempt is a no-op --
+        which is what lets every error path call it defensively.
+        """
+        if request.settled:
+            return
+        request.settled = True
+        self._admission.release(request.nbytes)
+        if not request.future.done():
+            request.future.set_result(result)
+
+    def _settle_error(self, request: _Request, error: BaseException) -> None:
+        """Fail a request exactly once: release admission, set the error."""
+        if request.settled:
+            return
+        request.settled = True
+        self._admission.release(request.nbytes)
+        if not request.future.done():
+            request.future.set_exception(error)
+
+    async def _score_resilient(self, batch: "list[_Request]") -> Any:
+        """Score a batch down the degradation ladder; every rung bit-identical.
+
+        Rung 0: the fast path -- fused, delta-aware ``score_batch`` --
+        retried per :class:`RetryPolicy` with backoff.  Rung 1: the cold
+        micro-batch (same coalescing, delta layer bypassed), likewise
+        retried -- for when the delta/fused machinery is what is
+        failing.  Rung 2: inline per-request cold scoring with errors
+        captured per request, so a batch can no longer fail outright --
+        the final rung trades every optimisation for certainty, and
+        because each rung is exactness-preserving the caller cannot tell
+        (except by latency) which rung served it.
+        """
+        matrices = [request.observations for request in batch]
+        try:
+            return await self._attempt_with_retries(
+                partial(self._session.score_batch, matrices)
+            )
+        except Exception:  # fault-barrier: rung 0 exhausted its retries; degrade to the cold micro-batch rung
+            self._degraded_batches += 1
+        try:
+            return await self._attempt_with_retries(
+                partial(self._session.score_batch, matrices, cold=True)
+            )
+        except Exception:  # fault-barrier: rung 1 failed too; the inline-serial rung below cannot fail a whole batch
+            pass
+        scores: "list[Optional[np.ndarray]]" = [None] * len(matrices)
+        errors: "list[Optional[Exception]]" = [None] * len(matrices)
+        for i, matrix in enumerate(matrices):
+            try:
+                scores[i] = await self._score_on_executor(
+                    partial(self._session.score_cold, matrix)
+                )
+            except Exception as error:  # fault-barrier: per-request typed failure on the last rung; the request terminates either way
+                errors[i] = error
+        return BatchScoreOutcome(scores, errors, 0)
+
+    async def _attempt_with_retries(self, call: Any) -> Any:
+        """One ladder rung: run ``call`` with bounded, backoff'd retries."""
+        policy = self._retry_policy
+        attempt = 0
+        while True:
+            try:
+                return await self._score_on_executor(call)
+            except Exception as error:
+                if (
+                    attempt >= policy.max_retries
+                    or not policy.is_retryable(error)
+                ):
+                    raise
+                self._retries += 1
+                await asyncio.sleep(policy.backoff_seconds(attempt))
+                attempt += 1
+
+    async def _score_on_executor(self, call: Any) -> Any:
+        """Run ``call`` on the scoring executor, under the attempt timeout.
+
+        A timeout abandons the *await*, not the thread -- executor jobs
+        cannot be cancelled once running (``wait_for`` would block on
+        them), so the attempt future is left to finish on its own and
+        its late result dropped; settlement idempotency makes that safe.
+        The raised ``TimeoutError`` is retry-safe, so a hung attempt
+        walks the same retry/degradation path as a crashed one.
+        """
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, call)
+        if self._scoring_timeout is None:
+            return await future
+        done, _pending = await asyncio.wait(
+            {future}, timeout=self._scoring_timeout
+        )
+        if done:
+            return future.result()
+        future.add_done_callback(_swallow_late_result)
+        raise asyncio.TimeoutError(
+            f"scoring attempt exceeded its {self._scoring_timeout}s budget"
+        )
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -527,5 +774,18 @@ class AsyncServingFrontend:
             "admission": self._admission.stats,
             "routing": self._router.stats,
             "lanes": lanes,
+            "resilience": {
+                "retries": self._retries,
+                "degraded_batches": self._degraded_batches,
+                "forced_degrades": self._forced_degrades,
+                "shed_circuit_open": self._shed_circuit,
+                "refit_failures": self._refit_failures,
+                "scoring_timeout": self._scoring_timeout,
+                "breaker_policy": self._breaker_policy,
+                "breakers": {
+                    name: breaker.stats
+                    for name, breaker in self._breakers.items()
+                },
+            },
             "closed": self._closing,
         }

@@ -1,0 +1,226 @@
+"""Serving resilience policies: bounded retries and per-lane circuit breaking.
+
+The async front end's fault posture is built from three pieces, each
+deliberately boring on its own:
+
+- :class:`RetryPolicy` -- *which* errors are worth re-running and *when*.
+  Only transport/infrastructure errors are retry-safe (an injected fault,
+  a broken executor, a timeout, an OS-level connection error); semantic
+  errors (``ValueError`` widths, typed ``Overloaded`` shedding) re-running
+  cannot fix and must fail fast.  Backoff is exponential with **seeded**
+  jitter, so a chaos replay produces the same sleep schedule bit for bit.
+- :class:`CircuitBreaker` -- per-lane failure accounting.  K consecutive
+  batch failures open the breaker; while open, submissions are shed with
+  a typed ``Overloaded("circuit_open")`` or force-degraded to the cold
+  lane (the front end's choice); after a cooldown one half-open probe is
+  admitted, and its outcome closes or re-opens the circuit.
+- The **degradation ladder** (driven by the front end, not this module):
+  delta-aware fused scoring -> cold micro-batch -> inline per-request
+  cold scoring.  Every rung reproduces the reference scores *bit for
+  bit* -- the delta and micro-batch layers are exactness-preserving
+  optimisations, so degradation can only cost latency.  That is what
+  makes aggressive fallback safe to automate.
+
+Both classes are plain single-owner state machines: the front end calls
+them from its event loop only, so they carry no locks (and no pickle
+surface -- the owning front end already refuses to pickle).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Any, Callable, Optional
+
+from repro.core.faults import InjectedFault
+from repro.serve.admission import Overloaded
+
+#: Exception families a retry can plausibly fix: deliberately injected
+#: faults, dead/hung executors, timeouts, and OS-level transport errors.
+#: ``Overloaded`` is typed shedding -- retrying it from inside the server
+#: would amplify the very overload it signals -- and semantic errors
+#: (``ValueError``/``TypeError``) fail identically every time.
+RETRYABLE_ERRORS: "tuple[type[BaseException], ...]" = (
+    InjectedFault,
+    BrokenExecutor,
+    FuturesTimeout,
+    asyncio.TimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+#: Breaker states (:attr:`CircuitBreaker.state`).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` (or anything on its cause chain) is retry-safe.
+
+    Walks ``__cause__``/``__context__`` so a wrapped infrastructure error
+    (e.g. ``RuntimeError`` raised ``from`` an ``InjectedFault``) keeps its
+    retryability.  ``Overloaded`` anywhere on the chain wins as
+    non-retryable: shedding is a decision, not a fault.
+    """
+    seen: set[int] = set()
+    node: Optional[BaseException] = error
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, Overloaded):
+            return False
+        if isinstance(node, RETRYABLE_ERRORS):
+            return True
+        node = node.__cause__ or node.__context__
+    return False
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``backoff_seconds(attempt)`` grows ``base_delay * 2**attempt`` up to
+    ``max_delay``, scaled by a jitter factor in ``[0.5, 1.0)`` drawn from
+    a ``random.Random(jitter_seed)`` stream -- decorrelating retry storms
+    across lanes while keeping every chaos replay's schedule
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        base_delay: float = 0.005,
+        max_delay: float = 0.1,
+        jitter_seed: int = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError(
+                "base_delay and max_delay must be >= 0, got "
+                f"{base_delay} / {max_delay}"
+            )
+        if max_delay < base_delay:
+            raise ValueError(
+                f"max_delay ({max_delay}) must be >= base_delay "
+                f"({base_delay})"
+            )
+        self._max_retries = int(max_retries)
+        self._base_delay = float(base_delay)
+        self._max_delay = float(max_delay)
+        self._rng = random.Random(jitter_seed)
+
+    @property
+    def max_retries(self) -> int:
+        return self._max_retries
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Policy hook; delegates to the module predicate."""
+        return is_retryable(error)
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (0-based), jittered."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        ceiling = min(self._max_delay, self._base_delay * (2.0 ** attempt))
+        return ceiling * (0.5 + 0.5 * self._rng.random())
+
+
+class CircuitBreaker:
+    """A per-lane consecutive-failure breaker with half-open probes.
+
+    Closed until ``failure_threshold`` *consecutive* failures, then open
+    for ``cooldown_seconds``: :meth:`allow` answers ``False`` (the front
+    end sheds or degrades the lane's traffic without queueing it behind a
+    failing dependency).  After the cooldown, exactly one caller is
+    admitted as a half-open probe; :meth:`record_success` closes the
+    circuit, :meth:`record_failure` re-opens it for another cooldown.
+
+    Single-owner: mutated only from the serving loop, so no lock.  The
+    clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self._threshold = int(failure_threshold)
+        self._cooldown = float(cooldown_seconds)
+        self._clock = clock
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._opens = 0
+        self._probes = 0
+        self._shed = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def failure_threshold(self) -> int:
+        return self._threshold
+
+    def allow(self) -> bool:
+        """May a new submission use this lane right now?
+
+        Closed: always.  Open: no, until the cooldown elapses -- then the
+        caller that observes the elapsed cooldown becomes the single
+        half-open probe.  Half-open: no (the probe is already in flight).
+        """
+        if self._state == BREAKER_CLOSED:
+            return True
+        if self._state == BREAKER_OPEN:
+            if self._clock() - self._opened_at >= self._cooldown:
+                self._state = BREAKER_HALF_OPEN
+                self._probes += 1
+                return True
+            self._shed += 1
+            return False
+        self._shed += 1
+        return False
+
+    def record_success(self) -> None:
+        """A lane batch completed: reset the failure run, close the circuit."""
+        self._consecutive_failures = 0
+        self._state = BREAKER_CLOSED
+
+    def record_failure(self) -> None:
+        """A lane batch failed outright: count it; open at the threshold.
+
+        A half-open probe failing re-opens immediately regardless of the
+        threshold -- the circuit was only ajar.
+        """
+        self._consecutive_failures += 1
+        if (
+            self._state == BREAKER_HALF_OPEN
+            or self._consecutive_failures >= self._threshold
+        ):
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+            self._opens += 1
+
+    @property
+    def stats(self) -> "dict[str, Any]":
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self._threshold,
+            "cooldown_seconds": self._cooldown,
+            "opens": self._opens,
+            "probes": self._probes,
+            "shed": self._shed,
+        }

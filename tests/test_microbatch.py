@@ -337,6 +337,65 @@ class TestMicroBatching:
         scores = batcher.submit(dataset.observations)
         assert scores.shape == (dataset.observations.n_triples,)
 
+    def test_leader_crash_fails_followers_and_frees_leadership(self):
+        # Regression: a leader dying outside _execute's per-request
+        # error routing (simulated by making _execute itself explode)
+        # must fail every queued follower with a typed error -- not
+        # leave them blocked on events nobody will ever set -- and
+        # release leadership so later submits recover.
+        class _LeaderDeath(Exception):
+            pass
+
+        dataset = _dataset(seed=35, n_sources=4, n_triples=120,
+                           correlated=False)
+        session = ScoringSession(
+            dataset.observations, dataset.labels, method="exact"
+        )
+        batcher = MicroBatcher(session, wait_seconds=0.05, max_requests=8)
+        real_execute = batcher._execute
+
+        def exploding_execute(batch):
+            raise _LeaderDeath("leader died mid-batch")
+
+        batcher._execute = exploding_execute
+        requests = _request_slices(dataset.observations, 4, 24)
+        errors = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def worker(k):
+            barrier.wait()
+            try:
+                batcher.submit(requests[k])
+            except BaseException as error:
+                errors[k] = error
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(len(requests))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)  # nobody hangs
+        assert all(error is not None for error in errors)
+        # Whoever led re-raises the original; every follower gets the
+        # typed wrapper with the leader's failure chained as the cause.
+        leaders = [e for e in errors if isinstance(e, _LeaderDeath)]
+        followers = [e for e in errors if not isinstance(e, _LeaderDeath)]
+        assert leaders
+        for error in followers:
+            assert isinstance(error, RuntimeError)
+            assert "leader failed" in str(error)
+            assert isinstance(error.__cause__, _LeaderDeath)
+        assert not batcher._leader_active
+        assert not batcher._pending
+        # Leadership was freed: with scoring restored, a fresh submit
+        # self-elects and completes.
+        batcher._execute = real_execute
+        scores = batcher.submit(requests[0])
+        assert scores.shape == (requests[0].n_triples,)
+
     def test_batcher_validation(self):
         dataset = _dataset(seed=17, n_sources=4, n_triples=40,
                            correlated=False)

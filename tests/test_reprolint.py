@@ -326,6 +326,98 @@ def test_rep005_quiet_when_seeded():
 
 
 # ----------------------------------------------------------------------
+# REP006 -- broad except handlers must re-raise or justify the barrier
+# ----------------------------------------------------------------------
+
+SERVE = "src/repro/serve/frontend.py"
+
+
+def test_rep006_scoped_to_core_and_serve():
+    assert "REP006" in applicable_rules("src/repro/core/api.py")
+    assert "REP006" in applicable_rules("src/repro/serve/frontend.py")
+    assert "REP006" not in applicable_rules("src/repro/eval/harness.py")
+    assert "REP006" not in applicable_rules("benchmarks/bench_x.py")
+    assert "REP006" not in applicable_rules("tests/test_faults.py")
+
+
+def test_rep006_flags_swallowing_handlers():
+    src = """
+    def f():
+        try:
+            g()
+        except Exception:
+            pass
+        try:
+            g()
+        except:
+            return None
+        try:
+            g()
+        except (ValueError, Exception) as error:
+            log(error)
+    """
+    findings = check_source(
+        textwrap.dedent(src), SERVE, rules=["REP006"]
+    )
+    assert [f.code for f in findings] == ["REP006"] * 3
+    # A bare ``except:`` catches BaseException and is reported as such.
+    assert "BaseException" in findings[1].message
+
+
+def test_rep006_quiet_on_reraise_and_narrow_handlers():
+    src = """
+    def f():
+        try:
+            g()
+        except Exception:
+            raise
+        try:
+            g()
+        except BaseException as error:
+            raise RuntimeError("wrapped") from error
+        try:
+            g()
+        except Exception as error:
+            if recoverable(error):
+                log(error)
+            else:
+                raise
+        try:
+            g()
+        except (ValueError, KeyError):
+            pass
+    """
+    assert _codes(src, SERVE, rules=["REP006"]) == []
+
+
+def test_rep006_fault_barrier_marker_same_line_and_line_above():
+    src = """
+    def f():
+        try:
+            g()
+        except Exception:  # fault-barrier: error is settled into the request future
+            record()
+        try:
+            g()
+        # fault-barrier: last degradation rung; per-request capture
+        except Exception as error:
+            record(error)
+    """
+    assert _codes(src, SERVE, rules=["REP006"]) == []
+
+
+def test_rep006_marker_needs_a_justification():
+    src = """
+    def f():
+        try:
+            g()
+        except Exception:  # fault-barrier:
+            pass
+    """
+    assert _codes(src, SERVE, rules=["REP006"]) == ["REP006"]
+
+
+# ----------------------------------------------------------------------
 # suppression
 # ----------------------------------------------------------------------
 

@@ -29,7 +29,7 @@ from repro.data import (
     generate,
     uniform_sources,
 )
-from repro.eval.harness import run_serving_load
+from repro.eval.harness import run_serving_chaos, run_serving_load
 from repro.serve import (
     COLD_LANE,
     DELTA_LANE,
@@ -483,3 +483,68 @@ class TestServingLoadHarness:
             run_serving_load(
                 dataset, method="em", requests=4, refit_every=2, seed=1
             )
+
+
+class TestServingChaosHarness:
+    # run_serving_chaos installs (and uninstalls) its own fault plan and
+    # self-checks its three hard invariants -- termination, a drained
+    # admission ledger, and bit-identity -- by raising; these tests pin
+    # the reported numbers on top.
+
+    def test_persistent_scoring_fault_degrades_but_stays_bit_identical(
+        self,
+    ):
+        dataset = _dataset(seed=37, n_sources=6, n_triples=160)
+        report = run_serving_chaos(
+            dataset,
+            method="exact",
+            rate_qps=400.0,
+            requests=16,
+            request_triples=48,
+            fault_spec="score:raise:1:0",
+            seed=3,
+        )
+        assert report.terminated == report.requests
+        assert report.completed > 0
+        assert report.max_abs_diff == 0.0
+        assert report.retries >= 1
+        assert report.degraded_batches >= 1
+        assert report.fault_stats["fired"].get("score", 0) >= 1
+        assert report.admission_depth_after == 0
+        assert report.admission_inflight_bytes_after == 0
+
+    def test_refit_fault_rolls_back_then_recovers(self):
+        dataset = _dataset(seed=39, n_sources=6, n_triples=160)
+        report = run_serving_chaos(
+            dataset,
+            method="exact",
+            rate_qps=400.0,
+            requests=16,
+            request_triples=48,
+            refit_every=8,
+            fault_spec="refit:raise:1",
+            seed=5,
+        )
+        assert report.terminated == report.requests
+        assert report.refit_attempts == 2
+        assert report.refit_failures == 1
+        assert report.refits == 1  # the post-rollback refit succeeded
+        assert report.max_abs_diff == 0.0
+
+    def test_random_plans_are_seed_deterministic(self):
+        dataset = _dataset(seed=41, n_sources=6, n_triples=160)
+        reports = [
+            run_serving_chaos(
+                dataset,
+                method="exact",
+                rate_qps=400.0,
+                requests=8,
+                request_triples=48,
+                fault_seed=11,
+                seed=7,
+            )
+            for _ in range(2)
+        ]
+        assert reports[0].fault_spec == reports[1].fault_spec
+        assert all(r.terminated == r.requests for r in reports)
+        assert all(r.max_abs_diff == 0.0 for r in reports)

@@ -11,6 +11,8 @@ REP003  writes to ``# guarded-by: <lock>`` attributes must hold the lock
 REP004  no module-level mutable state in ``repro.core`` (and no
         ``lru_cache`` on closures)
 REP005  benchmark scripts must seed their RNGs explicitly
+REP006  broad ``except`` handlers in ``repro.core``/``repro.serve`` must
+        re-raise, or carry a justified ``# fault-barrier:`` marker
 
 Suppression: a finding is silenced by ``# reprolint: allow`` (all rules)
 or ``# reprolint: allow[REP004]`` (listed rules) on the finding's line or
@@ -81,6 +83,7 @@ _RANDOM_GLOBAL_DRAWS = frozenset(
 _ALLOW_RE = re.compile(
     r"#\s*reprolint:\s*allow(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
 )
+_FAULT_BARRIER_RE = re.compile(r"#\s*fault-barrier:\s*\S")
 _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_]\w*)")
 
 #: Methods in which unguarded writes are allowed: construction and pickle
@@ -686,6 +689,76 @@ def check_rep005(module: _Module) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# REP006 -- broad except handlers must be deliberate fault barriers
+# ---------------------------------------------------------------------------
+
+
+def _broad_exception_names(annotation: Optional[ast.expr]) -> list[str]:
+    """The broad names a handler catches (``Exception``/``BaseException``).
+
+    ``None`` (a bare ``except:``) reports as ``BaseException`` -- that is
+    what it catches.  Tuples are flattened, so
+    ``except (ValueError, Exception):`` is still broad.
+    """
+    if annotation is None:
+        return ["BaseException"]
+    nodes = (
+        annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    )
+    names = []
+    for node in nodes:
+        name = (
+            node.id
+            if isinstance(node, ast.Name)
+            else node.attr if isinstance(node, ast.Attribute) else None
+        )
+        if name in ("Exception", "BaseException"):
+            names.append(name)
+    return names
+
+
+def check_rep006(module: _Module) -> list[Finding]:
+    """Broad ``except`` handlers must re-raise or be marked fault barriers.
+
+    A bare ``except Exception:`` that swallows is how fault-tolerance
+    code rots: it hides injected faults, broken pools, and admission
+    leaks behind a silently-absorbed error, and chaos tests then pass
+    vacuously.  In ``repro.core`` and ``repro.serve`` every handler
+    catching ``Exception``/``BaseException`` (bare ``except:`` included)
+    must either contain a ``raise`` -- it narrows or wraps, it does not
+    swallow -- or carry a ``# fault-barrier: <why>`` marker on the
+    ``except`` line (or the line above) naming the invariant that makes
+    swallowing safe (e.g. "per-request error capture on the last
+    degradation rung; the error is settled into the request's future").
+    """
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_exception_names(node.type)
+        if not broad:
+            continue
+        if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+            continue
+        for candidate in (node.lineno, node.lineno - 1):
+            if _FAULT_BARRIER_RE.search(module.line(candidate)):
+                break
+        else:
+            findings.append(
+                module.finding(
+                    node,
+                    "REP006",
+                    f"broad `except {'/'.join(broad)}` swallows without "
+                    "re-raising; either narrow the exception type, "
+                    "re-raise (possibly wrapped), or justify the barrier "
+                    "with `# fault-barrier: <why swallowing is safe "
+                    "here>` on the except line",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # engine
 # ---------------------------------------------------------------------------
 
@@ -696,6 +769,7 @@ RULE_CHECKERS: dict[str, Callable[[_Module], list[Finding]]] = {
     "REP003": check_rep003,
     "REP004": check_rep004,
     "REP005": check_rep005,
+    "REP006": check_rep006,
 }
 
 ALL_RULES = tuple(sorted(RULE_CHECKERS))
@@ -706,15 +780,19 @@ def applicable_rules(path: Union[str, Path]) -> frozenset[str]:
 
     REP002/REP003 apply everywhere (lock discipline is repo-wide);
     REP001 to the bit-identity core modules; REP004 to ``repro/core``;
-    REP005 to benchmark scripts.
+    REP005 to benchmark scripts; REP006 to the fault-tolerant layers
+    (``repro/core`` and ``repro/serve``).
     """
     posix = str(path).replace("\\", "/")
     name = posix.rsplit("/", 1)[-1]
     rules = {"REP002", "REP003"}
     if "repro/core/" in posix:
         rules.add("REP004")
+        rules.add("REP006")
         if name in BIT_IDENTITY_MODULES:
             rules.add("REP001")
+    if "repro/serve/" in posix:
+        rules.add("REP006")
     if "benchmarks/" in posix or name.startswith("bench_"):
         rules.add("REP005")
     return frozenset(rules)
