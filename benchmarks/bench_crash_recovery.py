@@ -1,0 +1,402 @@
+"""Crash-recovery benchmark: what durability costs and what recovery takes.
+
+Three cells over the seeded serving workload:
+
+- **overhead** -- the same mutation-trace serving loop
+  (``run_serving(refit_every=...)``) with and without a
+  :class:`~repro.persist.Checkpointer` attached.  The difference is the
+  full price of durability: one fsync'd WAL append per admitted
+  mutation, begin/publish records around every refit, and periodic
+  snapshots.  Gated per step, not as a ratio -- scoring a small cell is
+  so fast that even a cheap fsync looks enormous in relative terms.
+- **recovery** -- checkpoint directories with successively longer WAL
+  suffixes (snapshot cadence suppressed, so every record replays), timed
+  through :class:`~repro.persist.RecoveryManager.recover`.  Each
+  recovered session must score **bit-identically** to a cold-built
+  oracle on the final matrix.
+- **crash campaigns** -- two ``run_serving_crash`` SIGKILL schedules
+  (mid-snapshot + mid-WAL, and a first-append kill).  The harness itself
+  raises unless every kill lands and every recovered step is
+  bit-identical to the uninterrupted twin, so a campaign row in the JSON
+  *is* the identity proof.
+
+Always-enforced gates (any machine): serving drift 0.0 in both overhead
+runs, the checkpointed run healthy (never degraded), every recovery
+statistics-verified and bit-identical, every scheduled kill delivered,
+and campaign ``max_abs_diff`` exactly 0.0.  The per-step overhead gate
+uses a generous absolute budget so slow CI disks do not flake it.
+
+Emits ``BENCH_crash_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow plain `python benchmarks/bench_crash_recovery.py`
+    sys.path.insert(0, str(Path(__file__).parent))
+
+from _helpers import RESULTS_DIR, emit
+from repro.core import ScoringSession
+from repro.data import SyntheticConfig, generate, uniform_sources
+from repro.eval import format_table
+from repro.eval.crash import run_serving_crash
+from repro.eval.harness import mutation_trace, run_serving
+from repro.persist import Checkpointer, RecoveryManager
+
+JSON_PATH = RESULTS_DIR / "BENCH_crash_recovery.json"
+
+CELL = (8, 960)
+SEED = 17
+MUTATE_FRAC = 0.05
+
+FULL_STEPS = 24
+SMOKE_STEPS = 12
+REFIT_EVERY = 4
+
+#: WAL suffix lengths (mutation+refit records) for the recovery sweep.
+FULL_WAL_LENGTHS = (4, 16, 48)
+SMOKE_WAL_LENGTHS = (4, 16)
+
+#: Per-step durability budget: one WAL append (fsync'd) plus the
+#: amortized snapshot share must stay under this many seconds per
+#: serving step.  Generous on purpose -- the gate catches pathological
+#: regressions (an accidental cold snapshot per step), not disk jitter.
+OVERHEAD_LIMIT_SECONDS = 0.25
+
+#: Two kill schedules: the proven snapshot+WAL composite (exercises
+#: mid-snapshot death, a mid-refit rollback, and catch-up refits) and a
+#: first-append kill (recovery from snapshot 0 alone).
+FULL_SCHEDULES = (("snapshot:2", "wal:4", "wal:3"), ("wal:1",))
+SMOKE_SCHEDULES = (("snapshot:2", "wal:4"), ("wal:1",))
+
+
+def _workload(n_sources: int, n_triples: int, seed: int = SEED):
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision=0.65, recall=0.45),
+        n_triples=n_triples,
+        true_fraction=0.5,
+    )
+    return generate(config, seed=seed)
+
+
+def _serving_seconds(report) -> float:
+    return float(sum(report.warm_seconds) + sum(report.refit_seconds))
+
+
+def overhead_rows(steps: int) -> list[dict]:
+    dataset = _workload(*CELL)
+    settings = {
+        "repeats": steps,
+        "mutate_frac": MUTATE_FRAC,
+        "mutate_seed": 1,
+        "refit_every": REFIT_EVERY,
+        "refit_mode": "delta",
+    }
+    plain = run_serving(dataset, **settings)
+    with tempfile.TemporaryDirectory() as tmp:
+        durable = run_serving(
+            dataset, checkpoint_dir=str(tmp + "/ckpt"), snapshot_every=2,
+            **settings,
+        )
+    rows = []
+    for kind, report in (("plain", plain), ("checkpointed", durable)):
+        stats = dict(report.checkpoint_stats)
+        rows.append(
+            {
+                "kind": kind,
+                "steps": steps,
+                "serving_seconds": _serving_seconds(report),
+                "mean_warm_seconds": float(np.mean(report.warm_seconds)),
+                "refits": len(report.refit_seconds),
+                "max_drift": float(report.max_warm_drift),
+                "wal_records": stats.get("records", 0),
+                "snapshots": stats.get("snapshots", 0),
+                "wal_bytes": stats.get("wal_bytes", 0),
+                "degraded": bool(stats.get("degraded", False)),
+            }
+        )
+    return rows
+
+
+def recovery_rows(wal_lengths) -> list[dict]:
+    dataset = _workload(*CELL)
+    rows = []
+    for length in wal_lengths:
+        trace = mutation_trace(
+            dataset.observations, steps=length, frac=MUTATE_FRAC, seed=2
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = Path(tmp) / "ckpt"
+            session = ScoringSession(dataset.observations, dataset.labels)
+            # Snapshot cadence suppressed: every record past snapshot 0
+            # stays in the WAL suffix and must replay.
+            checkpointer = Checkpointer.attach(
+                session, dataset.observations, dataset.labels, directory,
+                snapshot_every=10 ** 6,
+            )
+            for step, matrix in enumerate(trace):
+                checkpointer.log_mutation(matrix, step=step)
+                if (step + 1) % REFIT_EVERY == 0:
+                    session.refit_delta(matrix, dataset.labels)
+            checkpointer.close()
+            session.attach_checkpointer(None)
+            session.close()
+
+            start = time.perf_counter()
+            recovered = RecoveryManager(directory).recover()
+            seconds = time.perf_counter() - start
+            final = trace[-1]
+            oracle = ScoringSession(final, dataset.labels)
+            identical = bool(
+                np.array_equal(
+                    recovered.session.score(final), oracle.score(final)
+                )
+            )
+            oracle.close()
+            recovered.session.close()
+            rows.append(
+                {
+                    "kind": f"recover_wal_{length}",
+                    "wal_records": recovered.records_replayed,
+                    "refits_replayed": recovered.refits_replayed,
+                    "recovery_seconds": seconds,
+                    "seconds_per_record": (
+                        seconds / max(1, recovered.records_replayed)
+                    ),
+                    "statistics_verified": recovered.statistics_verified,
+                    "bit_identical": identical,
+                }
+            )
+    return rows
+
+
+def campaign_rows(schedules, steps: int) -> list[dict]:
+    rows = []
+    for schedule in schedules:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_serving_crash(
+                Path(tmp),
+                steps=steps,
+                refit_every=3,
+                snapshot_every=2,
+                kill_schedule=schedule,
+            )
+        rows.append(
+            {
+                "kind": "campaign_" + "_".join(schedule).replace(":", ""),
+                "kill_schedule": list(schedule),
+                "kills_delivered": report.kills_delivered,
+                "recoveries": report.recoveries,
+                "catchup_refits": report.catchup_refits,
+                "rolled_back_refits": report.rolled_back_refits,
+                "wal_records_replayed": report.wal_records_replayed,
+                "max_abs_diff": report.max_abs_diff,
+                "generation_mismatches": report.generation_mismatches,
+            }
+        )
+    return rows
+
+
+def run_cells(
+    steps: int = FULL_STEPS,
+    wal_lengths=FULL_WAL_LENGTHS,
+    schedules=FULL_SCHEDULES,
+) -> dict:
+    return {
+        "overhead": overhead_rows(steps),
+        "recovery": recovery_rows(wal_lengths),
+        "campaigns": campaign_rows(schedules, steps=min(steps, 12)),
+    }
+
+
+def _headline(cells: dict) -> dict:
+    by_kind = {row["kind"]: row for row in cells["overhead"]}
+    plain = by_kind["plain"]
+    durable = by_kind["checkpointed"]
+    steps = plain["steps"]
+    overhead_per_step = (
+        durable["serving_seconds"] - plain["serving_seconds"]
+    ) / steps
+    return {
+        "steps": steps,
+        "plain_serving_seconds": plain["serving_seconds"],
+        "checkpointed_serving_seconds": durable["serving_seconds"],
+        "overhead_per_step_seconds": overhead_per_step,
+        "overhead_limit_seconds": OVERHEAD_LIMIT_SECONDS,
+        "wal_bytes": durable["wal_bytes"],
+        "snapshots": durable["snapshots"],
+        "checkpoint_degraded": durable["degraded"],
+        "max_drift": max(plain["max_drift"], durable["max_drift"]),
+        "recoveries_bit_identical": all(
+            row["bit_identical"] for row in cells["recovery"]
+        ),
+        "recoveries_verified": all(
+            row["statistics_verified"] for row in cells["recovery"]
+        ),
+        "max_recovery_seconds": max(
+            row["recovery_seconds"] for row in cells["recovery"]
+        ),
+        "kills_delivered": sum(
+            row["kills_delivered"] for row in cells["campaigns"]
+        ),
+        "kills_scheduled": sum(
+            len(row["kill_schedule"]) for row in cells["campaigns"]
+        ),
+        "campaign_max_abs_diff": max(
+            row["max_abs_diff"] for row in cells["campaigns"]
+        ),
+        "campaign_generation_mismatches": sum(
+            row["generation_mismatches"] for row in cells["campaigns"]
+        ),
+    }
+
+
+def _render(cells: dict, headline: dict) -> str:
+    overhead = format_table(
+        ["cell", "serve(s)", "warm(ms)", "refits", "WAL", "snaps", "drift"],
+        [
+            [r["kind"], round(r["serving_seconds"], 3),
+             round(r["mean_warm_seconds"] * 1e3, 3), r["refits"],
+             r["wal_records"], r["snapshots"], r["max_drift"]]
+            for r in cells["overhead"]
+        ],
+    )
+    recovery = format_table(
+        ["cell", "records", "refits", "recover(s)", "s/record", "identical"],
+        [
+            [r["kind"], r["wal_records"], r["refits_replayed"],
+             round(r["recovery_seconds"], 4),
+             round(r["seconds_per_record"], 5), r["bit_identical"]]
+            for r in cells["recovery"]
+        ],
+    )
+    campaigns = format_table(
+        ["cell", "kills", "recoveries", "rollbacks", "catchup", "max|diff|"],
+        [
+            [r["kind"], r["kills_delivered"], r["recoveries"],
+             r["rolled_back_refits"], r["catchup_refits"],
+             r["max_abs_diff"]]
+            for r in cells["campaigns"]
+        ],
+    )
+    return (
+        overhead
+        + "\n\n"
+        + recovery
+        + "\n\n"
+        + campaigns
+        + f"\n\ndurability costs {headline['overhead_per_step_seconds'] * 1e3:.2f}ms"
+        f"/step (budget {headline['overhead_limit_seconds'] * 1e3:.0f}ms); "
+        f"slowest recovery {headline['max_recovery_seconds']:.3f}s; "
+        f"{headline['kills_delivered']}/{headline['kills_scheduled']} "
+        "scheduled SIGKILLs delivered; campaign max |recovered - twin| "
+        f"{headline['campaign_max_abs_diff']:.1e}"
+    )
+
+
+def _persist(cells: dict, headline: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    JSON_PATH.write_text(
+        json.dumps({"headline": headline, "cells": cells}, indent=2) + "\n"
+    )
+
+
+def _check(headline: dict) -> list[str]:
+    """Gate violations (empty when the run passes)."""
+    errors: list[str] = []
+    if headline["max_drift"] != 0.0:
+        errors.append(
+            "serving drift is not 0.0 -- the overhead cells are not "
+            f"measuring bit-identical loops ({headline['max_drift']:.3e})"
+        )
+    if headline["checkpoint_degraded"]:
+        errors.append(
+            "the checkpointed overhead run degraded: durability was "
+            "partially skipped, so its timing is not the full price"
+        )
+    if headline["overhead_per_step_seconds"] > headline["overhead_limit_seconds"]:
+        errors.append(
+            "per-step checkpoint overhead "
+            f"{headline['overhead_per_step_seconds']:.3f}s exceeded the "
+            f"{headline['overhead_limit_seconds']:.2f}s budget"
+        )
+    if not headline["recoveries_bit_identical"]:
+        errors.append(
+            "a recovered session scored differently from the cold oracle"
+        )
+    if not headline["recoveries_verified"]:
+        errors.append(
+            "a recovery skipped the sufficient-statistics cross-check"
+        )
+    if headline["kills_delivered"] != headline["kills_scheduled"]:
+        errors.append(
+            f"only {headline['kills_delivered']} of "
+            f"{headline['kills_scheduled']} scheduled SIGKILLs landed"
+        )
+    if headline["campaign_max_abs_diff"] != 0.0:
+        errors.append(
+            "a crash campaign recovered scores that differ from the "
+            "uninterrupted twin (max |diff| = "
+            f"{headline['campaign_max_abs_diff']:.3e})"
+        )
+    if headline["campaign_generation_mismatches"] != 0:
+        errors.append(
+            "a recovered step was served by the wrong generation"
+        )
+    return errors
+
+
+def bench_crash_recovery(benchmark):
+    cells = benchmark.pedantic(
+        run_cells,
+        kwargs={
+            "steps": SMOKE_STEPS,
+            "wal_lengths": SMOKE_WAL_LENGTHS,
+            "schedules": SMOKE_SCHEDULES,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    headline = _headline(cells)
+    _persist(cells, headline)
+    emit("crash_recovery", _render(cells, headline))
+    assert headline["max_drift"] == 0.0
+    assert headline["campaign_max_abs_diff"] == 0.0
+    assert headline["kills_delivered"] == headline["kills_scheduled"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shorter trace and fewer WAL lengths (CI); every identity, "
+             "delivery, verification, and overhead gate still applies",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        cells = run_cells(
+            steps=SMOKE_STEPS,
+            wal_lengths=SMOKE_WAL_LENGTHS,
+            schedules=SMOKE_SCHEDULES,
+        )
+    else:
+        cells = run_cells()
+    headline = _headline(cells)
+    _persist(cells, headline)
+    print(_render(cells, headline))
+    errors = _check(headline)
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ import argparse
 import csv
 import math
 import sys
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.api import METHOD_NAMES, fuse
 from repro.core.clustering import discovered_correlation_groups, pairwise_correlations
@@ -117,6 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=None, metavar="N",
         help="patterns per shard for parallel scoring (default: one "
              "word-aligned shard per worker)",
+    )
+    fuse_cmd.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="with --repeat: durably checkpoint the serving loop into "
+             "DIR (atomic snapshots + a write-ahead log); a crashed run "
+             "is recoverable bit-identically via 'repro recover'",
+    )
+    fuse_cmd.add_argument(
+        "--record-trace", metavar="PATH", default=None,
+        help="with --repeat and --mutate-frac: record the mutation trace "
+             "as checksummed WAL records at PATH for later --replay-trace "
+             "runs (the file must not already exist)",
+    )
+    fuse_cmd.add_argument(
+        "--replay-trace", metavar="PATH", default=None,
+        help="with --repeat: replay a recorded mutation trace (or any "
+             "checkpoint directory's wal.log) instead of drawing "
+             "synthetic mutations; overrides --mutate-frac",
     )
     _add_engine_arg(fuse_cmd)
 
@@ -239,6 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the random fault plan when --faults is not given "
              "(default: 0)",
     )
+    serve_cmd.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="durably checkpoint serving state into DIR: every "
+             "mid-traffic generation swap lands in a write-ahead log and "
+             "snapshots follow the refit cadence; with --chaos, "
+             "persist-site faults exercise the checkpointer's "
+             "absorb-and-degrade policy",
+    )
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="inspect and validate a checkpoint directory: load the "
+             "newest valid snapshot, replay the WAL suffix, and report "
+             "what a crashed serving process would recover to",
+    )
+    recover_cmd.add_argument(
+        "--checkpoint-dir", metavar="DIR", required=True,
+        help="checkpoint directory written by --checkpoint-dir runs",
+    )
     return parser
 
 
@@ -304,6 +341,13 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             decision_prior = 0.5
         elif decision_prior < 0:
             decision_prior = None
+    if (
+        args.checkpoint_dir or args.record_trace or args.replay_trace
+    ) and args.repeat < 2:
+        raise ValueError(
+            "--checkpoint-dir/--record-trace/--replay-trace need "
+            "--repeat >= 2: they act on the serving loop"
+        )
     serving = None
     if args.repeat > 1:
         serving = run_serving(
@@ -319,6 +363,9 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
             mutate_frac=args.mutate_frac,
             refit_every=args.refit_every,
             refit_mode=args.refit_mode,
+            checkpoint_dir=args.checkpoint_dir,
+            record_trace=args.record_trace,
+            replay_trace=args.replay_trace,
         )
         result = serving.result
     else:
@@ -346,11 +393,15 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         )
     )
     if serving is not None:
-        trace = (
-            f"mutation-trace steps ({serving.mutate_frac:.1%} columns/step)"
-            if serving.mutate_frac > 0.0
-            else "identical repeats"
-        )
+        if args.replay_trace:
+            trace = f"recorded-trace steps ({args.replay_trace})"
+        elif serving.mutate_frac > 0.0:
+            trace = (
+                f"mutation-trace steps ({serving.mutate_frac:.1%} "
+                "columns/step)"
+            )
+        else:
+            trace = "identical repeats"
         drift = (
             "n/a (no delta layer to check)"
             if math.isnan(serving.max_warm_drift)
@@ -429,6 +480,11 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
                     f"{warm.get('warm_scores', 0)}, iterations saved "
                     f"{warm.get('iterations_saved', 0)}"
                 )
+        checkpoint = serving.checkpoint_stats
+        if checkpoint:
+            print(_checkpoint_line(checkpoint))
+        if args.record_trace:
+            print(f"serving: mutation trace recorded to {args.record_trace}")
     if args.scores_csv:
         with open(args.scores_csv, "w", newline="") as handle:
             writer = csv.writer(handle)
@@ -478,6 +534,21 @@ def _cmd_correlations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checkpoint_line(stats: "Mapping") -> str:
+    """One-line human summary of a run's checkpoint counters."""
+    state = "DEGRADED" if stats.get("degraded") else "healthy"
+    return (
+        f"checkpoint: {state}, {stats.get('records', 0)} WAL records "
+        f"({stats.get('mutations', 0)} mutations, "
+        f"{stats.get('refits', 0)} refits), "
+        f"{stats.get('snapshots', 0)} snapshots, "
+        f"{stats.get('torn_repairs', 0)} torn-tail repairs, "
+        f"{stats.get('skipped_degraded', 0)} skipped, "
+        f"{stats.get('wal_bytes', 0)} WAL bytes in "
+        f"{stats.get('directory', '?')}"
+    )
+
+
 def _serve_engine_options(args: argparse.Namespace) -> dict:
     """Optional session-engine knobs forwarded only when set."""
     return {
@@ -509,6 +580,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         refit_every=args.refit_every,
         refit_mode=args.refit_mode,
         workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
         **_serve_engine_options(args),
     )
     print(dataset.summary())
@@ -535,6 +607,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"admission peak depth {admission.get('peak_depth', 0)}/"
         f"{admission.get('max_queue_depth', 0)}"
     )
+    if report.checkpoint_stats:
+        print(_checkpoint_line(report.checkpoint_stats))
     if report.max_abs_diff != 0.0:
         print(
             "error: served scores diverged from direct session.score",
@@ -564,6 +638,7 @@ def _serve_chaos(args: argparse.Namespace, dataset) -> int:
             workers=args.workers,
             fault_spec=args.faults,
             fault_seed=args.chaos_seed,
+            checkpoint_dir=args.checkpoint_dir,
             **_serve_engine_options(args),
         )
     except RuntimeError as error:
@@ -592,11 +667,48 @@ def _serve_chaos(args: argparse.Namespace, dataset) -> int:
         ["max |served - twin|", f"{report.max_abs_diff:.1e}"],
     ]
     print(format_table(["chaos", "value"], rows))
+    if report.checkpoint_stats:
+        print(_checkpoint_line(report.checkpoint_stats))
     print(
         "\nall admitted requests terminated, the admission ledger drained "
         "to zero, and completed scores are bit-identical to the "
         "fault-free cold twin"
     )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: dry-run recovery and print what it found."""
+    import json
+
+    from repro.persist import RecoveryError, RecoveryManager
+
+    manager = RecoveryManager(args.checkpoint_dir)
+    try:
+        recovered = manager.recover()
+    except RecoveryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = recovered.report()
+        report["method"] = recovered.config.get("method")
+        report["n_sources"] = recovered.observations.n_sources
+        report["n_triples"] = recovered.observations.n_triples
+        print(json.dumps(report, indent=2))
+        if recovered.snapshots_skipped:
+            print(
+                f"warning: {len(recovered.snapshots_skipped)} corrupt "
+                "snapshot(s) skipped; recovery fell back to an older one",
+                file=sys.stderr,
+            )
+        if recovered.wal_torn_bytes:
+            print(
+                f"note: {recovered.wal_torn_bytes} torn bytes at the WAL "
+                "tail will be truncated on the next serving run",
+                file=sys.stderr,
+            )
+    finally:
+        recovered.session.close()
     return 0
 
 
@@ -614,6 +726,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_correlations(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
+        if args.command == "recover":
+            return _cmd_recover(args)
     except ValueError as error:
         # Unsupported option combinations (e.g. --method em with
         # --smoothing or --decision-prior) raise ValueError with an

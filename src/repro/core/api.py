@@ -830,6 +830,12 @@ class ScoringSession:
         # guarded-by: _batcher_lock
         self._batcher: Optional[MicroBatcher] = None
         self._options = dict(options)
+        # Durability hook (repro.persist.Checkpointer, duck-typed to keep
+        # core free of a persist import): when attached, refits log
+        # begin/publish records to the WAL and trigger snapshots.
+        # Single-assignment before serving starts; refit hooks read it
+        # under _refit_lock.
+        self._checkpointer: Optional[Any] = None
         # _refit_lock is deliberately held across generation builds, which
         # fan out on their own private worker pools; it opts out of the
         # held-lock-across-map hazard check (see locktrace.make_lock).
@@ -906,6 +912,59 @@ class ScoringSession:
     @property
     def method(self) -> str:
         return self._method
+
+    def attach_checkpointer(self, checkpointer: Optional[Any]) -> None:
+        """Attach (or detach with ``None``) a durability checkpointer.
+
+        The attached object receives ``prepare_refit`` before each refit
+        builds (mutation + refit-begin WAL records) and ``commit_refit``
+        after the new generation publishes (refit-publish record, maybe
+        a snapshot).  Attach before serving starts; the hooks themselves
+        run under ``_refit_lock``.
+        """
+        self._checkpointer = checkpointer
+
+    def persist_config(self) -> "dict[str, Any]":
+        """The JSON-able constructor arguments a recovery rebuild needs.
+
+        Non-JSON fuser options cannot ride a snapshot; their keys are
+        reported under ``dropped_options`` so recovery can refuse loudly
+        instead of silently rebuilding a different session.
+
+        Deliberately lock-free: the commit hook calls this while already
+        holding ``_refit_lock``, and outside a refit every field read
+        here is stable.
+        """
+        options = {
+            key: value
+            for key, value in self._options.items()
+            if value is None or isinstance(value, (str, int, float, bool))
+        }
+        dropped = sorted(set(self._options) - set(options))
+        return {
+            "method": self._method,
+            "prior": self._prior,
+            "smoothing": self._smoothing,
+            "engine": self._engine,
+            "threshold": self._threshold,
+            "workers": self._workers,
+            "shard_size": self._shard_size,
+            "delta": self._delta,
+            "micro_batch": self._micro_batch,
+            "options": options,
+            "dropped_options": dropped,
+        }
+
+    def persist_statistics(self) -> "Optional[dict[str, np.ndarray]]":
+        """The live model's integer sufficient statistics (or ``None``).
+
+        Snapshot integrity cross-check input -- see
+        :meth:`EmpiricalJointModel.sufficient_statistics`.
+        """
+        model = self._model
+        if isinstance(model, EmpiricalJointModel):
+            return model.sufficient_statistics()
+        return None
 
     @property
     def fuser(self) -> TruthFuser:
@@ -1181,6 +1240,14 @@ class ScoringSession:
         # previous fuser until the single-assignment swap below and always
         # see one generation end to end.
         with self._refit_lock:
+            # Append-before-apply: the mutation and refit-begin records
+            # must be durable before the new generation exists, so a
+            # crash anywhere past this line is recoverable by replay.
+            checkpointer = self._checkpointer
+            if checkpointer is not None:
+                checkpointer.prepare_refit(
+                    observations, labels, mode="cold", train_mask=train_mask
+                )
             # Stage the overrides and commit only after a successful build:
             # a refit that fails validation must leave the live session
             # able to keep serving (and to refit again) with its previous
@@ -1212,6 +1279,8 @@ class ScoringSession:
             )
             self._partition_state = None
             self._note_refit(None, self.fit_seconds)
+            if checkpointer is not None:
+                checkpointer.commit_refit(self, observations, labels)
         return self
 
     def refit_delta(
@@ -1258,6 +1327,13 @@ class ScoringSession:
                 f"{sorted(unknown)}"
             )
         with self._refit_lock:
+            # Append-before-apply (see refit): durable mutation +
+            # refit-begin records precede the build.
+            checkpointer = self._checkpointer
+            if checkpointer is not None:
+                checkpointer.prepare_refit(
+                    observations, labels, mode="delta", train_mask=train_mask
+                )
             prior = overrides.get("prior", self._prior)
             smoothing = overrides.get("smoothing", self._smoothing)
             retired = self._fuser
@@ -1347,6 +1423,8 @@ class ScoringSession:
             )
             self._partition_state = staged_partition
             self._note_refit(stats, self.fit_seconds)
+            if checkpointer is not None:
+                checkpointer.commit_refit(self, observations, labels)
         return self
 
     # guarded-by: _refit_lock (callers hold it across the swap)

@@ -6,13 +6,15 @@ degradation ladder) is only trustworthy if its failure paths are
 some point" cannot pin accounting or bit-identity.  This module supplies
 the injection substrate:
 
-- **Named sites.**  Five hooks cover the serving stack's failure
+- **Named sites.**  Six hooks cover the serving stack's failure
   surfaces: :data:`SITE_WORKER` (job entry inside a pool worker),
   :data:`SITE_COMPILE` (plan compilation inside
   ``CompiledPlanCache.get_or_compute``), :data:`SITE_SCORE`
   (``ScoringSession.score_batch`` entry), :data:`SITE_DISPATCH` (lane
-  dispatch in ``AsyncServingFrontend``), and :data:`SITE_REFIT` (between
-  building and publishing a refitted generation).
+  dispatch in ``AsyncServingFrontend``), :data:`SITE_REFIT` (between
+  building and publishing a refitted generation), and
+  :data:`SITE_PERSIST` (durable snapshot/WAL writes in
+  ``repro.persist``, including the persist-only ``torn-write`` action).
 - **Seeded plans.**  A :class:`FaultPlan` is an ordered tuple of
   :class:`FaultRule`\\ s -- *at site S, on the Nth hit (for C hits), do
   action A* -- parsed from a compact spec string or drawn reproducibly by
@@ -61,6 +63,8 @@ SITE_SCORE = "score"
 SITE_DISPATCH = "dispatch"
 #: Refit swap (after building, before publishing a new generation).
 SITE_REFIT = "refit"
+#: Durable-persistence IO (snapshot and WAL writes in ``repro.persist``).
+SITE_PERSIST = "persist"
 
 #: Every named injection site, in documentation order.
 FAULT_SITES = (
@@ -69,15 +73,21 @@ FAULT_SITES = (
     SITE_SCORE,
     SITE_DISPATCH,
     SITE_REFIT,
+    SITE_PERSIST,
 )
 
 ACTION_RAISE = "raise"
 ACTION_DELAY = "delay"
 ACTION_KILL = "kill"
+ACTION_TORN_WRITE = "torn-write"
 
 #: Every fault action.  ``kill`` hard-exits a process-pool worker (in the
-#: parent process it degrades to ``raise``).
-FAULT_ACTIONS = (ACTION_RAISE, ACTION_DELAY, ACTION_KILL)
+#: parent process it degrades to ``raise``).  ``torn-write`` is specific
+#: to the ``persist`` site: the in-flight durable write is truncated at a
+#: seeded byte offset (the rule's ``@`` value is the fraction of the
+#: payload that reaches the file) and then fails -- the crash shape the
+#: WAL torn-tail scan and snapshot fallback exist to survive.
+FAULT_ACTIONS = (ACTION_RAISE, ACTION_DELAY, ACTION_KILL, ACTION_TORN_WRITE)
 
 #: Exit status used by ``kill`` so a supervised pool's crash is
 #: distinguishable from an organic segfault in post-mortem logs.
@@ -141,6 +151,12 @@ class FaultRule:
             raise ValueError(
                 f"delay_seconds must be >= 0, got {self.delay_seconds}"
             )
+        if self.action == ACTION_TORN_WRITE and self.site != SITE_PERSIST:
+            raise ValueError(
+                f"action {ACTION_TORN_WRITE!r} only applies to site "
+                f"{SITE_PERSIST!r} (got site {self.site!r}); other sites "
+                "have no in-flight durable write to tear"
+            )
 
     def matches(self, hit: int) -> bool:
         """Whether this rule fires on the ``hit``-th trip of its site."""
@@ -152,7 +168,9 @@ class FaultRule:
     def spec(self) -> str:
         """The compact spec form parsed by :meth:`FaultPlan.from_spec`."""
         text = f"{self.site}:{self.action}:{self.nth}:{self.count}"
-        if self.action == ACTION_DELAY:
+        if self.action in (ACTION_DELAY, ACTION_TORN_WRITE):
+            # For torn-write the @ value is the written-prefix fraction,
+            # not a delay -- same slot, same round-trip grammar.
             text += f"@{self.delay_seconds:g}"
         return text
 
@@ -218,17 +236,26 @@ class FaultPlan:
         CI minutes.
         """
         rng = random.Random(seed)
-        rules = tuple(
-            FaultRule(
-                rng.choice(tuple(sites)),
-                rng.choice(tuple(actions)),
-                nth=rng.randint(1, max_nth),
-                count=rng.randint(1, 2),
-                delay_seconds=delay_seconds,
+        rules = []
+        for _ in range(rng.randint(1, max_rules)):
+            site = rng.choice(tuple(sites))
+            # torn-write is persist-only (see FaultRule validation), so
+            # the action draw is conditioned on the drawn site.
+            site_actions = tuple(
+                action
+                for action in actions
+                if action != ACTION_TORN_WRITE or site == SITE_PERSIST
             )
-            for _ in range(rng.randint(1, max_rules))
-        )
-        return cls(rules)
+            rules.append(
+                FaultRule(
+                    site,
+                    rng.choice(site_actions),
+                    nth=rng.randint(1, max_nth),
+                    count=rng.randint(1, 2),
+                    delay_seconds=delay_seconds,
+                )
+            )
+        return cls(tuple(rules))
 
     @property
     def spec(self) -> str:
@@ -248,7 +275,10 @@ def perform(token: Any) -> None:
     that minted the token (a process-pool worker).  In the minting
     process ``kill`` degrades to ``raise``: thread workers and inline
     calls share the test process, and no fault plan is allowed to take
-    that down.
+    that down.  ``torn-write`` tokens are interpreted by the persist
+    layer's durable writers (which have the file context needed to tear
+    the write); when one reaches ``perform`` anyway it degrades to
+    ``raise``.
     """
     action, delay_seconds, parent_pid, site, hit = token
     if action == ACTION_DELAY:
@@ -382,6 +412,21 @@ def trip(site: str) -> None:
     if injector is None:
         return
     injector.fire(site)
+
+
+def trip_token(site: str) -> Optional[Any]:
+    """Like :func:`trip`, but hand the fired token back instead of acting.
+
+    For sites whose actions need call-site context to carry out --
+    ``torn-write`` must tear *this* write, which :func:`perform` cannot
+    do.  The caller inspects the token's action and either handles it
+    locally or forwards it to :func:`perform`.  ``None`` when injection
+    is off or no rule fires.
+    """
+    injector = _INJECTOR
+    if injector is None:
+        return None
+    return injector.token(site)
 
 
 def _install_from_env() -> None:

@@ -858,6 +858,28 @@ class EmpiricalJointModel(JointQualityModel):
             self._counts = counts
         return counts
 
+    def sufficient_statistics(self) -> "Optional[dict[str, np.ndarray]]":
+        """The per-source integer counters every served float derives from.
+
+        Used by the persistence layer as a snapshot integrity
+        cross-check: a recovered model rebuilt from the snapshotted
+        matrices must reproduce these integers exactly, or the snapshot
+        is treated as corrupt.  ``None`` on the legacy engine, which
+        keeps no packed count state.
+        """
+        if self._engine != "vectorized":
+            return None
+        counts = self._count_state()
+        return {
+            "src_provided": np.asarray(counts.src_provided, dtype=np.int64),
+            "src_provided_true": np.asarray(
+                counts.src_provided_true, dtype=np.int64
+            ),
+            "src_in_scope_true": np.asarray(
+                counts.src_in_scope_true, dtype=np.int64
+            ),
+        }
+
     def _build_pair_counts(self, counts: _JointCounts) -> None:
         """Populate the per-pair counters by chunked packed popcounts."""
         n = self.n_sources

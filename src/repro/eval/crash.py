@@ -1,0 +1,499 @@
+"""Crash-exactness harness: SIGKILL a serving child, recover, compare bits.
+
+This module is both the parent-side verifier (:func:`run_serving_crash`)
+and the child it verifies (``python -m repro.eval.crash --spec s.json``).
+
+The child drives a deterministic serving loop over a seeded mutation
+trace with a :class:`~repro.persist.Checkpointer` attached: every step
+logs its mutation to the WAL, scores the step's matrix, durably records
+the scores, and refits at every ``refit_every`` boundary.  Real crash
+points (:mod:`repro.persist.atomic`) let the parent SIGKILL it at exact
+durability positions -- the N-th WAL append (which may be a mutation, a
+``refit_begin``, or a ``refit_publish``, so "mid-refit" is just a WAL
+position) or the N-th snapshot temp file (mid-snapshot: durable temp,
+no rename).  On restart the child recovers via
+:class:`~repro.persist.RecoveryManager`, resumes from its durable scores
+watermark, performs any refits the dead process owed, and continues.
+
+The parent first computes the *uninterrupted twin* -- the same loop, in
+process, no checkpointer, no kills -- then launches the child under each
+kill spec in ``kill_schedule`` (asserting the SIGKILL actually landed),
+finishes with one clean launch, and hard-asserts every recovered
+per-step score vector is **bit-identical** to the twin's:
+``max |recovered - twin|`` must be exactly ``0.0``, and every step must
+have been served by the same generation.  That is the durability claim
+in executable form: a crash at *any* seeded point loses nothing and
+changes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import ScoringSession, check_refit_mode
+from repro.core.observations import ObservationMatrix
+from repro.data.model import FusionDataset
+from repro.data.synthetic import SyntheticConfig, generate, uniform_sources
+from repro.eval.harness import mutation_trace
+from repro.persist import Checkpointer, RecoveryManager
+from repro.persist.atomic import CRASH_ENV_VAR, atomic_write
+from repro.persist.format import (
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
+
+#: Per-step durable scores file (one checksummed frame each).
+SCORES_SUFFIX = ".rec"
+
+
+@dataclass(frozen=True)
+class CrashRecoveryReport:
+    """What one :func:`run_serving_crash` campaign proved."""
+
+    steps: int
+    refit_every: int
+    refit_mode: str
+    method: str
+    kill_schedule: Tuple[str, ...]
+    #: One entry per scheduled kill that was delivered (all must be).
+    kills_delivered: int
+    #: Child launches that began from recovered durable state.
+    recoveries: int
+    #: Largest |recovered - twin| over every step's scores -- the
+    #: acceptance gate pins this to exactly 0.0.
+    max_abs_diff: float
+    #: Steps whose recovered generation differed from the twin's (must
+    #: be 0).
+    generation_mismatches: int
+    #: Refits the dead process owed that restarts performed.
+    catchup_refits: int
+    #: Snapshots skipped as corrupt across all recoveries.
+    snapshots_skipped: int
+    #: Mid-refit deaths rolled back to the last published generation.
+    rolled_back_refits: int
+    wal_records_replayed: int
+    recovery_reports: Tuple[Mapping[str, Any], ...] = ()
+    final_checkpoint_stats: Mapping[str, Any] = field(default_factory=dict)
+
+
+def crash_dataset(
+    seed: int = 17,
+    n_sources: int = 8,
+    n_triples: int = 400,
+    precision: float = 0.65,
+    recall: float = 0.45,
+    true_fraction: float = 0.5,
+) -> FusionDataset:
+    """The deterministic dataset both parent and child rebuild from seed."""
+    config = SyntheticConfig(
+        sources=uniform_sources(n_sources, precision=precision, recall=recall),
+        n_triples=n_triples,
+        true_fraction=true_fraction,
+    )
+    return generate(config, seed=seed)
+
+
+def _scores_path(scores_dir: Path, step: int) -> Path:
+    return scores_dir / f"scores-{step:06d}{SCORES_SUFFIX}"
+
+
+def _write_step_scores(
+    scores_dir: Path, step: int, generation: int, scores: np.ndarray
+) -> None:
+    """Durably record one step's served scores (atomic checksummed frame).
+
+    Written *after* the step's WAL mutation record and *before* any
+    boundary refit, so the set of scores files on disk is always a dense
+    prefix -- which is exactly what makes it a resume watermark.
+    """
+    payload = encode_payload(
+        {"kind": "step_scores", "step": int(step), "generation": int(generation)},
+        {"scores": np.asarray(scores, dtype=np.float64)},
+    )
+    atomic_write(_scores_path(scores_dir, step), encode_frame(payload))
+
+
+def _read_step_scores(scores_dir: Path, step: int) -> Tuple[int, np.ndarray]:
+    """``(generation, scores)`` for one recorded step."""
+    data = _scores_path(scores_dir, step).read_bytes()
+    payload, _ = read_frame(data, 0)
+    meta, arrays = decode_payload(payload)
+    if meta.get("kind") != "step_scores" or int(meta["step"]) != step:
+        raise ValueError(f"step scores file for step {step} is mislabelled")
+    return int(meta["generation"]), arrays["scores"]
+
+
+def _resume_step(scores_dir: Path, steps: int) -> int:
+    """First step without a durable scores file (the resume watermark)."""
+    step = 0
+    while step < steps and _scores_path(scores_dir, step).exists():
+        step += 1
+    return step
+
+
+def _refit(
+    session: ScoringSession,
+    matrix: ObservationMatrix,
+    labels: np.ndarray,
+    mode: str,
+) -> None:
+    if mode == "cold":
+        session.refit(matrix, labels)
+    else:
+        session.refit_delta(matrix, labels)
+
+
+# ----------------------------------------------------------------------
+# Child: the serving loop that gets killed
+# ----------------------------------------------------------------------
+
+
+def run_crash_child(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """One child lifetime: fresh-start or recover, then serve until done.
+
+    Returns a JSON-able report (also written to ``reports/`` inside the
+    work directory, since the process usually dies before returning).
+    """
+    steps = int(spec["steps"])
+    refit_every = int(spec["refit_every"])
+    refit_mode = check_refit_mode(str(spec.get("refit_mode", "delta")))
+    method = str(spec.get("method", "precreccorr"))
+    checkpoint_dir = Path(spec["checkpoint_dir"])
+    scores_dir = Path(spec["scores_dir"])
+    scores_dir.mkdir(parents=True, exist_ok=True)
+    if refit_every < 1:
+        raise ValueError(f"refit_every must be >= 1, got {refit_every}")
+
+    dataset = crash_dataset(
+        seed=int(spec.get("seed", 17)),
+        n_sources=int(spec.get("n_sources", 8)),
+        n_triples=int(spec.get("n_triples", 400)),
+        precision=float(spec.get("precision", 0.65)),
+        recall=float(spec.get("recall", 0.45)),
+        true_fraction=float(spec.get("true_fraction", 0.5)),
+    )
+    trace = mutation_trace(
+        dataset.observations,
+        steps,
+        float(spec.get("mutate_frac", 0.05)),
+        seed=int(spec.get("trace_seed", 1)),
+    )
+    labels = dataset.labels
+    policy = {
+        "snapshot_every": int(spec.get("snapshot_every", 2)),
+        "keep_snapshots": int(spec.get("keep_snapshots", 3)),
+    }
+
+    resume = _resume_step(scores_dir, steps)
+    recovered_report: Optional[Dict[str, Any]] = None
+    catchup = 0
+    if RecoveryManager.has_state(checkpoint_dir):
+        manager = RecoveryManager(checkpoint_dir)
+        recovered = manager.recover()
+        checkpointer = manager.resume(recovered, **policy)
+        session = recovered.session
+        generation = recovered.generation
+        recovered_report = recovered.report()
+        owed = resume // refit_every - generation
+        # Boot report, written *before* any more durable work: this
+        # lifetime may itself be killed (even inside the catch-up
+        # refits below), and the parent still needs to see what its
+        # recovery found.
+        reports_dir = scores_dir.parent / "reports"
+        reports_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            reports_dir / f"boot-{os.getpid()}.json",
+            json.dumps(
+                {
+                    "resumed_from_step": resume,
+                    "catchup_refits": owed,
+                    "recovery": recovered_report,
+                },
+                indent=2,
+            ).encode("utf-8"),
+        )
+        # Refits the dead process owed: a crash after step scores landed
+        # but before (or during) the boundary refit leaves the published
+        # generation behind the resume watermark.  Re-run each owed
+        # boundary on its exact original input; the checkpointer hooks
+        # make the catch-up durable too.
+        while generation < resume // refit_every:
+            boundary = (generation + 1) * refit_every - 1
+            _refit(session, trace[boundary], labels, refit_mode)
+            generation += 1
+            catchup += 1
+    else:
+        session = ScoringSession(
+            dataset.observations, labels, method=method
+        )
+        checkpointer = Checkpointer.attach(
+            session, dataset.observations, labels, checkpoint_dir, **policy
+        )
+        generation = 0
+
+    for step in range(resume, steps):
+        matrix = trace[step]
+        # Durability order is the whole point: WAL first (append before
+        # apply), then serve, then the durable scores watermark, then
+        # any boundary refit.  A SIGKILL between any two of these must
+        # recover to this exact sequence.
+        checkpointer.log_mutation(matrix, step=step)
+        scores = session.score(matrix)
+        _write_step_scores(scores_dir, step, generation, scores)
+        if (step + 1) % refit_every == 0:
+            _refit(session, matrix, labels, refit_mode)
+            generation += 1
+
+    report = {
+        "resumed_from_step": resume,
+        "completed_steps": steps,
+        "catchup_refits": catchup,
+        "recovery": recovered_report,
+        "checkpoint_stats": checkpointer.stats,
+    }
+    reports_dir = scores_dir.parent / "reports"
+    reports_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write(
+        reports_dir / f"child-{os.getpid()}.json",
+        json.dumps(report, indent=2).encode("utf-8"),
+    )
+    checkpointer.close()
+    session.close()
+    return report
+
+
+def _load_reports(workdir: Path, pattern: str) -> List[Dict[str, Any]]:
+    reports_dir = workdir / "reports"
+    if not reports_dir.is_dir():
+        return []
+    loaded: List[Dict[str, Any]] = []
+    for path in sorted(reports_dir.glob(pattern)):
+        loaded.append(json.loads(path.read_text()))
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# Parent: twin, kill campaign, bit-identity gate
+# ----------------------------------------------------------------------
+
+
+def _twin_scores(
+    dataset: FusionDataset,
+    trace: Sequence[ObservationMatrix],
+    refit_every: int,
+    refit_mode: str,
+    method: str,
+) -> List[Tuple[int, np.ndarray]]:
+    """The uninterrupted in-process run the recovered child must match."""
+    session = ScoringSession(dataset.observations, dataset.labels, method=method)
+    try:
+        generation = 0
+        expected: List[Tuple[int, np.ndarray]] = []
+        for step, matrix in enumerate(trace):
+            expected.append((generation, session.score(matrix)))
+            if (step + 1) % refit_every == 0:
+                _refit(session, matrix, dataset.labels, refit_mode)
+                generation += 1
+        return expected
+    finally:
+        session.close()
+
+
+def _launch_child(
+    spec_path: Path, crash_spec: Optional[str], timeout: float
+) -> "subprocess.CompletedProcess[bytes]":
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+    )
+    if crash_spec is None:
+        env.pop(CRASH_ENV_VAR, None)
+    else:
+        env[CRASH_ENV_VAR] = crash_spec
+    return subprocess.run(
+        [sys.executable, "-m", "repro.eval.crash", "--spec", str(spec_path)],
+        env=env,
+        capture_output=True,
+        timeout=timeout,
+    )
+
+
+def run_serving_crash(
+    workdir: Path,
+    steps: int = 12,
+    refit_every: int = 3,
+    refit_mode: str = "delta",
+    method: str = "precreccorr",
+    mutate_frac: float = 0.05,
+    seed: int = 17,
+    trace_seed: int = 1,
+    n_sources: int = 8,
+    n_triples: int = 400,
+    snapshot_every: int = 2,
+    kill_schedule: Sequence[str] = ("snapshot:2", "wal:4", "wal:3"),
+    child_timeout: float = 300.0,
+) -> CrashRecoveryReport:
+    """SIGKILL a checkpointed serving child per schedule; demand exactness.
+
+    Each ``kill_schedule`` entry is a crash-point spec (``"wal:4"`` =
+    die the instant the 4th WAL append of that lifetime is durable;
+    ``"snapshot:2"`` = die with the 2nd snapshot temp file durable but
+    not renamed).  Entries run in order, each against the durable state
+    its predecessors left behind -- so put snapshot kills early, while
+    the child still has enough trace ahead of it to reach that many
+    snapshot writes; a spec that never fires fails the run rather than
+    silently passing.  A final clean launch finishes the trace.  Raises
+    ``RuntimeError`` unless every scheduled kill was
+    delivered (``returncode == -SIGKILL``), the clean run exits 0, and
+    every recovered step is bit-identical to the uninterrupted twin --
+    same generation, ``max |diff|`` exactly ``0.0``.
+    """
+    refit_mode = check_refit_mode(refit_mode)
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if refit_every < 1:
+        raise ValueError(f"refit_every must be >= 1, got {refit_every}")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    spec = {
+        "steps": steps,
+        "refit_every": refit_every,
+        "refit_mode": refit_mode,
+        "method": method,
+        "mutate_frac": mutate_frac,
+        "seed": seed,
+        "trace_seed": trace_seed,
+        "n_sources": n_sources,
+        "n_triples": n_triples,
+        "snapshot_every": snapshot_every,
+        "checkpoint_dir": str(workdir / "checkpoint"),
+        "scores_dir": str(workdir / "scores"),
+    }
+    spec_path = workdir / "spec.json"
+    spec_path.write_text(json.dumps(spec, indent=2))
+
+    dataset = crash_dataset(
+        seed=seed, n_sources=n_sources, n_triples=n_triples
+    )
+    trace = mutation_trace(
+        dataset.observations, steps, mutate_frac, seed=trace_seed
+    )
+    expected = _twin_scores(dataset, trace, refit_every, refit_mode, method)
+
+    kills = 0
+    for crash_spec in kill_schedule:
+        proc = _launch_child(spec_path, crash_spec, child_timeout)
+        if proc.returncode != -9:
+            raise RuntimeError(
+                f"kill spec {crash_spec!r} did not SIGKILL the child "
+                f"(returncode {proc.returncode}); the schedule must hit a "
+                "live crash point\n"
+                f"stderr: {proc.stderr.decode('utf-8', 'replace')[-2000:]}"
+            )
+        kills += 1
+    proc = _launch_child(spec_path, None, child_timeout)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            "final clean child run failed with returncode "
+            f"{proc.returncode}\n"
+            f"stderr: {proc.stderr.decode('utf-8', 'replace')[-2000:]}"
+        )
+
+    scores_dir = workdir / "scores"
+    max_abs_diff = 0.0
+    generation_mismatches = 0
+    for step in range(steps):
+        generation, scores = _read_step_scores(scores_dir, step)
+        twin_generation, twin = expected[step]
+        if generation != twin_generation:
+            generation_mismatches += 1
+        diff = float(np.abs(scores - twin).max()) if len(twin) else 0.0
+        max_abs_diff = max(max_abs_diff, diff)
+
+    boots = _load_reports(workdir, "boot-*.json")
+    completions = _load_reports(workdir, "child-*.json")
+    recoveries = sum(
+        1 for report in boots if report.get("recovery") is not None
+    )
+    catchup = sum(int(report.get("catchup_refits", 0)) for report in boots)
+    skipped = sum(
+        len(report["recovery"].get("snapshots_skipped", []))
+        for report in boots
+        if report.get("recovery")
+    )
+    rolled_back = sum(
+        int(report["recovery"].get("rolled_back_refits", 0))
+        for report in boots
+        if report.get("recovery")
+    )
+    replayed = sum(
+        int(report["recovery"].get("records_replayed", 0))
+        for report in boots
+        if report.get("recovery")
+    )
+    final_stats: Mapping[str, Any] = (
+        completions[-1].get("checkpoint_stats", {}) if completions else {}
+    )
+    report = CrashRecoveryReport(
+        steps=steps,
+        refit_every=refit_every,
+        refit_mode=refit_mode,
+        method=method,
+        kill_schedule=tuple(kill_schedule),
+        kills_delivered=kills,
+        recoveries=recoveries,
+        max_abs_diff=max_abs_diff,
+        generation_mismatches=generation_mismatches,
+        catchup_refits=catchup,
+        snapshots_skipped=skipped,
+        rolled_back_refits=rolled_back,
+        wal_records_replayed=replayed,
+        recovery_reports=tuple(
+            report["recovery"] for report in boots if report.get("recovery")
+        ),
+        final_checkpoint_stats=final_stats,
+    )
+    if generation_mismatches:
+        raise RuntimeError(
+            f"crash-recovery generation drift: {generation_mismatches} "
+            "steps were served by a different generation than the "
+            "uninterrupted twin"
+        )
+    if max_abs_diff != 0.0:
+        raise RuntimeError(
+            "crash-recovery bit-identity violation: max |recovered - "
+            f"twin| = {max_abs_diff!r} (must be exactly 0.0) under "
+            f"schedule {tuple(kill_schedule)!r}"
+        )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Child entry point: ``python -m repro.eval.crash --spec spec.json``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--spec", required=True, help="JSON spec file written by the parent"
+    )
+    parsed = parser.parse_args(argv)
+    spec = json.loads(Path(parsed.spec).read_text())
+    report = run_crash_child(spec)
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

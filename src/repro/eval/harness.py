@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -220,6 +221,9 @@ class ServingReport:
     refit_seconds: tuple[float, ...] = ()
     refit_max_score_diff: float = float("nan")
     refit_stats: Mapping = field(default_factory=dict)
+    #: Final :attr:`repro.persist.Checkpointer.stats` when the loop ran
+    #: with ``checkpoint_dir`` (empty otherwise).
+    checkpoint_stats: Mapping = field(default_factory=dict)
 
     @property
     def repeats(self) -> int:
@@ -328,6 +332,10 @@ def run_serving(
     mutate_seed: int = 0,
     refit_every: int = 0,
     refit_mode: str = "cold",
+    checkpoint_dir: Optional[str] = None,
+    snapshot_every: int = 4,
+    record_trace: Optional[str] = None,
+    replay_trace: Optional[str] = None,
     **options: Any,
 ) -> ServingReport:
     """Fit once on ``dataset`` and score it ``1 + repeats`` times.
@@ -365,6 +373,15 @@ def run_serving(
     the session (scores are bit-identical at any worker count); the
     effective count lands in ``ServingReport.workers``, and the final
     cache/delta counters land in the report's stats fields.
+
+    ``checkpoint_dir`` arms durability: a
+    :class:`repro.persist.Checkpointer` snapshots the initial generation,
+    logs every trace step as a WAL mutation record before it is scored,
+    and persists each refit (begin/publish records plus snapshots every
+    ``snapshot_every`` refits) -- the state a crashed process recovers
+    from.  ``record_trace`` writes the mutation trace to a standalone
+    recorded-trace file; ``replay_trace`` drives the loop from a
+    previously recorded file instead of drawing from ``mutate_frac``.
     """
     if repeats < 0:
         raise ValueError(f"repeats must be non-negative, got {repeats}")
@@ -390,18 +407,53 @@ def run_serving(
         delta=delta,
         **options,
     )
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.persist import Checkpointer
+
+        checkpointer = Checkpointer.attach(
+            session,
+            dataset.observations,
+            dataset.labels,
+            Path(checkpoint_dir),
+            snapshot_every=snapshot_every,
+        )
     start = time.perf_counter()
     result = session.fuse(dataset.observations)
     cold_seconds = time.perf_counter() - start
-    if mutate_frac > 0.0:
+    mutated_trace = True
+    if replay_trace is not None:
+        from repro.persist import replay_mutation_trace
+
+        trace, _ = replay_mutation_trace(
+            Path(replay_trace), dataset.observations, limit=repeats
+        )
+        if len(trace) < repeats:
+            raise ValueError(
+                f"recorded trace {replay_trace} holds {len(trace)} steps; "
+                f"{repeats} repeats requested"
+            )
+    elif mutate_frac > 0.0:
         trace = mutation_trace(
             dataset.observations, repeats, mutate_frac, seed=mutate_seed
         )
     else:
         trace = [dataset.observations] * repeats
+        mutated_trace = False
+    if record_trace is not None:
+        if not mutated_trace:
+            raise ValueError(
+                "record_trace needs a mutated trace (mutate_frac > 0 or "
+                "replay_trace)"
+            )
+        from repro.persist import record_mutation_trace
+
+        record_mutation_trace(
+            Path(record_trace), dataset.observations, trace, dataset.labels
+        )
     reference_session: Optional[ScoringSession] = None
     if refit_every > 0 or (
-        mutate_frac > 0.0 and session.delta_scorer is not None
+        mutated_trace and session.delta_scorer is not None
     ):
         # The per-step drift reference must be *independent* of the delta
         # machinery -- the primary session's own fuser shares the pattern
@@ -435,9 +487,13 @@ def run_serving(
     # session.score *is* the plain path: there is nothing independent to
     # check a mutated step against, and the report says so with NaN
     # instead of a vacuous 0.0.
-    drift_checked = mutate_frac == 0.0 or reference_session is not None
+    drift_checked = not mutated_trace or reference_session is not None
     for step, observations in enumerate(trace, start=1):
         refit_step = refit_every > 0 and step % refit_every == 0
+        if checkpointer is not None and mutated_trace:
+            # Append-before-apply: the step's matrix becomes durable
+            # before any refit or score acts on it.
+            checkpointer.log_mutation(observations, step=step - 1)
         if refit_step:
             refit_start = time.perf_counter()
             if refit_mode == "delta":
@@ -487,6 +543,11 @@ def run_serving(
         max_drift = max(max_drift, drift)
     if not drift_checked:
         max_drift = float("nan")
+    checkpoint_stats: dict[str, Any] = {}
+    if checkpointer is not None:
+        checkpoint_stats = checkpointer.stats
+        checkpointer.close()
+        session.attach_checkpointer(None)
     stats = session.cache_stats()
     return ServingReport(
         method=result.method,
@@ -510,6 +571,7 @@ def run_serving(
         refit_seconds=tuple(refit_seconds),
         refit_max_score_diff=refit_max_diff,
         refit_stats=dict(stats.get("refit", {})),
+        checkpoint_stats=checkpoint_stats,
     )
 
 
@@ -592,6 +654,7 @@ class AsyncServingReport:
     admission_stats: Mapping = field(default_factory=dict)
     routing_stats: Mapping = field(default_factory=dict)
     frontend_stats: Mapping = field(default_factory=dict)
+    checkpoint_stats: Mapping = field(default_factory=dict)
 
     @property
     def shed_fraction(self) -> float:
@@ -622,6 +685,8 @@ def run_serving_load(
     refit_every: int = 0,
     refit_mode: str = "delta",
     workers: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    snapshot_every: int = 4,
     **options: Any,
 ) -> AsyncServingReport:
     """Drive the async front end with an open-loop load generator.
@@ -647,6 +712,13 @@ def run_serving_load(
     0.0.  ``method="em"`` cannot be combined with ``refit_every > 0``:
     warm-started EM refits are not bitwise reproducible, so no
     independent oracle exists.
+
+    ``checkpoint_dir`` arms durability: a
+    :class:`~repro.persist.Checkpointer` is attached through the front
+    end, so every mid-traffic generation swap lands in the WAL (input
+    mutation + begin/publish) and snapshots follow the
+    ``snapshot_every`` cadence; its counters land in
+    ``checkpoint_stats``.
     """
     from repro.serve import AsyncServingFrontend, Overloaded
 
@@ -687,6 +759,14 @@ def run_serving_load(
     refit_matrices = mutation_trace(
         dataset.observations, n_refits, mutate_frac, seed=seed + 1
     )
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.persist import Checkpointer
+
+        checkpointer = Checkpointer(
+            Path(checkpoint_dir), snapshot_every=snapshot_every
+        )
+        checkpointer.begin(session, dataset.observations, dataset.labels)
     frontend = AsyncServingFrontend(
         session,
         max_queue_depth=max_queue_depth,
@@ -695,6 +775,7 @@ def run_serving_load(
         default_latency_budget=latency_budget,
         batch_cutoff=batch_cutoff,
         fixed_window_seconds=fixed_window_seconds,
+        checkpointer=checkpointer,
     )
     results: list[Optional[Any]] = [None] * requests
     shed = 0
@@ -773,6 +854,11 @@ def run_serving_load(
             twin.close()
         session.close()
     stats = frontend.stats
+    checkpoint_stats: Mapping = {}
+    if checkpointer is not None:
+        checkpoint_stats = checkpointer.stats
+        checkpointer.close()
+        session.attach_checkpointer(None)
     completed = sum(1 for result in results if result is not None)
     return AsyncServingReport(
         method=method,
@@ -803,6 +889,7 @@ def run_serving_load(
             "largest_batch": stats["largest_batch"],
             "batch_cutoff": stats["batch_cutoff"],
         },
+        checkpoint_stats=checkpoint_stats,
     )
 
 
@@ -849,6 +936,7 @@ class ServingChaosReport:
     pool_stats: Mapping = field(default_factory=dict)
     admission_stats: Mapping = field(default_factory=dict)
     resilience_stats: Mapping = field(default_factory=dict)
+    checkpoint_stats: Mapping = field(default_factory=dict)
 
     @property
     def terminated(self) -> int:
@@ -881,6 +969,8 @@ def run_serving_chaos(
     breaker_cooldown: float = 0.25,
     breaker_policy: str = "degrade",
     max_seconds: float = 120.0,
+    checkpoint_dir: Optional[str] = None,
+    snapshot_every: int = 4,
     **options: Any,
 ) -> ServingChaosReport:
     """Replay an open-loop serving trace under a seeded fault schedule.
@@ -905,6 +995,13 @@ def run_serving_chaos(
     - bit-identity: completed scores match a fault-free delta-off cold
       twin of the serving generation with ``max_abs_diff == 0.0`` --
       every degradation-ladder rung is exactness-preserving.
+
+    ``checkpoint_dir`` additionally arms durability *under* the fault
+    schedule: ``persist``-site faults (torn writes, IO errors) may then
+    land inside WAL appends and snapshot writes, and the checkpointer
+    must absorb them -- retrying once off its self-repaired tail, then
+    degrading visibly (``checkpoint_stats["degraded"]``) rather than
+    ever failing the serving path.
     """
     from repro.core import faults
     from repro.serve import AsyncServingFrontend, Overloaded, RetryPolicy
@@ -961,6 +1058,17 @@ def run_serving_chaos(
     refit_matrices = mutation_trace(
         dataset.observations, n_refits, mutate_frac, seed=seed + 1
     )
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.persist import Checkpointer
+
+        # Armed while the injector is live: persist faults can land in
+        # this begin() (snapshot 0) and in every append below -- the
+        # checkpointer's absorb-and-degrade policy is under test too.
+        checkpointer = Checkpointer(
+            Path(checkpoint_dir), snapshot_every=snapshot_every
+        )
+        checkpointer.begin(session, dataset.observations, dataset.labels)
     frontend = AsyncServingFrontend(
         session,
         max_queue_depth=max_queue_depth,
@@ -969,6 +1077,7 @@ def run_serving_chaos(
         default_latency_budget=latency_budget,
         batch_cutoff=batch_cutoff,
         fixed_window_seconds=fixed_window_seconds,
+        checkpointer=checkpointer,
         retry_policy=RetryPolicy(max_retries=max_retries, jitter_seed=seed),
         scoring_timeout=scoring_timeout,
         breaker_threshold=breaker_threshold,
@@ -1041,6 +1150,8 @@ def run_serving_chaos(
     try:
         duration = asyncio.run(_run())
     except BaseException:
+        if checkpointer is not None:
+            checkpointer.close()
         session.close()
         raise
     finally:
@@ -1052,6 +1163,11 @@ def run_serving_chaos(
     admission_stats = dict(frontend.stats["admission"])
     resilience_stats = dict(frontend.stats["resilience"])
     pool_stats = dict(session.cache_stats().get("pool", {}))
+    checkpoint_stats: Mapping = {}
+    if checkpointer is not None:
+        checkpoint_stats = checkpointer.stats
+        checkpointer.close()
+        session.attach_checkpointer(None)
     # Bit-identity oracle, as in run_serving_load: one fault-free
     # delta-off twin per generation that actually served traffic.
     fit_inputs = [dataset.observations] + applied_refits
@@ -1106,6 +1222,7 @@ def run_serving_chaos(
         pool_stats=pool_stats,
         admission_stats=admission_stats,
         resilience_stats=resilience_stats,
+        checkpoint_stats=checkpoint_stats,
     )
     if report.terminated != requests:
         raise RuntimeError(

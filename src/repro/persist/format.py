@@ -1,0 +1,165 @@
+"""Framed, checksummed binary container shared by snapshots and the WAL.
+
+One *payload* is a JSON metadata document plus a set of named numpy
+arrays, encoded with explicit little-endian lengths so decoding never
+trusts the file size.  One *frame* wraps a payload with a magic tag, a
+format version, a CRC32, and the payload length -- the unit of torn-tail
+detection: a frame either round-trips exactly (magic, version, length,
+and checksum all agree) or the scan stops before it.
+
+Snapshots are a single frame per file; the write-ahead log is a
+concatenation of frames.  Both therefore share one validity notion and
+one scanner (:func:`read_frame`).
+
+Bool matrices are transported as their packed uint64 words plus a bit
+count (:mod:`repro.core.bitset` layout) -- the same representation the
+scoring engine consumes, so the snapshot of an observation matrix is the
+packed matrix itself, byte for byte, and recovery cannot introduce a
+re-encoding step that could drift.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.bitset import WORD_BITS
+
+#: Leading bytes of every frame ("RePro STate").
+MAGIC = b"RPST"
+
+#: Bump on any incompatible payload-layout change; readers reject
+#: versions they do not know rather than guessing.
+FORMAT_VERSION = 1
+
+# magic(4) + version(u16) + crc32(u32) + payload length(u64)
+_FRAME_HEADER = struct.Struct("<4sHIQ")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+class PersistFormatError(RuntimeError):
+    """A frame or payload failed validation (corrupt, torn, or foreign)."""
+
+
+def encode_payload(
+    meta: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+) -> bytes:
+    """Serialize ``meta`` (JSON-able) plus named arrays into one payload."""
+    meta_json = json.dumps(
+        dict(meta), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [_U32.pack(len(meta_json)), meta_json, _U32.pack(len(arrays))]
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        header = json.dumps(
+            {"name": name, "dtype": array.dtype.str, "shape": list(array.shape)},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        raw = array.tobytes()
+        parts.extend((_U32.pack(len(header)), header, _U64.pack(len(raw)), raw))
+    return b"".join(parts)
+
+
+def decode_payload(data: bytes) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_payload`; raises on any malformation."""
+    try:
+        offset = 0
+        meta_len = _U32.unpack_from(data, offset)[0]
+        offset += _U32.size
+        meta = json.loads(data[offset : offset + meta_len].decode("utf-8"))
+        offset += meta_len
+        n_arrays = _U32.unpack_from(data, offset)[0]
+        offset += _U32.size
+        arrays: Dict[str, np.ndarray] = {}
+        for _ in range(n_arrays):
+            header_len = _U32.unpack_from(data, offset)[0]
+            offset += _U32.size
+            header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+            offset += header_len
+            raw_len = _U64.unpack_from(data, offset)[0]
+            offset += _U64.size
+            raw = data[offset : offset + raw_len]
+            if len(raw) != raw_len:
+                raise PersistFormatError("payload truncated inside array blob")
+            offset += raw_len
+            array = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
+            arrays[str(header["name"])] = array.reshape(header["shape"]).copy()
+        if offset != len(data):
+            raise PersistFormatError("trailing bytes after last array blob")
+        if not isinstance(meta, dict):
+            raise PersistFormatError("payload metadata is not a JSON object")
+        return meta, arrays
+    except PersistFormatError:
+        raise
+    except Exception as exc:
+        raise PersistFormatError(f"malformed payload: {exc}") from exc
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a payload with magic, version, CRC32, and length."""
+    header = _FRAME_HEADER.pack(
+        MAGIC, FORMAT_VERSION, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    return header + payload
+
+
+def frame_header_size() -> int:
+    """Byte length of the fixed frame header."""
+    return _FRAME_HEADER.size
+
+
+def read_frame(data: bytes, offset: int) -> Tuple[bytes, int]:
+    """Validate and extract one frame at ``offset``.
+
+    Returns ``(payload, next_offset)``.  Raises
+    :class:`PersistFormatError` on *any* defect -- short header, wrong
+    magic, unknown version, truncated payload, or checksum mismatch --
+    which a WAL scan interprets as "the valid prefix ends here".
+    """
+    end = offset + _FRAME_HEADER.size
+    if end > len(data):
+        raise PersistFormatError("torn frame header")
+    magic, version, crc, length = _FRAME_HEADER.unpack_from(data, offset)
+    if magic != MAGIC:
+        raise PersistFormatError(f"bad frame magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise PersistFormatError(f"unsupported format version {version}")
+    payload = data[end : end + length]
+    if len(payload) != length:
+        raise PersistFormatError("torn frame payload")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise PersistFormatError("frame checksum mismatch")
+    return payload, end + length
+
+
+def pack_bool_matrix(matrix: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Bool matrix -> (uint64 word rows, n_bits) in bitset layout."""
+    from repro.core.bitset import pack_bool_rows
+
+    packed = pack_bool_rows(np.asarray(matrix, dtype=bool))
+    return packed, int(np.asarray(matrix).shape[-1])
+
+
+def unpack_bool_matrix(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix` (exact, including zero tails)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        words = words[np.newaxis, :]
+        squeeze = True
+    else:
+        squeeze = False
+    n_words_needed = (n_bits + WORD_BITS - 1) // WORD_BITS
+    if words.shape[1] < n_words_needed:
+        raise PersistFormatError(
+            f"{words.shape[1]} words cannot hold {n_bits} bits"
+        )
+    as_bytes = words.view(np.uint8).reshape(words.shape[0], -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :n_bits]
+    result = bits.astype(bool)
+    return result[0] if squeeze else result

@@ -1,0 +1,98 @@
+"""Recorded mutation traces: the WAL record format as a public artifact.
+
+A recorded trace is simply a WAL file containing tagged ``mutation``
+records -- the same frames, checksums, and dirty-column blocks the
+durability layer writes.  That identity is the point (the ROADMAP's
+"trace format + replayer" item): a trace recorded by
+:func:`record_mutation_trace`, a WAL left behind by a checkpointed
+serving run, and a file hand-built from ``wal`` primitives are all
+replayable by the same :func:`replay_mutation_trace`, so streaming
+benches can re-drive *recorded* workloads instead of synthetic
+``mutate_frac`` draws -- and a production WAL doubles as a
+reproducible bug report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.observations import ObservationMatrix
+from repro.persist.wal import (
+    RECORD_MUTATION,
+    WriteAheadLog,
+    apply_mutation,
+    mutation_record,
+    scan_wal,
+)
+
+
+def record_mutation_trace(
+    path: Path,
+    base: ObservationMatrix,
+    matrices: Sequence[ObservationMatrix],
+    labels: np.ndarray,
+    *,
+    fsync: bool = False,
+) -> int:
+    """Write a cumulative mutation trace as tagged WAL records.
+
+    ``matrices`` are the successive post-mutation states (e.g. the
+    output of :func:`repro.eval.harness.mutation_trace`); each is logged
+    as a dirty-column diff against its predecessor, tagged with its step
+    index.  Returns the number of records written (states identical to
+    their predecessor still get a record -- the step tags stay dense).
+    ``fsync`` defaults off: a trace artifact needs integrity (checksums),
+    not crash durability.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        raise FileExistsError(f"trace file already exists: {path}")
+    labels = np.asarray(labels, dtype=bool)
+    wal = WriteAheadLog(path, fsync=fsync)
+    try:
+        previous = base
+        written = 0
+        for step, current in enumerate(matrices):
+            record = mutation_record(
+                previous, current, labels, seq=step + 1, step=step
+            )
+            assert record is not None  # step tag forces a record
+            wal.append(record[0], record[1])
+            previous = current
+            written += 1
+        return written
+    finally:
+        wal.close()
+
+
+def replay_mutation_trace(
+    path: Path,
+    base: ObservationMatrix,
+    *,
+    limit: Optional[int] = None,
+) -> Tuple[List[ObservationMatrix], np.ndarray]:
+    """Rebuild the post-mutation states recorded in a trace (or WAL) file.
+
+    Non-mutation records (refit begin/publish markers in a serving WAL)
+    are skipped, so any checkpoint directory's ``wal.log`` replays
+    directly.  Returns ``(matrices, last_labels)``; ``limit`` caps the
+    number of mutation records applied.
+    """
+    scan = scan_wal(Path(path))
+    matrices: List[ObservationMatrix] = []
+    labels: Optional[np.ndarray] = None
+    current = base
+    for meta, arrays in scan.records:
+        if meta.get("type") != RECORD_MUTATION:
+            continue
+        current, labels = apply_mutation(current, meta, arrays)
+        matrices.append(current)
+        if limit is not None and len(matrices) >= limit:
+            break
+    if labels is None:
+        raise ValueError(f"no mutation records in trace file {path}")
+    return matrices, labels

@@ -185,6 +185,7 @@ class AsyncServingFrontend:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 0.5,
         breaker_policy: str = "degrade",
+        checkpointer: Optional[Any] = None,
     ) -> None:
         if max_batch_requests < 1:
             raise ValueError(
@@ -220,6 +221,13 @@ class AsyncServingFrontend:
                 f"{breaker_policy!r}"
             )
         self._session = session
+        # Optional durability (repro.persist.Checkpointer).  The front
+        # end itself never writes: attaching it to the session routes
+        # every drain->swap refit through the session's prepare/commit
+        # hooks, so admitted refit inputs hit the WAL before the build
+        # and each published generation appends a publish record (and,
+        # on cadence, a snapshot) -- all inside the session's refit lock.
+        self._checkpointer = checkpointer
         self._max_batch = int(max_batch_requests)
         self._default_budget = float(default_latency_budget)
         self._cutoff = batch_cutoff
@@ -301,6 +309,8 @@ class AsyncServingFrontend:
         self._idle = asyncio.Event()
         self._idle.set()
         self._refit_serialize = asyncio.Lock()
+        if self._checkpointer is not None:
+            self._session.attach_checkpointer(self._checkpointer)
         self._executor = ThreadPoolExecutor(
             max_workers=self._executor_workers,
             thread_name_prefix="repro-serve",
@@ -774,6 +784,11 @@ class AsyncServingFrontend:
             "admission": self._admission.stats,
             "routing": self._router.stats,
             "lanes": lanes,
+            "checkpoint": (
+                self._checkpointer.stats
+                if self._checkpointer is not None
+                else {}
+            ),
             "resilience": {
                 "retries": self._retries,
                 "degraded_batches": self._degraded_batches,

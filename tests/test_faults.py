@@ -22,7 +22,10 @@ the accounting, no-hang, and bit-identity invariants asserted by
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
+from pathlib import Path
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -33,8 +36,10 @@ from repro.core.faults import (
     ACTION_DELAY,
     ACTION_KILL,
     ACTION_RAISE,
+    ACTION_TORN_WRITE,
     FAULT_ACTIONS,
     FAULT_SITES,
+    SITE_PERSIST,
     FaultInjector,
     FaultPlan,
     FaultRule,
@@ -285,6 +290,79 @@ class TestWorkerPoolSupervision:
             serial.close()
 
 
+class TestPersistFaults:
+    """The persist site and its torn-write action (satellite S1)."""
+
+    def test_torn_write_spec_round_trips(self):
+        plan = FaultPlan.from_spec("persist:torn-write:2@0.5")
+        (rule,) = plan.rules
+        assert rule.site == SITE_PERSIST
+        assert rule.action == ACTION_TORN_WRITE
+        assert rule.delay_seconds == 0.5
+        assert FaultPlan.from_spec(plan.spec) == plan
+
+    def test_torn_write_rejects_non_persist_sites(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="worker", action=ACTION_TORN_WRITE)
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("score:torn-write:1")
+
+    def test_random_plans_keep_torn_write_on_persist(self):
+        for seed in range(200):
+            for rule in FaultPlan.random(seed).rules:
+                if rule.action == ACTION_TORN_WRITE:
+                    assert rule.site == SITE_PERSIST
+
+    def test_torn_write_tears_the_wal_tail_and_repairs(self):
+        import numpy as np
+
+        from repro.persist.wal import WriteAheadLog, scan_wal
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "wal.log"
+            wal = WriteAheadLog(path)
+            wal.append({"type": "refit_begin", "seq": 1, "mode": "delta"}, {})
+            faults.install(FaultPlan.from_spec("persist:torn-write:1@0.4"))
+            with pytest.raises(InjectedFault):
+                wal.append(
+                    {"type": "refit_begin", "seq": 2, "mode": "delta"},
+                    {"junk": np.arange(64, dtype=np.int64)},
+                )
+            wal.close()
+            # The failed append repaired its own tail: only the intact
+            # first record survives, zero torn bytes.
+            scan = scan_wal(path)
+            assert len(scan.records) == 1
+            assert scan.torn_bytes == 0
+
+    def test_checkpointer_retry_absorbs_a_single_torn_write(self):
+        from repro.persist import Checkpointer
+
+        dataset = _dataset(seed=23, n_sources=6, n_triples=128)
+        with tempfile.TemporaryDirectory() as tmp:
+            session = ScoringSession(
+                dataset.observations, dataset.labels, method="precreccorr"
+            )
+            try:
+                checkpointer = Checkpointer.attach(
+                    session,
+                    dataset.observations,
+                    dataset.labels,
+                    Path(tmp) / "ckpt",
+                )
+                faults.install(
+                    FaultPlan.from_spec("persist:torn-write:1@0.3")
+                )
+                session.refit_delta(dataset.observations, dataset.labels)
+                stats = checkpointer.stats
+                checkpointer.close()
+            finally:
+                session.close()
+        assert stats["torn_repairs"] == 1
+        assert stats["degraded"] is False
+        assert stats["refits"] == 1
+
+
 # One shared workload for the property-based chaos sweep: generating the
 # dataset is the expensive part and is fault-independent.
 _CHAOS_DATASET = None
@@ -321,20 +399,33 @@ class TestChaosProperties:
     ):
         faults.uninstall()
         try:
-            report = run_serving_chaos(
-                _chaos_dataset(),
-                requests=12,
-                rate_qps=300.0,
-                fault_seed=fault_seed,
-                workers=workers,
-                parallel_backend=backend,
-                shard_size=64,
-                refit_every=6,
-                max_seconds=90.0,
-            )
+            # A per-example checkpoint directory arms the persist fault
+            # site too: random plans may tear WAL appends and snapshot
+            # writes, and the checkpointer must absorb them (repair or
+            # degrade) without ever failing the serving path.
+            with tempfile.TemporaryDirectory() as tmp:
+                report = run_serving_chaos(
+                    _chaos_dataset(),
+                    requests=12,
+                    rate_qps=300.0,
+                    fault_seed=fault_seed,
+                    workers=workers,
+                    parallel_backend=backend,
+                    shard_size=64,
+                    refit_every=6,
+                    max_seconds=90.0,
+                    checkpoint_dir=os.path.join(tmp, "ckpt"),
+                )
         finally:
             faults.uninstall()
         assert report.terminated == report.requests
         assert report.max_abs_diff == 0.0
         assert report.admission_depth_after == 0
         assert report.admission_inflight_bytes_after == 0
+        # Durability accounting stayed honest under injection: every
+        # skipped record was counted, and degradation (if any) is
+        # visible rather than silent.
+        checkpoint = report.checkpoint_stats
+        assert checkpoint, "checkpointer stats missing from chaos report"
+        if checkpoint["degraded"]:
+            assert checkpoint["skipped_degraded"] > 0

@@ -418,6 +418,66 @@ def test_rep006_marker_needs_a_justification():
 
 
 # ----------------------------------------------------------------------
+# REP007 -- durable writes go through the atomic module
+# ----------------------------------------------------------------------
+
+PERSIST = "src/repro/persist/wal.py"
+
+
+def test_rep007_scoped_to_persist_outside_atomic():
+    assert "REP007" in applicable_rules("src/repro/persist/wal.py")
+    assert "REP007" in applicable_rules("src/repro/persist/snapshot.py")
+    # The atomic module is the one place allowed to open files for
+    # writing -- but the rest of the lint battery still applies there.
+    assert "REP007" not in applicable_rules("src/repro/persist/atomic.py")
+    assert "REP006" in applicable_rules("src/repro/persist/atomic.py")
+    assert "REP007" not in applicable_rules("src/repro/core/api.py")
+    assert "REP007" not in applicable_rules("tests/test_persist.py")
+
+
+def test_rep007_flags_write_mode_opens():
+    src = """
+    def f(path):
+        with open(path, "wb") as handle:
+            handle.write(b"x")
+        open(path, mode="a")
+        io.open(path, "r+b")
+        path.open("w")
+    """
+    assert _codes(src, PERSIST, rules=["REP007"]) == ["REP007"] * 4
+
+
+def test_rep007_flags_path_write_helpers():
+    src = """
+    def f(path):
+        path.write_text("data")
+        path.write_bytes(b"data")
+    """
+    assert _codes(src, PERSIST, rules=["REP007"]) == ["REP007"] * 2
+
+
+def test_rep007_quiet_on_reads_and_non_files():
+    src = """
+    def f(path):
+        with open(path, "rb") as handle:
+            handle.read()
+        open(path)
+        path.open("r")
+        data = path.read_bytes()
+        handle.write(b"already-open handles are fine")
+    """
+    assert _codes(src, PERSIST, rules=["REP007"]) == []
+
+
+def test_rep007_allow_comment_suppresses():
+    src = """
+    def f(path):
+        open(path, "wb")  # reprolint: allow[REP007]
+    """
+    assert _codes(src, PERSIST, rules=["REP007"]) == []
+
+
+# ----------------------------------------------------------------------
 # suppression
 # ----------------------------------------------------------------------
 

@@ -13,6 +13,9 @@ REP004  no module-level mutable state in ``repro.core`` (and no
 REP005  benchmark scripts must seed their RNGs explicitly
 REP006  broad ``except`` handlers in ``repro.core``/``repro.serve`` must
         re-raise, or carry a justified ``# fault-barrier:`` marker
+REP007  no ad-hoc file writes in ``repro.persist`` outside the atomic
+        module -- every durable byte goes through ``atomic_write`` /
+        ``durable_write`` (fsync + temp-file + rename discipline)
 
 Suppression: a finding is silenced by ``# reprolint: allow`` (all rules)
 or ``# reprolint: allow[REP004]`` (listed rules) on the finding's line or
@@ -26,7 +29,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 #: Modules whose float accumulation order is part of their contract:
 #: the compiled-plan sweep replays the legacy left-to-right accumulation
@@ -759,6 +762,98 @@ def check_rep006(module: _Module) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# REP007 -- durable writes go through the atomic module
+# ---------------------------------------------------------------------------
+
+
+def _looks_like_mode(value: Any) -> bool:
+    """Whether a constant is plausibly an ``open`` mode string."""
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= 4
+        and all(ch in "rwaxbt+U" for ch in value)
+    )
+
+
+def _open_write_mode(call: ast.Call, *, method: bool) -> Optional[str]:
+    """The write-capable mode string of an ``open``-style call, if any.
+
+    Builtin ``open(path, mode)`` takes the mode second; method-style
+    ``Path.open(mode)`` takes it first (while ``io.open(path, mode)`` is
+    also attribute-shaped), so for ``method`` calls both leading
+    positions are considered -- a candidate only counts when it actually
+    looks like a mode string.
+    """
+    candidates: List[ast.expr] = []
+    if method:
+        candidates.extend(call.args[:2])
+    elif len(call.args) >= 2:
+        candidates.append(call.args[1])
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            candidates = [keyword.value]
+    for node in candidates:
+        if not isinstance(node, ast.Constant) or not _looks_like_mode(node.value):
+            continue
+        mode = node.value
+        if any(flag in mode for flag in "wax+"):
+            return str(mode)
+    return None
+
+
+def check_rep007(module: _Module) -> list[Finding]:
+    """No ad-hoc write-mode file opens in ``repro.persist``.
+
+    The durability layer's crash-exactness proof rests on one invariant:
+    every byte that matters is written with fsync + temp-file + rename
+    (or a tail-repairable append), all of which live in
+    ``repro.persist.atomic``.  A stray ``open(path, "w")`` or
+    ``Path.write_bytes`` elsewhere in the package can tear on crash,
+    silently invalidating the recovery contract -- so outside the atomic
+    module, write-capable ``open`` calls and ``write_text``/
+    ``write_bytes`` are findings.  Route the write through
+    ``atomic_write``/``open_for_append``/``truncate_file`` instead.
+    """
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            findings.append(
+                module.finding(
+                    node,
+                    "REP007",
+                    f"`.{func.attr}()` bypasses the atomic-write "
+                    "discipline; use repro.persist.atomic.atomic_write "
+                    "so the file cannot tear on crash",
+                )
+            )
+            continue
+        if isinstance(func, ast.Name) and func.id == "open":
+            method = False
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            method = True
+        else:
+            continue
+        mode = _open_write_mode(node, method=method)
+        if mode is not None:
+            findings.append(
+                module.finding(
+                    node,
+                    "REP007",
+                    f"write-mode open ({mode!r}) outside "
+                    "repro.persist.atomic; durable bytes must go through "
+                    "atomic_write/open_for_append/truncate_file",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # engine
 # ---------------------------------------------------------------------------
 
@@ -770,6 +865,7 @@ RULE_CHECKERS: dict[str, Callable[[_Module], list[Finding]]] = {
     "REP004": check_rep004,
     "REP005": check_rep005,
     "REP006": check_rep006,
+    "REP007": check_rep007,
 }
 
 ALL_RULES = tuple(sorted(RULE_CHECKERS))
@@ -781,7 +877,9 @@ def applicable_rules(path: Union[str, Path]) -> frozenset[str]:
     REP002/REP003 apply everywhere (lock discipline is repo-wide);
     REP001 to the bit-identity core modules; REP004 to ``repro/core``;
     REP005 to benchmark scripts; REP006 to the fault-tolerant layers
-    (``repro/core`` and ``repro/serve``).
+    (``repro/core``, ``repro/serve``, and ``repro/persist``); REP007 to
+    ``repro/persist`` outside its atomic module (the only place allowed
+    to open files for writing).
     """
     posix = str(path).replace("\\", "/")
     name = posix.rsplit("/", 1)[-1]
@@ -793,6 +891,10 @@ def applicable_rules(path: Union[str, Path]) -> frozenset[str]:
             rules.add("REP001")
     if "repro/serve/" in posix:
         rules.add("REP006")
+    if "repro/persist/" in posix:
+        rules.add("REP006")
+        if name != "atomic.py":
+            rules.add("REP007")
     if "benchmarks/" in posix or name.startswith("bench_"):
         rules.add("REP005")
     return frozenset(rules)
